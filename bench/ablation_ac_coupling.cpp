@@ -1,0 +1,99 @@
+// Ablation — why the paper's ND beats an IEEE 1149.6-style AC receiver
+// for on-chip signal integrity (paper §1.1).
+//
+// "49.6 adds a DC blocking capacitor to each interconnect under test...
+//  Thus, 49.6 can not test noise due to low-speed but very sharp-edge
+//  signals... Our sensors can detect such scenarios."
+//
+// We pass a spectrum of integrity-loss waveforms through both detectors:
+// the DC-coupled ND cell and an AC-coupled hysteresis receiver behind a
+// 200 ps high-pass.
+
+#include <cmath>
+#include <iostream>
+
+#include "si/ac.hpp"
+#include "si/detectors.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+using si::Waveform;
+
+namespace {
+
+constexpr double kVdd = 1.8;
+
+Waveform fast_glitch() {
+  Waveform w(4096, sim::kPs, 0.0);
+  for (std::size_t i = 100; i < 200; ++i) w[i] = 1.1;
+  return w;
+}
+
+Waveform slow_wide_glitch() {
+  // Same 1.1 V amplitude, but rising/falling over ~2 ns: low-speed noise
+  // with enough energy to flip a receiver, filtered away by the DC block.
+  Waveform w(8192, sim::kPs, 0.0);
+  for (std::size_t i = 0; i < w.samples(); ++i) {
+    const double t = static_cast<double>(i);
+    w[i] = 1.1 * std::exp(-std::pow((t - 4000.0) / 1500.0, 2.0));
+  }
+  return w;
+}
+
+Waveform slow_droop() {
+  Waveform w(8192, sim::kPs, kVdd);
+  for (std::size_t i = 0; i < w.samples(); ++i) {
+    w[i] = 0.2 + (kVdd - 0.2) * std::exp(-static_cast<double>(i) / 4000.0);
+  }
+  return w;
+}
+
+Waveform clean_high() { return Waveform(4096, sim::kPs, kVdd); }
+
+}  // namespace
+
+int main() {
+  si::NdCell nd;  // DC-coupled, the paper's sensor
+  const si::AcCouplingParams channel;  // 200 ps high-pass, 0.9 V bias
+  si::AcTestReceiver ac(channel, 0.4);
+
+  std::cout << "Ablation: DC-coupled ND cell vs AC-coupled (1149.6-style) "
+               "receiver\n"
+            << "high-pass tau = 200 ps, edge threshold 0.4 V\n\n";
+
+  struct Case {
+    const char* name;
+    Waveform w;
+    util::Logic level;  // driven level (quiet line: initial == expected)
+    bool is_violation;
+  };
+  const Case cases[] = {
+      {"clean stable high", clean_high(), util::Logic::L1, false},
+      {"fast 1.1 V glitch on a low line", fast_glitch(), util::Logic::L0,
+       true},
+      {"slow 1.1 V (2 ns) glitch on a low line", slow_wide_glitch(),
+       util::Logic::L0, true},
+      {"slow droop of a high line into 0.2 V", slow_droop(),
+       util::Logic::L1, true},
+  };
+
+  util::Table t({"waveform", "real violation", "ND flags", "AC rx flags"});
+  int nd_correct = 0, ac_correct = 0;
+  for (const auto& c : cases) {
+    const bool nd_flag = nd.violates(c.w, c.level, c.level);
+    const bool ac_flag = ac.sees_activity(c.w);
+    nd_correct += nd_flag == c.is_violation;
+    ac_correct += ac_flag == c.is_violation;
+    t.add_row({c.name, c.is_violation ? "yes" : "no", nd_flag ? "1" : "0",
+               ac_flag ? "1" : "0"});
+  }
+  std::cout << t << '\n';
+  std::cout << "correct verdicts: ND " << nd_correct << "/4, AC receiver "
+            << ac_correct << "/4\n\n"
+            << "The DC block differentiates the signal: anything slower\n"
+               "than the channel tau — wide glitches, droops, level errors\n"
+               "— vanishes before the receiver. The ND cell compares\n"
+               "absolute levels against V_Hthr/V_Hmin and catches them,\n"
+               "which is the paper's case for its sensor over 1149.6.\n";
+  return nd_correct >= ac_correct ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Ablation — on-chip BIST controller vs ATE-driven session.
+//
+// The paper's flow assumes an ATE sequencing the TAP. Moving the sequencer
+// on chip (the direction of the authors' BIST line of work) buys autonomy
+// — power-on self test, in-field retest — for a ROM + counter whose size
+// we can read directly off the compiled microcode. Same TCK count, same
+// flags; the trade is silicon area for tester independence.
+
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "core/bist.hpp"
+#include "core/session.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+int main() {
+  std::cout << "Ablation: autonomous BIST controller vs ATE session\n\n";
+
+  util::Table t({"n", "session TCKs", "BIST ROM [bits]",
+                 "controller [NAND-eq]", "boundary cells [NAND-eq]",
+                 "controller share"});
+  for (std::size_t n : {8u, 16u, 32u}) {
+    core::SocConfig cfg;
+    cfg.n_wires = n;
+    const auto program = core::BistProgram::compile(cfg);
+    const double cells = analysis::enhanced_cost(n).total;
+    const double ctrl = program.controller_nand_equiv();
+    t.add_row({std::to_string(n), std::to_string(program.length()),
+               std::to_string(program.rom_bits()),
+               util::fmt_double(ctrl, 0), util::fmt_double(cells, 0),
+               util::fmt_percent(ctrl / (ctrl + cells))});
+  }
+  std::cout << t << '\n';
+
+  // Behavioural equivalence check on a defective SoC.
+  core::SocConfig cfg;
+  cfg.n_wires = 8;
+  core::SiSocDevice ate_soc(cfg);
+  core::SiSocDevice bist_soc(cfg);
+  ate_soc.bus().inject_crosstalk_defect(3, 6.0);
+  bist_soc.bus().inject_crosstalk_defect(3, 6.0);
+
+  core::SiTestSession ate(ate_soc);
+  const auto ar = ate.run(core::ObservationMethod::OnceAtEnd);
+  core::SiBistController bist(bist_soc);
+  const auto br = bist.run();
+
+  std::cout << "equivalence on a defective SoC (n=8, wire-3 coupling "
+               "defect):\n"
+            << "  ATE  ND=" << ar.nd_final << " SD=" << ar.sd_final << " ("
+            << ar.total_tcks << " TCKs)\n"
+            << "  BIST ND=" << br.nd << " SD=" << br.sd << " (" << br.tcks
+            << " TCKs), pass=" << (br.pass ? "yes" : "no") << "\n\n";
+
+  const bool ok = br.nd == ar.nd_final && br.sd == ar.sd_final &&
+                  br.tcks == ar.total_tcks;
+  std::cout << (ok ? "BIST reproduces the ATE session cycle for cycle.\n"
+                   : "MISMATCH!\n")
+            << "The linear-in-n ROM is the price of autonomy; a looped\n"
+               "hardware sequencer (per-victim loop counter instead of an\n"
+               "unrolled ROM) would shrink it to O(1) at the cost of a\n"
+               "more complex FSM — the classic microcode-vs-logic trade.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Ablation — what each observation method buys (paper §3.2 trade-off).
+//
+// Same defective SoC run under methods 1, 2 and 3: the clock cost rises
+// steeply while the diagnosis sharpens from "which wire" to "which wire,
+// which fault, which pattern".
+
+#include <iostream>
+
+#include "core/session.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+namespace {
+
+core::IntegrityReport run(core::ObservationMethod method) {
+  core::SocConfig cfg;
+  cfg.n_wires = 8;
+  core::SiSocDevice soc(cfg);
+  soc.bus().inject_crosstalk_defect(2, 6.0);   // noise on wire 2
+  soc.bus().add_series_resistance(5, 300.0);   // marginal skew on wire 5
+  core::SiTestSession session(soc);
+  return session.run(method);
+}
+
+std::string describe(const core::IntegrityReport& r) {
+  std::string out;
+  for (const auto& a : core::diagnose(r)) {
+    if (!out.empty()) out += "; ";
+    out += "wire " + std::to_string(a.wire);
+    out += a.noise ? " noise" : " skew";
+    if (r.method != core::ObservationMethod::OnceAtEnd) {
+      out += " blk" + std::to_string(a.init_block);
+    }
+    if (a.fault) out += " " + std::string(mafm::fault_name(*a.fault));
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: observation-method diagnosis resolution vs cost\n"
+            << "(n=8; coupling defect on wire 2, 300-Ohm resistive open on "
+               "wire 5)\n\n";
+
+  util::Table t({"method", "total TCKs", "observation TCKs", "read-outs",
+                 "diagnosis"});
+  const struct {
+    core::ObservationMethod m;
+    const char* name;
+  } methods[] = {
+      {core::ObservationMethod::OnceAtEnd, "1: once at end"},
+      {core::ObservationMethod::PerInitValue, "2: per init value"},
+      {core::ObservationMethod::PerPattern, "3: per pattern"},
+  };
+  for (const auto& m : methods) {
+    const auto r = run(m.m);
+    t.add_row({m.name, std::to_string(r.total_tcks),
+               std::to_string(r.observation_tcks),
+               std::to_string(r.readouts.size()), describe(r)});
+  }
+  std::cout << t << '\n';
+
+  std::cout << "Method 1 detects; method 2 adds the initial-value block\n"
+               "(fault group); method 3 names the exact MA fault and the\n"
+               "pattern index at the price of O(n^2) observation clocks —\n"
+               "the paper's cost/information trade-off.\n";
+  return 0;
+}

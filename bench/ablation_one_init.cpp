@@ -1,0 +1,75 @@
+// Ablation — why the PGBSC scheme needs *two* initial values (paper §3.1).
+//
+// "One may think that one initial value (e.g. 0) is sufficient... However,
+// the victim line goes through 0->1->0. In such case, the transition
+// frequency of victim line is not half of the aggressor line and hence
+// cannot be used."
+//
+// We let the single-init generator run 10x longer than the two-init
+// schedule and show the second fault group never appears, while the
+// two-value schedule covers all six faults in 8n+2 updates.
+
+#include <iostream>
+#include <set>
+
+#include "mafm/schedule.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+namespace {
+
+std::string fault_set(const std::set<mafm::MaFault>& faults) {
+  std::string s;
+  for (auto f : mafm::kAllFaults) {
+    if (faults.count(f)) {
+      if (!s.empty()) s += ", ";
+      s += std::string(mafm::fault_name(f));
+    }
+  }
+  return s.empty() ? "-" : s;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 5;
+  constexpr std::size_t kVictim = 0;
+
+  std::cout << "Ablation: single initial value vs the paper's two-value "
+               "schedule (n=" << kN << ")\n\n";
+
+  // Single init value, generator just keeps running.
+  std::set<mafm::MaFault> single;
+  const auto long_run = mafm::single_init_extended_sequence(kN, 10 * (4 * kN + 1));
+  for (const auto& s : long_run) {
+    if (s.victim == kVictim && s.fault) single.insert(*s.fault);
+  }
+
+  // Two initial values, the paper's schedule.
+  std::set<mafm::MaFault> both;
+  for (bool init : {false, true}) {
+    for (auto f :
+         mafm::faults_covered(mafm::pgbsc_reference_sequence(kN, init),
+                              kVictim)) {
+      both.insert(f);
+    }
+  }
+
+  util::Table t({"scheme", "updates", "faults covered on victim 0",
+                 "coverage"});
+  t.add_row({"single init (0), extended", std::to_string(long_run.size()),
+             fault_set(single),
+             std::to_string(single.size()) + "/6"});
+  t.add_row({"two init values (paper)",
+             std::to_string(2 * (4 * kN + 1)), fault_set(both),
+             std::to_string(both.size()) + "/6"});
+  std::cout << t << '\n';
+
+  std::cout << "The single-value scheme saturates at the first fault group:\n"
+               "because every wire toggles around the same level, the\n"
+               "quiet-high / falling-edge stress conditions (Ng, Fs, Ng')\n"
+               "never arise — exactly the paper's argument for scanning a\n"
+               "second initial value.\n";
+  return both.size() == 6 && single.size() < 6 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Ablation — parallel multi-victim pattern generation.
+//
+// The paper rotates a one-hot victim select: one victim at a time, 4n+1
+// Update-DRs per initial value. Because crosstalk in a parallel bus is
+// nearest-neighbour dominated, victims spaced `guard` wires apart can be
+// stressed simultaneously with a multi-hot select word — the same PGBSC
+// hardware, a different scan pattern — reducing the Update-DR count to
+// 4*guard+1. This bench quantifies the saving and verifies detection is
+// preserved.
+
+#include <iostream>
+
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+namespace {
+
+struct Run {
+  std::uint64_t generation;
+  bool nd_hit;
+  bool sd_hit;
+};
+
+Run run(std::size_t n, std::size_t guard) {
+  core::SocConfig cfg;
+  cfg.n_wires = n;
+  core::SiSocDevice soc(cfg);
+  soc.bus().inject_crosstalk_defect(n / 2, 6.0);
+  soc.bus().add_series_resistance(n - 2, 900.0);
+  core::SiTestSession session(soc);
+  const auto r =
+      guard >= n
+          ? session.run(core::ObservationMethod::OnceAtEnd)
+          : session.run_parallel(core::ObservationMethod::OnceAtEnd, guard);
+  return Run{r.generation_tcks, static_cast<bool>(r.nd_final[n / 2]),
+             static_cast<bool>(r.sd_final[n - 2])};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 32;
+  std::cout << "Ablation: parallel multi-victim generation (n=" << kN
+            << ", defects on wires " << kN / 2 << " and " << kN - 2
+            << ")\n\n";
+
+  util::Table t({"victim schedule", "generation TCKs", "vs paper",
+                 "noise found", "skew found"});
+  const auto paper = run(kN, kN);
+  t.add_row({"one-hot (paper)", std::to_string(paper.generation), "1.00x",
+             paper.nd_hit ? "yes" : "NO", paper.sd_hit ? "yes" : "NO"});
+  for (std::size_t guard : {8u, 4u, 3u, 2u}) {
+    const auto r = run(kN, guard);
+    t.add_row({"multi-hot, guard " + std::to_string(guard),
+               std::to_string(r.generation),
+               util::fmt_double(static_cast<double>(paper.generation) /
+                                    static_cast<double>(r.generation),
+                                2) + "x",
+               r.nd_hit ? "yes" : "NO", r.sd_hit ? "yes" : "NO"});
+  }
+  std::cout << t << '\n';
+
+  std::cout << "guard 2 is the aggressive limit: victims two wires apart\n"
+               "share an aggressor but each still sees both neighbours\n"
+               "switching. Valid when coupling beyond the adjacent wire is\n"
+               "negligible — exactly the nearest-neighbour assumption of\n"
+               "the MA fault model itself.\n";
+  return 0;
+}

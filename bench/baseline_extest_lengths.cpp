@@ -1,0 +1,83 @@
+// Baseline bench — board-level EXTEST interconnect test lengths.
+//
+// Not a paper table, but the baseline context §1 builds on: the classic
+// 1149.1 interconnect test the paper extends. Compares the three pattern
+// algorithms (walking ones, counting, true/complement counting) in
+// patterns and measured TCKs through the real two-chip chain, plus their
+// diagnostic power on a representative fault set.
+
+#include <iostream>
+
+#include "ict/extest_session.hpp"
+#include "ict/patterns.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+namespace {
+
+const char* alg_name(ict::Algorithm a) {
+  switch (a) {
+    case ict::Algorithm::WalkingOnes: return "walking ones";
+    case ict::Algorithm::CountingSequence: return "counting";
+    case ict::Algorithm::TrueComplementCounting: return "true/complement";
+  }
+  return "?";
+}
+
+int diagnosed_exactly(ict::Algorithm alg) {
+  // Representative fault set on a 16-net board.
+  int exact = 0;
+  const auto check = [&](auto inject, auto expect) {
+    ict::BoardNets board(16);
+    inject(board);
+    ict::ExtestInterconnectSession session(board);
+    const auto r = session.run(alg);
+    if (expect(r.verdicts)) ++exact;
+  };
+  check([](ict::BoardNets& b) { b.inject_stuck(3, false); },
+        [](const auto& v) { return v[3].verdict == ict::Verdict::StuckAt0; });
+  check([](ict::BoardNets& b) { b.inject_stuck(9, true); },
+        [](const auto& v) { return v[9].verdict == ict::Verdict::StuckAt1; });
+  check(
+      [](ict::BoardNets& b) { b.inject_short({4, 11}, true); },
+      [](const auto& v) { return v[4].verdict == ict::Verdict::ShortedAnd; });
+  check(
+      [](ict::BoardNets& b) { b.inject_short({4, 11}, false); },
+      [](const auto& v) { return v[4].verdict == ict::Verdict::ShortedOr; });
+  return exact;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Baseline: board EXTEST interconnect test, 2-chip chain\n\n";
+
+  util::Table t({"algorithm", "patterns (n=16)", "TCKs (n=16)",
+                 "patterns (n=64)", "exact diagnoses (of 4)"});
+  for (const auto alg :
+       {ict::Algorithm::WalkingOnes, ict::Algorithm::CountingSequence,
+        ict::Algorithm::TrueComplementCounting}) {
+    ict::BoardNets b16(16);
+    ict::ExtestInterconnectSession s16(b16);
+    const auto r16 = s16.run(alg);
+
+    ict::BoardNets b64(64);
+    ict::ExtestInterconnectSession s64(b64);
+    const auto r64 = s64.run(alg);
+
+    t.add_row({alg_name(alg), std::to_string(r16.patterns_applied),
+               std::to_string(r16.total_tcks),
+               std::to_string(r64.patterns_applied),
+               std::to_string(diagnosed_exactly(alg))});
+  }
+  std::cout << t << '\n';
+
+  std::cout
+      << "Walking ones is O(n) patterns and aliases wired-AND shorts to\n"
+         "stuck-at-0; counting is O(log n) but weaker diagnostically;\n"
+         "true/complement counting keeps O(log n) and names stuck-ats\n"
+         "unambiguously. All of this tests only STATIC faults - the\n"
+         "motivation for the paper's G-SITEST/O-SITEST extension.\n";
+  return 0;
+}

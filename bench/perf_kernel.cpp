@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the substrates: event kernel,
+// bit vectors, TAP shifting, coupled-bus solving, netlist simulation, and
+// the full signal-integrity session.
+
+#include <benchmark/benchmark.h>
+
+#include "bsc/netlists.hpp"
+#include "core/bist.hpp"
+#include "core/multibus.hpp"
+#include "core/session.hpp"
+#include "ict/extest_session.hpp"
+#include "rtl/netlist_sim.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bitvec.hpp"
+#include "util/prng.hpp"
+
+using namespace jsi;
+
+namespace {
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1024; ++i) {
+      s.schedule(static_cast<sim::Time>(i), [] {});
+    }
+    benchmark::DoNotOptimize(s.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_BitVecShift(benchmark::State& state) {
+  util::BitVec v(static_cast<std::size_t>(state.range(0)), false);
+  bool bit = true;
+  for (auto _ : state) {
+    bit = v.shift_in(bit);
+    benchmark::DoNotOptimize(bit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitVecShift)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TapDrScan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::SocConfig cfg;
+  cfg.n_wires = n;
+  core::SiSocDevice soc(cfg);
+  jtag::TapMaster master(soc.tap());
+  master.reset_to_idle();
+  master.scan_ir(util::BitVec::ones(cfg.ir_width));  // BYPASS
+  const util::BitVec bits(soc.chain_length(), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(master.scan_dr(util::BitVec(1, false)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TapDrScan)->Arg(8)->Arg(32);
+
+void BM_BusTransition(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  si::BusParams p;
+  p.n_wires = n;
+  si::CoupledBus bus(p);
+  const auto a = util::BitVec::zeros(n);
+  auto b = util::BitVec::ones(n);
+  b.set(n / 2, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.transition(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BusTransition)->Arg(8)->Arg(32);
+
+void BM_NetlistSimPgbsc(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    rtl::Netlist nl = bsc::build_pgbsc_netlist();
+    rtl::NetlistSim sim(sched, nl);
+    sim.set_input("si", util::Logic::L1);
+    for (int u = 0; u < 16; ++u) {
+      sim.set_input("update_dr", util::Logic::L1);
+      sim.settle();
+      sim.set_input("update_dr", util::Logic::L0);
+      sim.settle();
+    }
+    benchmark::DoNotOptimize(sim.value("q2"));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_NetlistSimPgbsc);
+
+void BM_FullSiSession(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::SocConfig cfg;
+    cfg.n_wires = n;
+    core::SiSocDevice soc(cfg);
+    soc.bus().inject_crosstalk_defect(n / 2, 6.0);
+    core::SiTestSession session(soc);
+    benchmark::DoNotOptimize(
+        session.run(core::ObservationMethod::OnceAtEnd));
+  }
+}
+BENCHMARK(BM_FullSiSession)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelVictimSession(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::SocConfig cfg;
+    cfg.n_wires = n;
+    core::SiSocDevice soc(cfg);
+    core::SiTestSession session(soc);
+    benchmark::DoNotOptimize(
+        session.run_parallel(core::ObservationMethod::OnceAtEnd, 2));
+  }
+}
+BENCHMARK(BM_ParallelVictimSession)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiBusSession(benchmark::State& state) {
+  const std::size_t buses = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::MultiBusConfig cfg;
+    cfg.n_buses = buses;
+    cfg.wires_per_bus = 8;
+    core::MultiBusSoc soc(cfg);
+    core::MultiBusSession session(soc);
+    benchmark::DoNotOptimize(
+        session.run(core::ObservationMethod::OnceAtEnd));
+  }
+}
+BENCHMARK(BM_MultiBusSession)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_BistCompileAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SocConfig cfg;
+    cfg.n_wires = 8;
+    core::SiSocDevice soc(cfg);
+    core::SiBistController bist(soc);
+    benchmark::DoNotOptimize(bist.run());
+  }
+}
+BENCHMARK(BM_BistCompileAndRun)->Unit(benchmark::kMillisecond);
+
+void BM_ExtestBoardSession(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ict::BoardNets board(n);
+    ict::ExtestInterconnectSession session(board);
+    benchmark::DoNotOptimize(
+        session.run(ict::Algorithm::TrueComplementCounting));
+  }
+}
+BENCHMARK(BM_ExtestBoardSession)->Arg(16)->Arg(64);
+
+}  // namespace

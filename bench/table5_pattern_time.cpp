@@ -1,0 +1,75 @@
+// Table 5 — Pattern generation time analysis.
+//
+// Paper: number of TCKs needed to apply the complete MA pattern set for
+// n interconnects, conventional scan (each of the 12n vectors shifted
+// through the whole chain, O(n^2)) versus the hardware PGBSC generator
+// (two preloads + three Update-DRs and a one-bit rotate per victim, O(n)).
+// The last row of the paper's table is the relative improvement T%.
+//
+// Both columns here are *measured* by running the full cycle-accurate TAP
+// session; the closed-form model is printed beside them as a cross-check
+// (tests assert they are identical).
+
+#include <iostream>
+
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+namespace {
+
+std::uint64_t measured_generation(std::size_t n, bool enhanced) {
+  core::SocConfig cfg;
+  cfg.n_wires = n;
+  cfg.m_extra_cells = 1;
+  cfg.enhanced = enhanced;
+  core::SiSocDevice soc(cfg);
+  if (enhanced) {
+    core::SiTestSession session(soc);
+    return session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
+  }
+  core::ConventionalSession session(soc);
+  return session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 5: Pattern generation time analysis (m=1)\n"
+            << "TCKs to apply the full MA pattern set; measured from the\n"
+            << "simulated TAP protocol. model = closed-form cross-check.\n\n";
+
+  util::Table t({"architecture", "n=8", "n=16", "n=32", "n=64"});
+  const std::size_t ns[] = {8, 16, 32, 64};
+
+  std::vector<std::string> conv_row{"Conventional BSA (measured)"};
+  std::vector<std::string> conv_model{"Conventional BSA (model)"};
+  std::vector<std::string> pg_row{"PGBSC (measured)"};
+  std::vector<std::string> pg_model{"PGBSC (model)"};
+  std::vector<std::string> imp_row{"T% improvement"};
+
+  for (std::size_t n : ns) {
+    analysis::TimeModel model{n, 1, 4};
+    const auto conv = measured_generation(n, /*enhanced=*/false);
+    const auto enh = measured_generation(n, /*enhanced=*/true);
+    conv_row.push_back(std::to_string(conv));
+    conv_model.push_back(std::to_string(model.conventional_generation()));
+    pg_row.push_back(std::to_string(enh));
+    pg_model.push_back(std::to_string(model.pgbsc_generation()));
+    imp_row.push_back(util::fmt_percent(
+        1.0 - static_cast<double>(enh) / static_cast<double>(conv)));
+  }
+  t.add_row(conv_row);
+  t.add_row(conv_model);
+  t.add_row(pg_row);
+  t.add_row(pg_model);
+  t.add_row(imp_row);
+  std::cout << t << '\n';
+
+  std::cout << "Shape check (paper claim): conventional grows O(n^2), PGBSC "
+               "O(n);\nthe improvement increases with n and exceeds 90% by "
+               "n=32.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Yield analysis — Monte Carlo escape/overkill characterization of the
+// extended-JTAG test against a physics-level shipping spec.
+//
+// Extends the paper's evaluation: beyond "does a defect set the flag",
+// this sweeps the ND sensitivity (V_Hthr) and the SD skew budget over a
+// sampled die population and reports die-level escapes and overkill plus
+// wire-level sensitivity — the numbers a production test engineer needs
+// to size the detector thresholds.
+
+#include <iostream>
+
+#include "analysis/yield.hpp"
+#include "util/table.hpp"
+
+using namespace jsi;
+
+int main() {
+  constexpr std::size_t kWires = 8;
+  constexpr std::size_t kDies = 60;
+
+  analysis::DefectDistribution dist;  // ~12% defective wires, mixed types
+  analysis::SpecLimits spec;          // 45% glitch, 200 ps settle
+
+  std::cout << "Monte Carlo yield analysis: " << kDies << " dies x "
+            << kWires << " wires, mixed defect population\n"
+            << "spec: glitch < " << spec.max_glitch_frac
+            << "*Vdd, settle < " << spec.max_settle << " ps\n\n";
+
+  util::Table t({"ND V_Hthr [xVdd]", "SD budget [ps]", "bad dies",
+                 "flagged", "escapes", "overkill", "wire sensitivity"});
+  const struct {
+    double nd_frac;
+    sim::Time sd_budget;
+  } settings[] = {
+      {0.30, 120}, {0.38, 150}, {0.45, 150}, {0.45, 200},
+      {0.55, 250}, {0.65, 300},
+  };
+  for (const auto& s : settings) {
+    core::SocConfig cfg;
+    cfg.n_wires = kWires;
+    cfg.nd.v_hthr_frac = s.nd_frac;
+    cfg.nd.v_hmin_frac = s.nd_frac - 0.10;
+    cfg.sd.skew_budget = s.sd_budget;
+    const auto stats =
+        analysis::run_monte_carlo(kDies, cfg, dist, spec, /*seed=*/2003);
+    t.add_row({util::fmt_double(s.nd_frac, 2),
+               std::to_string(s.sd_budget),
+               std::to_string(stats.truly_bad_dies),
+               std::to_string(stats.flagged_dies),
+               std::to_string(stats.escaped_dies),
+               std::to_string(stats.overkill_dies),
+               util::fmt_percent(stats.wire_sensitivity())});
+  }
+  std::cout << t << '\n';
+
+  std::cout << "Tight thresholds screen everything the spec would reject\n"
+               "(zero escapes) at the cost of overkill; loose thresholds\n"
+               "let marginal dies ship. The detector parameters — V_Hthr/\n"
+               "V_Hmin sizing and the SD delay-generator length — are the\n"
+               "production dial, which is why the paper leaves them to the\n"
+               "designer's delay/noise budget.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Crosstalk diagnosis: use observation Method 3 (read-out after every
+// pattern) to name the exact MA fault behind each violation — the paper's
+// highest-resolution, highest-cost mode.
+//
+// Scenario: a 16-wire inter-core bus fabricated with two latent defects:
+//   * wires 4/5 routed too close (coupling capacitance x7),
+//   * a resistive via on wire 11.
+// The test engineer wants to know not just *which* wires fail but *which
+// transition class* triggers them, to feed back to layout.
+
+#include <iostream>
+
+#include "core/session.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace jsi;
+
+  core::SocConfig cfg;
+  cfg.n_wires = 16;
+  core::SiSocDevice soc(cfg);
+
+  // Defect 1: pair (4,5) over-coupled; wire 4's driver is also weak.
+  soc.bus().scale_coupling(4, 7.0);
+  soc.bus().add_series_resistance(4, 2200.0);
+  // Defect 2: resistive via on wire 11, calibrated to miss the skew
+  // budget only under Miller-doubled (opposite-phase) switching.
+  soc.bus().add_series_resistance(11, 300.0);
+
+  core::SiTestSession session(soc);
+  const auto report = session.run(core::ObservationMethod::PerPattern);
+
+  std::cout << "Method-3 session: " << report.patterns.size()
+            << " patterns applied, " << report.readouts.size()
+            << " read-outs, " << report.total_tcks << " TCKs\n\n";
+
+  util::Table t({"wire", "sensor", "init block", "first failing pattern",
+                 "MA fault"});
+  for (const auto& a : core::diagnose(report)) {
+    t.add_row({std::to_string(a.wire), a.noise ? "ND (noise)" : "SD (skew)",
+               std::to_string(a.init_block),
+               std::to_string(a.pattern_index),
+               a.fault ? std::string(mafm::fault_name(*a.fault)) : "-"});
+  }
+  std::cout << t << '\n';
+
+  // What layout should conclude from the fault names:
+  std::cout << "Reading the diagnosis:\n"
+            << "  * a glitch fault (Pg/Pg'/Ng/Ng') on a wire whose quiet\n"
+            << "    level is disturbed points at coupling — check spacing\n"
+            << "    or shielding of that wire's neighbourhood;\n"
+            << "  * a skew fault (Rs/Fs) points at drive strength /\n"
+            << "    resistance — check vias and driver sizing.\n\n";
+
+  std::cout << core::format_report(report);
+  return report.nd_final[4] && report.sd_final[11] ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Interconnect-test algorithms: run the classic EXTEST board test with
+// the `ict` library — pattern generation, the pipelined scan flow through
+// a real two-chip JTAG chain, and net-level diagnosis.
+//
+// Scenario: a 12-trace board with a realistic fault mix after reflow:
+// one solder bridge (wired-AND), one trace cut at a via (open, floats
+// high), and one trace shorted to ground (stuck-at-0).
+
+#include <iostream>
+
+#include "ict/extest_session.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace jsi;
+
+  ict::BoardNets board(12, /*float_value=*/true);
+  board.inject_short({2, 3}, /*wired_and=*/true);  // solder bridge
+  board.inject_open(7);                            // cut trace, floats high
+  board.inject_stuck(10, false);                   // short to ground
+
+  ict::ExtestInterconnectSession session(board);
+  const auto result = session.run(ict::Algorithm::TrueComplementCounting);
+
+  std::cout << "Board test: 12 traces, true/complement counting sequence\n"
+            << result.patterns_applied << " patterns, " << result.total_tcks
+            << " TCKs through the 2-chip chain\n\n";
+
+  util::Table t({"net", "sent code", "received", "verdict", "bridged with"});
+  for (const auto& v : result.verdicts) {
+    std::string partners;
+    for (auto p : v.group) {
+      if (!partners.empty()) partners += ",";
+      partners += std::to_string(p);
+    }
+    t.add_row({std::to_string(v.net),
+               result.sent_codes[v.net].to_string(),
+               result.received_codes[v.net].to_string(),
+               ict::verdict_name(v.verdict),
+               partners.empty() ? "-" : partners});
+  }
+  std::cout << t << '\n';
+
+  const bool ok = result.verdicts[2].verdict == ict::Verdict::ShortedAnd &&
+                  result.verdicts[3].verdict == ict::Verdict::ShortedAnd &&
+                  result.verdicts[7].verdict == ict::Verdict::StuckAt1 &&
+                  result.verdicts[10].verdict == ict::Verdict::StuckAt0;
+  std::cout << (ok ? "All injected faults detected and localized.\n"
+                   : "Unexpected diagnosis!\n")
+            << "(The open at net 7 floats high, so it is reported as\n"
+               "stuck-at-1 — electrically indistinguishable at the\n"
+               "receiver without extra DFT.)\n";
+  return ok ? 0 : 1;
+}

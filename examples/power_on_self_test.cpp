@@ -1,0 +1,50 @@
+// Power-on self test: the SoC screens its own interconnects at boot with
+// the on-chip BIST controller — no tester attached.
+//
+// The controller replays its microcode ROM through the TAP, compacts the
+// scanned-out ND/SD flags into a status word, and the boot firmware
+// decides whether to bring the links up, derate them, or fail over.
+
+#include <iostream>
+
+#include "core/bist.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace jsi;
+
+  core::SocConfig cfg;
+  cfg.n_wires = 8;
+  core::SiSocDevice soc(cfg);
+
+  // This particular part aged badly: electromigration opened a via on
+  // wire 6 and a passivation defect raised the 2-3 coupling.
+  soc.bus().add_series_resistance(6, 1100.0);
+  soc.bus().scale_coupling(2, 6.5);
+  soc.bus().add_series_resistance(2, 2000.0);
+
+  core::SiBistController bist(soc);
+  std::cout << "Power-on self test: " << bist.program().length()
+            << "-step microcode, " << bist.program().rom_bits()
+            << "-bit ROM, ~"
+            << util::fmt_double(bist.program().controller_nand_equiv(), 0)
+            << " NAND-eq controller\n\n";
+
+  const auto r = bist.run();
+
+  util::Table t({"wire", "noise", "skew", "boot decision"});
+  for (std::size_t w = 0; w < cfg.n_wires; ++w) {
+    const bool noisy = r.nd[w];
+    const bool slow = r.sd[w];
+    const char* decision = !noisy && !slow ? "enable"
+                           : noisy         ? "disable lane"
+                                           : "derate clock";
+    t.add_row({std::to_string(w), noisy ? "1" : "0", slow ? "1" : "0",
+               decision});
+  }
+  std::cout << t << '\n';
+  std::cout << "BIST status: " << (r.pass ? "PASS" : "FAIL") << " after "
+            << r.tcks << " TCKs\n";
+
+  return r.nd[2] && r.sd[6] && !r.pass ? 0 : 1;
+}

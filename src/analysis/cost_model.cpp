@@ -1,0 +1,43 @@
+#include "analysis/cost_model.hpp"
+
+#include <sstream>
+
+#include "bsc/netlists.hpp"
+#include "rtl/area.hpp"
+
+namespace jsi::analysis {
+
+CellCosts cell_costs() {
+  return CellCosts{
+      rtl::nand_equiv(bsc::build_standard_bsc_netlist()),
+      rtl::nand_equiv(bsc::build_pgbsc_netlist()),
+      rtl::nand_equiv(bsc::build_obsc_netlist()),
+  };
+}
+
+ArchCost conventional_cost(std::size_t n) {
+  const CellCosts c = cell_costs();
+  const double side = static_cast<double>(n) * c.standard_bsc;
+  return ArchCost{side, side, 2 * side};
+}
+
+ArchCost enhanced_cost(std::size_t n) {
+  const CellCosts c = cell_costs();
+  const double send = static_cast<double>(n) * c.pgbsc;
+  const double obs = static_cast<double>(n) * c.obsc;
+  return ArchCost{send, obs, send + obs};
+}
+
+double overhead_ratio(std::size_t n) {
+  return enhanced_cost(n).total / conventional_cost(n).total;
+}
+
+std::string cell_cost_details() {
+  std::ostringstream os;
+  os << rtl::format_area_report(bsc::build_standard_bsc_netlist()) << '\n'
+     << rtl::format_area_report(bsc::build_pgbsc_netlist()) << '\n'
+     << rtl::format_area_report(bsc::build_obsc_netlist());
+  return os.str();
+}
+
+}  // namespace jsi::analysis

@@ -1,0 +1,44 @@
+#ifndef JSI_ANALYSIS_COST_MODEL_HPP
+#define JSI_ANALYSIS_COST_MODEL_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace jsi::analysis {
+
+/// NAND-equivalent area of each boundary-scan cell type, extracted from
+/// the structural netlists in `jsi::bsc` via `rtl::nand_equiv` (paper
+/// Table 7 methodology, with the gate library documented in rtl/area.hpp
+/// replacing the Synopsys flow).
+struct CellCosts {
+  double standard_bsc;
+  double pgbsc;
+  double obsc;
+};
+
+/// Evaluate the netlists and return the per-cell costs.
+CellCosts cell_costs();
+
+/// Table 7 row: sending-side, observing-side and total NAND-equivalents
+/// for an n-wire interconnect.
+struct ArchCost {
+  double sending;
+  double observing;
+  double total;
+};
+
+/// Conventional BSA: standard cells on both sides.
+ArchCost conventional_cost(std::size_t n);
+
+/// Enhanced BSA: PGBSCs sending, OBSCs observing.
+ArchCost enhanced_cost(std::size_t n);
+
+/// Area overhead factor enhanced/conventional (the paper: "almost twice").
+double overhead_ratio(std::size_t n);
+
+/// Per-cell netlist breakdowns rendered as text (for the Table 7 bench).
+std::string cell_cost_details();
+
+}  // namespace jsi::analysis
+
+#endif  // JSI_ANALYSIS_COST_MODEL_HPP

@@ -1,0 +1,90 @@
+#include "analysis/time_model.hpp"
+
+
+#include <algorithm>
+namespace jsi::analysis {
+
+using core::ObservationMethod;
+
+std::uint64_t TimeModel::pgbsc_generation() const {
+  const std::uint64_t per_victim = 3 * update_pulse() + dr_scan(1);
+  const std::uint64_t per_block =
+      2 * ir_scan() + dr_scan(chain()) + dr_scan(n) + n * per_victim;
+  return reset_clocks() + 2 * per_block;
+}
+
+std::uint64_t TimeModel::conventional_generation() const {
+  return reset_clocks() + ir_scan() + 12ull * n * dr_scan(chain());
+}
+
+std::uint64_t TimeModel::pgbsc_parallel_generation(std::size_t guard) const {
+  const std::uint64_t rounds = std::min(guard, n);
+  const std::uint64_t per_round = 3 * update_pulse() + dr_scan(1);
+  const std::uint64_t per_block =
+      2 * ir_scan() + dr_scan(chain()) + dr_scan(n) + rounds * per_round;
+  return reset_clocks() + 2 * per_block;
+}
+
+std::uint64_t TimeModel::multibus_generation(std::size_t buses) const {
+  const std::uint64_t chain_len = 2 * buses * n + m;
+  const std::uint64_t per_victim = 3 * update_pulse() + dr_scan(1);
+  const std::uint64_t per_block = 2 * ir_scan() + dr_scan(chain_len) +
+                                  dr_scan(buses * n) + n * per_victim;
+  return reset_clocks() + 2 * per_block;
+}
+
+std::uint64_t TimeModel::multibus_readout(std::size_t buses) const {
+  const std::uint64_t chain_len = 2 * buses * n + m;
+  return ir_scan() + 2 * dr_scan(chain_len);
+}
+
+std::uint64_t TimeModel::readout(bool resume) const {
+  return ir_scan() + 2 * dr_scan(chain()) + (resume ? ir_scan() : 0);
+}
+
+std::uint64_t TimeModel::enhanced_observation(ObservationMethod method,
+                                              std::uint64_t k) const {
+  switch (method) {
+    case ObservationMethod::OnceAtEnd:
+      return k * readout(false);
+    case ObservationMethod::PerInitValue:
+      return 2 * k * readout(false);
+    case ObservationMethod::PerPattern: {
+      // Per block: 4n+1 read-outs, all but the last resuming G-SITEST.
+      const std::uint64_t per_block =
+          (4 * n + 1) * readout(false) + (4 * n) * ir_scan();
+      return 2 * k * per_block;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t TimeModel::conventional_observation(ObservationMethod method,
+                                                  std::uint64_t k) const {
+  switch (method) {
+    case ObservationMethod::OnceAtEnd:
+      return k * readout(false);
+    case ObservationMethod::PerInitValue:
+      // One read-out per victim; all but the last resume.
+      return k * (n * readout(false) + (n - 1) * ir_scan());
+    case ObservationMethod::PerPattern:
+      return k * (12 * n * readout(false) + (12 * n - 1) * ir_scan());
+  }
+  return 0;
+}
+
+std::uint64_t TimeModel::enhanced_total(ObservationMethod method) const {
+  return pgbsc_generation() + enhanced_observation(method);
+}
+
+std::uint64_t TimeModel::conventional_total(ObservationMethod method) const {
+  return conventional_generation() + conventional_observation(method);
+}
+
+double TimeModel::generation_improvement() const {
+  const double conv = static_cast<double>(conventional_generation());
+  const double enh = static_cast<double>(pgbsc_generation());
+  return 1.0 - enh / conv;
+}
+
+}  // namespace jsi::analysis

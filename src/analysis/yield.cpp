@@ -1,0 +1,115 @@
+#include "analysis/yield.hpp"
+
+#include "core/session.hpp"
+#include "mafm/fault.hpp"
+
+namespace jsi::analysis {
+
+using util::BitVec;
+
+DieSample sample_die(std::size_t n_wires, const DefectDistribution& dist,
+                     util::Prng& rng) {
+  DieSample die;
+  die.coupling_severity.assign(n_wires, 0.0);
+  die.extra_resistance.assign(n_wires, 0.0);
+  for (std::size_t w = 0; w < n_wires; ++w) {
+    const double u = rng.next_double();
+    if (u < dist.p_coupling) {
+      die.coupling_severity[w] =
+          dist.coupling_severity_min +
+          rng.next_double() *
+              (dist.coupling_severity_max - dist.coupling_severity_min);
+    } else if (u < dist.p_coupling + dist.p_resistive) {
+      die.extra_resistance[w] =
+          dist.resistance_min +
+          rng.next_double() * (dist.resistance_max - dist.resistance_min);
+    }
+  }
+  return die;
+}
+
+void apply_die(const DieSample& die, si::CoupledBus& bus) {
+  for (std::size_t w = 0; w < bus.n(); ++w) {
+    if (die.coupling_severity[w] > 1.0) {
+      bus.inject_crosstalk_defect(w, die.coupling_severity[w]);
+    }
+    if (die.extra_resistance[w] > 0.0) {
+      bus.add_series_resistance(w, die.extra_resistance[w]);
+    }
+  }
+}
+
+GroundTruth evaluate_truth(const DieSample& die, const si::BusParams& params,
+                           const SpecLimits& spec) {
+  si::BusParams bp = params;
+  const std::size_t n = bp.n_wires;
+  si::CoupledBus bus(bp);
+  apply_die(die, bus);
+
+  GroundTruth truth;
+  truth.noisy = BitVec(n, false);
+  truth.skewed = BitVec(n, false);
+  const double vdd = bp.vdd;
+
+  for (std::size_t w = 0; w < n; ++w) {
+    // Worst quiet-wire stress: both glitch polarities on both rails.
+    for (const auto f : {mafm::MaFault::Pg, mafm::MaFault::PgBar,
+                         mafm::MaFault::Ng, mafm::MaFault::NgBar}) {
+      const auto p = mafm::vectors_for(f, n, w);
+      const auto wf = bus.wire_response(w, p.v1, p.v2);
+      const double rail = p.v1[w] ? vdd : 0.0;
+      const double excursion =
+          std::max(wf.max_value() - rail, rail - wf.min_value());
+      if (excursion >= spec.max_glitch_frac * vdd) truth.noisy.set(w, true);
+    }
+    // Worst switching stress: Miller-doubled rising and falling edges.
+    for (const auto f : {mafm::MaFault::Rs, mafm::MaFault::Fs}) {
+      const auto p = mafm::vectors_for(f, n, w);
+      const auto wf = bus.wire_response(w, p.v1, p.v2);
+      const auto t = wf.last_crossing(vdd / 2);
+      if (!t.has_value() || *t > spec.max_settle) truth.skewed.set(w, true);
+    }
+  }
+  return truth;
+}
+
+YieldStats run_monte_carlo(std::size_t n_dies, const core::SocConfig& base,
+                           const DefectDistribution& dist,
+                           const SpecLimits& spec, std::uint64_t seed) {
+  util::Prng rng(seed);
+  YieldStats stats;
+  const std::size_t n = base.n_wires;
+
+  for (std::size_t d = 0; d < n_dies; ++d) {
+    const DieSample die = sample_die(n, dist, rng);
+    si::BusParams bp = base.bus;
+    bp.n_wires = n;
+    const GroundTruth truth = evaluate_truth(die, bp, spec);
+
+    core::SiSocDevice soc(base);
+    apply_die(die, soc.bus());
+    core::SiTestSession session(soc);
+    const core::IntegrityReport report =
+        session.run(core::ObservationMethod::OnceAtEnd);
+
+    const bool bad = truth.noisy.popcount() + truth.skewed.popcount() > 0;
+    const bool flagged = report.any_violation();
+    ++stats.dies;
+    stats.truly_bad_dies += bad;
+    stats.flagged_dies += flagged;
+    stats.escaped_dies += bad && !flagged;
+    stats.overkill_dies += flagged && !bad;
+
+    for (std::size_t w = 0; w < n; ++w) {
+      const bool truth_w = truth.noisy[w] || truth.skewed[w];
+      const bool flag_w = report.nd_final[w] || report.sd_final[w];
+      stats.wire_true_positive += truth_w && flag_w;
+      stats.wire_false_positive += !truth_w && flag_w;
+      stats.wire_false_negative += truth_w && !flag_w;
+      stats.wire_true_negative += !truth_w && !flag_w;
+    }
+  }
+  return stats;
+}
+
+}  // namespace jsi::analysis

@@ -1,0 +1,100 @@
+#ifndef JSI_ANALYSIS_YIELD_HPP
+#define JSI_ANALYSIS_YIELD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/soc.hpp"
+#include "si/bus.hpp"
+#include "util/bitvec.hpp"
+#include "util/prng.hpp"
+
+namespace jsi::analysis {
+
+/// Per-wire manufacturing-defect population model for Monte Carlo yield
+/// studies: each wire independently stays clean, gains a crosstalk defect
+/// (coupling scale + weak driver, `si::CoupledBus::inject_crosstalk_defect`
+/// semantics), or gains a resistive open (series resistance).
+struct DefectDistribution {
+  double p_coupling = 0.06;   ///< probability of a crosstalk defect
+  double p_resistive = 0.06;  ///< probability of a resistive open
+  double coupling_severity_min = 2.0;
+  double coupling_severity_max = 9.0;
+  double resistance_min = 100.0;   ///< [Ohm]
+  double resistance_max = 1200.0;  ///< [Ohm]
+};
+
+/// One sampled die: per-wire defect magnitudes (0 / 0.0 = clean).
+struct DieSample {
+  std::vector<double> coupling_severity;  ///< per wire; <=1 means none
+  std::vector<double> extra_resistance;   ///< per wire [Ohm]
+};
+
+/// Draw a die from the distribution.
+DieSample sample_die(std::size_t n_wires, const DefectDistribution& dist,
+                     util::Prng& rng);
+
+/// Inject the sampled defects into a bus model.
+void apply_die(const DieSample& die, si::CoupledBus& bus);
+
+/// Shipping-spec limits defining *ground truth* (independent of the
+/// detector thresholds, so escapes and overkill are well defined).
+struct SpecLimits {
+  double max_glitch_frac = 0.45;   ///< worst quiet-wire excursion / Vdd
+  sim::Time max_settle = 200;      ///< worst-case 50% arrival [ps]
+};
+
+/// Physics-level ground truth for one die: which wires violate the spec
+/// under worst-case MA stress (computed directly from the bus model, no
+/// DFT involved).
+struct GroundTruth {
+  util::BitVec noisy;
+  util::BitVec skewed;
+  bool die_bad() const { return noisy.popcount() + sd_popcount() > 0; }
+  std::size_t sd_popcount() const { return skewed.popcount(); }
+};
+
+GroundTruth evaluate_truth(const DieSample& die, const si::BusParams& params,
+                           const SpecLimits& spec);
+
+/// Aggregated Monte Carlo outcome.
+struct YieldStats {
+  std::size_t dies = 0;
+  std::size_t truly_bad_dies = 0;
+  std::size_t flagged_dies = 0;
+  std::size_t escaped_dies = 0;   ///< bad but not flagged
+  std::size_t overkill_dies = 0;  ///< flagged but good
+
+  // Wire-granular confusion counts.
+  std::size_t wire_true_positive = 0;
+  std::size_t wire_false_positive = 0;
+  std::size_t wire_false_negative = 0;
+  std::size_t wire_true_negative = 0;
+
+  double die_escape_rate() const {
+    return truly_bad_dies == 0
+               ? 0.0
+               : static_cast<double>(escaped_dies) / truly_bad_dies;
+  }
+  double die_overkill_rate() const {
+    const auto good = dies - truly_bad_dies;
+    return good == 0 ? 0.0 : static_cast<double>(overkill_dies) / good;
+  }
+  double wire_sensitivity() const {
+    const auto pos = wire_true_positive + wire_false_negative;
+    return pos == 0 ? 1.0 : static_cast<double>(wire_true_positive) / pos;
+  }
+};
+
+/// Run the full Monte Carlo: `n_dies` samples, each tested through the
+/// complete G-SITEST/O-SITEST session on a fresh `SiSocDevice` built from
+/// `base` (detector thresholds included), compared against the
+/// physics-level ground truth under `spec`. Deterministic in `seed`.
+YieldStats run_monte_carlo(std::size_t n_dies, const core::SocConfig& base,
+                           const DefectDistribution& dist,
+                           const SpecLimits& spec, std::uint64_t seed);
+
+}  // namespace jsi::analysis
+
+#endif  // JSI_ANALYSIS_YIELD_HPP

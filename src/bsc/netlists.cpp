@@ -1,0 +1,120 @@
+#include "bsc/netlists.hpp"
+
+namespace jsi::bsc {
+
+using rtl::GateKind;
+using rtl::Netlist;
+using rtl::NetId;
+
+Netlist build_standard_bsc_netlist() {
+  Netlist nl("standard_bsc");
+  const NetId pin = nl.add_input("pin_in");
+  const NetId tdi = nl.add_input("tdi");
+  const NetId shift_dr = nl.add_input("shift_dr");
+  const NetId clock_dr = nl.add_input("clock_dr");
+  const NetId update_dr = nl.add_input("update_dr");
+  const NetId mode = nl.add_input("mode");
+
+  const NetId d1 = nl.add_gate(GateKind::Mux2, {pin, tdi, shift_dr}, "d1");
+  const NetId q1 = nl.add_gate(GateKind::Dff, {d1, clock_dr}, "q1");
+  const NetId q2 = nl.add_gate(GateKind::Dff, {q1, update_dr}, "q2");
+  const NetId pout = nl.add_gate(GateKind::Mux2, {pin, q2, mode}, "pout");
+
+  nl.name_net(q1, "tdo");
+  nl.set_output(q1, "tdo");
+  nl.set_output(pout, "pout");
+  nl.validate();
+  return nl;
+}
+
+Netlist build_pgbsc_netlist() {
+  Netlist nl("pgbsc");
+  const NetId core_out = nl.add_input("core_out");
+  const NetId tdi = nl.add_input("tdi");
+  const NetId clock_dr = nl.add_input("clock_dr");
+  const NetId update_dr = nl.add_input("update_dr");
+  const NetId si = nl.add_input("si");
+  const NetId mode = nl.add_input("mode");
+
+  // FF1: victim-select scan stage, scan input only (no capture mux).
+  const NetId q1 = nl.add_gate(GateKind::Dff, {tdi, clock_dr}, "q1");
+
+  const NetId one = nl.add_gate(GateKind::Const1, {}, "one");
+
+  // FF3: divide-by-two toggle, clocked by Update-DR. In SI mode it
+  // toggles; outside SI mode it re-arms to 1 so the first SI update leaves
+  // the victim quiet (the Fig 5 phase).
+  const NetId q3 = nl.add_net("q3");
+  const NetId nq3 = nl.add_gate(GateKind::Inv, {q3}, "nq3");
+  const NetId d3 = nl.add_gate(GateKind::Mux2, {one, nq3, si}, "d3");
+  nl.add_gate_driving(q3, GateKind::Dff, {d3, update_dr}, "ff3");
+
+  // FF2: pattern stage, single-clock design with a synchronous enable —
+  // no derived/gated clock, so victim/aggressor mode changes cannot glitch
+  // a clock edge. Enable at the Update-DR edge sees the pre-toggle Q3:
+  //   SI=0 -> always load (normal update);
+  //   SI=1, aggressor (Q1=0) -> always toggle;
+  //   SI=1, victim (Q1=1) -> toggle only when Q3==0 (every 2nd update).
+  const NetId en_v = nl.add_gate(GateKind::Nand2, {q1, q3}, "en_v");
+  const NetId en = nl.add_gate(GateKind::Mux2, {one, en_v, si}, "en");
+  const NetId q2 = nl.add_net("q2");
+  const NetId nq2 = nl.add_gate(GateKind::Inv, {q2}, "nq2");
+  const NetId d2 = nl.add_gate(GateKind::Mux2, {q1, nq2, si}, "d2");
+  const NetId d2_eff = nl.add_gate(GateKind::Mux2, {q2, d2, en}, "d2_eff");
+  nl.add_gate_driving(q2, GateKind::Dff, {d2_eff, update_dr}, "ff2");
+
+  const NetId pout = nl.add_gate(GateKind::Mux2, {core_out, q2, mode}, "pout");
+
+  nl.name_net(q1, "tdo");
+  nl.set_output(q1, "tdo");
+  nl.set_output(pout, "pout");
+  nl.set_output(q2, "q2");
+  nl.set_output(q3, "q3");
+  nl.validate();
+  return nl;
+}
+
+Netlist build_obsc_netlist() {
+  Netlist nl("obsc");
+  const NetId pin = nl.add_input("pin_in");
+  const NetId tdi = nl.add_input("tdi");
+  const NetId shift_dr = nl.add_input("shift_dr");
+  const NetId clock_dr = nl.add_input("clock_dr");
+  const NetId update_dr = nl.add_input("update_dr");
+  const NetId mode = nl.add_input("mode");
+  const NetId si = nl.add_input("si");
+  const NetId nd_sd = nl.add_input("nd_sd");
+  const NetId nd_pulse = nl.add_input("nd_pulse");
+  const NetId sd_pulse = nl.add_input("sd_pulse");
+
+  // Analog sensor macros (area only; their behavioural function lives in
+  // jsi::si and the pulse nets are driven externally).
+  nl.add_gate(GateKind::AnalogNd, {pin}, "nd_macro");
+  nl.add_gate(GateKind::AnalogSd, {pin}, "sd_macro");
+
+  // Sticky sensor flip-flops: D tied high, clocked by the sensor pulse.
+  const NetId one = nl.add_gate(GateKind::Const1, {}, "one");
+  const NetId nd_q = nl.add_gate(GateKind::Dff, {one, nd_pulse}, "nd_q");
+  const NetId sd_q = nl.add_gate(GateKind::Dff, {one, sd_pulse}, "sd_q");
+
+  // sel = ~SI | ShiftDR (Table 4); sel=0 presents the selected sensor FF.
+  const NetId nsi = nl.add_gate(GateKind::Inv, {si}, "nsi");
+  const NetId sel = nl.add_gate(GateKind::Or2, {nsi, shift_dr}, "sel");
+  const NetId sens = nl.add_gate(GateKind::Mux2, {sd_q, nd_q, nd_sd}, "sens");
+  const NetId d_cap = nl.add_gate(GateKind::Mux2, {sens, pin, sel}, "d_cap");
+
+  const NetId d1 = nl.add_gate(GateKind::Mux2, {d_cap, tdi, shift_dr}, "d1");
+  const NetId q1 = nl.add_gate(GateKind::Dff, {d1, clock_dr}, "q1");
+  const NetId q2 = nl.add_gate(GateKind::Dff, {q1, update_dr}, "q2");
+  const NetId pout = nl.add_gate(GateKind::Mux2, {pin, q2, mode}, "pout");
+
+  nl.name_net(q1, "tdo");
+  nl.set_output(q1, "tdo");
+  nl.set_output(pout, "pout");
+  nl.set_output(nd_q, "nd_q");
+  nl.set_output(sd_q, "sd_q");
+  nl.validate();
+  return nl;
+}
+
+}  // namespace jsi::bsc

@@ -1,0 +1,35 @@
+#ifndef JSI_BSC_NETLISTS_HPP
+#define JSI_BSC_NETLISTS_HPP
+
+#include "rtl/netlist.hpp"
+
+namespace jsi::bsc {
+
+/// Structural gate-level netlists of the three boundary-scan cells.
+///
+/// These serve two purposes:
+///  1. the Table 7 cost analysis counts their NAND-equivalents
+///     (`rtl::nand_equiv`), and
+///  2. equivalence tests clock them with the event-driven `rtl::NetlistSim`
+///     and check they match the behavioural cells bit-for-bit.
+///
+/// Common input nets: `tdi`, `shift_dr` (capture/shift select),
+/// `clock_dr` (FF1 clock), `update_dr` (FF2 clock), `mode`.
+/// Common outputs: `tdo` (= Q1), `pout` (parallel output).
+
+/// Conventional cell (Fig 4). Extra input: `pin_in`.
+rtl::Netlist build_standard_bsc_netlist();
+
+/// Pattern-generation cell (Fig 6). Extra inputs: `core_out`, `si`.
+/// Extra outputs: `q2` (pattern stage), `q3` (divider stage).
+rtl::Netlist build_pgbsc_netlist();
+
+/// Observation cell (Fig 9). Extra inputs: `pin_in`, `si`, `nd_sd`, and
+/// the sensor pulse nets `nd_pulse`/`sd_pulse` (driven by the analog
+/// macros in silicon, by the testbench here). Extra outputs: `nd_q`,
+/// `sd_q` (the sticky sensor flip-flops).
+rtl::Netlist build_obsc_netlist();
+
+}  // namespace jsi::bsc
+
+#endif  // JSI_BSC_NETLISTS_HPP

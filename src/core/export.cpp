@@ -1,0 +1,91 @@
+#include "core/export.hpp"
+
+#include <sstream>
+
+namespace jsi::core {
+
+namespace {
+
+void json_bits(std::ostringstream& os, const util::BitVec& v) {
+  os << '"' << v.to_string() << '"';
+}
+
+}  // namespace
+
+std::string report_to_json(const IntegrityReport& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"n\": " << r.n << ",\n";
+  os << "  \"method\": " << static_cast<int>(r.method) << ",\n";
+  os << "  \"tcks\": {\"total\": " << r.total_tcks
+     << ", \"generation\": " << r.generation_tcks
+     << ", \"observation\": " << r.observation_tcks << "},\n";
+  os << "  \"patterns_applied\": " << r.patterns.size() << ",\n";
+  os << "  \"nd_flags\": ";
+  json_bits(os, r.nd_final);
+  os << ",\n  \"sd_flags\": ";
+  json_bits(os, r.sd_final);
+  os << ",\n  \"pass\": " << (r.any_violation() ? "false" : "true") << ",\n";
+
+  os << "  \"readouts\": [";
+  for (std::size_t i = 0; i < r.readouts.size(); ++i) {
+    const auto& ro = r.readouts[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"pattern_index\": "
+       << ro.pattern_index << ", \"init_block\": " << ro.init_block
+       << ", \"nd\": ";
+    json_bits(os, ro.nd);
+    os << ", \"sd\": ";
+    json_bits(os, ro.sd);
+    os << "}";
+  }
+  os << (r.readouts.empty() ? "],\n" : "\n  ],\n");
+
+  os << "  \"diagnosis\": [";
+  const auto attrs = diagnose(r);
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    const auto& a = attrs[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"wire\": " << a.wire
+       << ", \"sensor\": \"" << (a.noise ? "ND" : "SD") << "\""
+       << ", \"init_block\": " << a.init_block
+       << ", \"pattern_index\": " << a.pattern_index << ", \"fault\": ";
+    if (a.fault) {
+      os << '"' << mafm::fault_name(*a.fault) << '"';
+    } else {
+      os << "null";
+    }
+    os << "}";
+  }
+  os << (attrs.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::string report_to_csv(const IntegrityReport& r) {
+  std::ostringstream os;
+  os << "wire,sensor,flag,init_block,pattern_index,fault\n";
+  const auto attrs = diagnose(r);
+  auto find_attr = [&](std::size_t wire, bool noise)
+      -> const FaultAttribution* {
+    for (const auto& a : attrs) {
+      if (a.wire == wire && a.noise == noise) return &a;
+    }
+    return nullptr;
+  };
+  for (std::size_t w = 0; w < r.n; ++w) {
+    for (const bool noise : {true, false}) {
+      const bool flag = noise ? r.nd_final[w] : r.sd_final[w];
+      os << w << ',' << (noise ? "ND" : "SD") << ',' << (flag ? 1 : 0);
+      const auto* a = flag ? find_attr(w, noise) : nullptr;
+      if (a) {
+        os << ',' << a->init_block << ',' << a->pattern_index << ','
+           << (a->fault ? std::string(mafm::fault_name(*a->fault)) : "");
+      } else {
+        os << ",,,";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace jsi::core

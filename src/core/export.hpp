@@ -1,0 +1,23 @@
+#ifndef JSI_CORE_EXPORT_HPP
+#define JSI_CORE_EXPORT_HPP
+
+#include <string>
+
+#include "core/report.hpp"
+
+namespace jsi::core {
+
+/// Machine-readable session results for downstream tooling (datalog
+/// collection, wafer maps, trend dashboards).
+
+/// JSON object with the session parameters, clock budget, final flags,
+/// per-readout records, and the diagnosis list.
+std::string report_to_json(const IntegrityReport& report);
+
+/// CSV with one row per (wire, sensor) verdict:
+/// `wire,sensor,flag,init_block,pattern_index,fault`.
+std::string report_to_csv(const IntegrityReport& report);
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_EXPORT_HPP

@@ -1,0 +1,295 @@
+#include "core/multibus.hpp"
+
+#include <stdexcept>
+
+#include "core/soc.hpp"
+#include "mafm/fault.hpp"
+
+namespace jsi::core {
+
+using util::BitVec;
+using util::Logic;
+
+MultiBusSoc::MultiBusSoc(MultiBusConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.n_buses == 0) throw std::invalid_argument("need >= 1 bus");
+  if (cfg_.wires_per_bus < 2) {
+    throw std::invalid_argument("need >= 2 wires per bus");
+  }
+  cfg_.nd.vdd = cfg_.bus.vdd;
+  cfg_.sd.vdd = cfg_.bus.vdd;
+
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    si::BusParams bp = cfg_.bus;
+    bp.n_wires = cfg_.wires_per_bus;
+    buses_.push_back(std::make_unique<si::CoupledBus>(bp));
+    pins_.emplace_back(cfg_.wires_per_bus, false);
+  }
+
+  tap_ = std::make_unique<jtag::TapDevice>("multibus_soc", cfg_.ir_width);
+  tap_->add_idcode(cfg_.idcode, 0b0010);
+
+  auto boundary =
+      std::make_shared<jtag::BoundaryRegister>([this] { return ctl_; });
+  boundary_ = boundary.get();
+
+  pgbscs_.resize(cfg_.n_buses);
+  obscs_.resize(cfg_.n_buses);
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    for (std::size_t w = 0; w < cfg_.wires_per_bus; ++w) {
+      auto cell = std::make_unique<bsc::Pgbsc>();
+      cell->set_parallel_in(Logic::L0);
+      pgbscs_[b].push_back(cell.get());
+      boundary_->add_cell(std::move(cell));
+    }
+  }
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    for (std::size_t w = 0; w < cfg_.wires_per_bus; ++w) {
+      auto cell = std::make_unique<bsc::Obsc>(cfg_.nd, cfg_.sd);
+      obscs_[b].push_back(cell.get());
+      boundary_->add_cell(std::move(cell));
+    }
+  }
+  for (std::size_t i = 0; i < cfg_.m_extra_cells; ++i) {
+    boundary_->add_cell(std::make_unique<bsc::StandardBsc>());
+  }
+
+  tap_->add_data_register("BOUNDARY", boundary);
+  tap_->add_instruction(SiSocDevice::kExtest, 0b0000, "BOUNDARY");
+  tap_->add_instruction(SiSocDevice::kSample, 0b0001, "BOUNDARY");
+  tap_->add_instruction(SiSocDevice::kGSitest, 0b1000, "BOUNDARY");
+  tap_->add_instruction(SiSocDevice::kOSitest, 0b1001, "BOUNDARY");
+
+  tap_->on_instruction(
+      [this](const std::string& name) { decode_instruction(name); });
+  tap_->on_update_dr([this] { on_update_dr(); });
+  tap_->on_reset([this] {
+    ctl_ = jtag::CellCtl{};
+    pins_valid_ = false;
+    apply_buses(false);
+  });
+
+  decode_instruction(tap_->current_instruction());
+}
+
+std::size_t MultiBusSoc::chain_length() const {
+  return 2 * cfg_.n_buses * cfg_.wires_per_bus + cfg_.m_extra_cells;
+}
+
+bsc::Pgbsc& MultiBusSoc::pgbsc(std::size_t b, std::size_t wire) {
+  return *pgbscs_.at(b).at(wire);
+}
+
+bsc::Obsc& MultiBusSoc::obsc(std::size_t b, std::size_t wire) {
+  return *obscs_.at(b).at(wire);
+}
+
+BitVec MultiBusSoc::nd_flags(std::size_t b) const {
+  BitVec v(cfg_.wires_per_bus, false);
+  for (std::size_t w = 0; w < cfg_.wires_per_bus; ++w) {
+    v.set(w, obscs_.at(b)[w]->nd().flag());
+  }
+  return v;
+}
+
+BitVec MultiBusSoc::sd_flags(std::size_t b) const {
+  BitVec v(cfg_.wires_per_bus, false);
+  for (std::size_t w = 0; w < cfg_.wires_per_bus; ++w) {
+    v.set(w, obscs_.at(b)[w]->sd().flag());
+  }
+  return v;
+}
+
+bool MultiBusSoc::boundary_selected() const {
+  const std::string& inst = tap_->current_instruction();
+  return inst == SiSocDevice::kExtest || inst == SiSocDevice::kSample ||
+         inst == SiSocDevice::kGSitest || inst == SiSocDevice::kOSitest;
+}
+
+void MultiBusSoc::decode_instruction(const std::string& name) {
+  jtag::CellCtl c;
+  if (name == SiSocDevice::kExtest) {
+    c = {.mode = true, .si = false, .ce = false, .gen = false, .nd_sd = true};
+  } else if (name == SiSocDevice::kGSitest) {
+    c = {.mode = true, .si = true, .ce = true, .gen = true, .nd_sd = true};
+  } else if (name == SiSocDevice::kOSitest) {
+    c = {.mode = true, .si = true, .ce = false, .gen = false, .nd_sd = true};
+  }
+  ctl_ = c;
+  apply_buses(/*observe=*/false);
+}
+
+void MultiBusSoc::on_update_dr() {
+  if (!boundary_selected()) return;
+  if (tap_->current_instruction() == SiSocDevice::kOSitest) {
+    ctl_.nd_sd = !ctl_.nd_sd;
+  }
+  apply_buses(/*observe=*/ctl_.ce);
+}
+
+void MultiBusSoc::apply_buses(bool observe) {
+  const std::size_t n = cfg_.wires_per_bus;
+  bool any_change = false;
+  std::vector<BitVec> next;
+  next.reserve(cfg_.n_buses);
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    BitVec v(n, false);
+    for (std::size_t w = 0; w < n; ++w) {
+      v.set(w, util::to_bool(pgbscs_[b][w]->parallel_out(ctl_)));
+    }
+    if (!pins_valid_ || v != pins_[b]) any_change = true;
+    next.push_back(std::move(v));
+  }
+  if (pins_valid_ && !any_change) return;
+
+  if (!pins_valid_) {
+    pins_ = next;
+    pins_valid_ = true;
+    for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+      for (std::size_t w = 0; w < n; ++w) {
+        obscs_[b][w]->set_parallel_in(util::to_logic(next[b][w]));
+      }
+    }
+    return;
+  }
+
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    if (next[b] == pins_[b]) continue;
+    const BitVec prev = pins_[b];
+    pins_[b] = next[b];
+    for (std::size_t w = 0; w < n; ++w) {
+      const si::Waveform wf = buses_[b]->wire_response(w, prev, next[b]);
+      if (observe) {
+        obscs_[b][w]->observe(wf, util::to_logic(prev[w]),
+                              util::to_logic(next[b][w]), ctl_);
+      }
+      obscs_[b][w]->set_parallel_in(buses_[b]->settled_logic(wf));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+bool MultiBusReport::any_violation() const {
+  for (const auto& b : buses) {
+    if (b.any_violation()) return true;
+  }
+  return false;
+}
+
+MultiBusSession::MultiBusSession(MultiBusSoc& soc)
+    : soc_(&soc), master_(soc.tap()) {}
+
+void MultiBusSession::load_instruction(const char* name) {
+  const std::uint64_t code = soc_->tap().opcode(name);
+  master_.scan_ir(BitVec::from_u64(code, soc_->config().ir_width));
+}
+
+void MultiBusSession::record_patterns(MultiBusReport& r,
+                                      const std::vector<BitVec>& before,
+                                      std::size_t victim, int block,
+                                      bool rotate) const {
+  const std::size_t n = soc_->wires_per_bus();
+  for (std::size_t b = 0; b < soc_->n_buses(); ++b) {
+    AppliedPattern p;
+    p.before = before[b];
+    p.after = soc_->driven_pins(b);
+    p.victim = victim;
+    p.init_block = block;
+    p.from_rotate_scan = rotate;
+    if (victim < n) p.fault = mafm::classify(p.before, p.after, victim);
+    r.buses[b].patterns.push_back(std::move(p));
+  }
+}
+
+void MultiBusSession::read_flags(MultiBusReport& r, int block) {
+  const std::uint64_t t0 = master_.tck();
+  const std::size_t n = soc_->wires_per_bus();
+  const std::size_t nb = soc_->n_buses();
+  const std::size_t len = soc_->chain_length();
+
+  load_instruction(SiSocDevice::kOSitest);
+  const BitVec out_nd = master_.scan_dr(BitVec(len, false));
+  const BitVec out_sd = master_.scan_dr(BitVec(len, false));
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    ReadoutRecord rec;
+    rec.nd = BitVec(n, false);
+    rec.sd = BitVec(n, false);
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::size_t cell = nb * n + b * n + w;  // OBSC global index
+      rec.nd.set(w, out_nd[len - 1 - cell]);
+      rec.sd.set(w, out_sd[len - 1 - cell]);
+    }
+    rec.pattern_index = r.buses[b].patterns.size();
+    rec.init_block = block;
+    r.buses[b].readouts.push_back(rec);
+  }
+  r.observation_tcks += master_.tck() - t0;
+}
+
+MultiBusReport MultiBusSession::run(ObservationMethod method) {
+  if (method == ObservationMethod::PerPattern) {
+    throw std::invalid_argument(
+        "per-pattern read-out is provided by the single-bus SiTestSession; "
+        "the parallel session supports methods 1 and 2");
+  }
+  const std::size_t n = soc_->wires_per_bus();
+  const std::size_t nb = soc_->n_buses();
+
+  MultiBusReport r;
+  r.buses.resize(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    r.buses[b].n = n;
+    r.buses[b].method = method;
+    r.buses[b].nd_final = BitVec(n, false);
+    r.buses[b].sd_final = BitVec(n, false);
+  }
+
+  const std::uint64_t t_start = master_.tck();
+  master_.reset_to_idle();
+
+  for (int block = 0; block < 2; ++block) {
+    load_instruction(SiSocDevice::kSample);
+    master_.scan_dr(BitVec(soc_->chain_length(), block != 0));
+    load_instruction(SiSocDevice::kGSitest);
+
+    // Victim-select scan over the PGBSC region: one hot bit per bus block
+    // at block-relative position 0.
+    BitVec select(nb * n, false);
+    for (std::size_t b = 0; b < nb; ++b) {
+      select.set(nb * n - 1 - b * n, true);
+    }
+    auto before = [&] {
+      std::vector<BitVec> v;
+      for (std::size_t b = 0; b < nb; ++b) v.push_back(soc_->driven_pins(b));
+      return v;
+    };
+    auto snap = before();
+    master_.scan_dr(select);
+    record_patterns(r, snap, 0, block, false);
+
+    for (std::size_t v = 0; v < n; ++v) {
+      for (int i = 0; i < 3; ++i) {
+        snap = before();
+        master_.pulse_update_dr();
+        record_patterns(r, snap, v, block, false);
+      }
+      const std::size_t next_victim = v + 1 < n ? v + 1 : n;
+      snap = before();
+      master_.scan_dr(BitVec(1, false));
+      record_patterns(r, snap, next_victim, block, true);
+    }
+    if (method == ObservationMethod::PerInitValue) read_flags(r, block);
+  }
+  if (method == ObservationMethod::OnceAtEnd) read_flags(r, 1);
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    r.buses[b].nd_final = soc_->nd_flags(b);
+    r.buses[b].sd_final = soc_->sd_flags(b);
+  }
+  r.total_tcks = master_.tck() - t_start;
+  r.generation_tcks = r.total_tcks - r.observation_tcks;
+  return r;
+}
+
+}  // namespace jsi::core

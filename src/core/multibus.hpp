@@ -1,0 +1,122 @@
+#ifndef JSI_CORE_MULTIBUS_HPP
+#define JSI_CORE_MULTIBUS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bsc/obsc.hpp"
+#include "bsc/pgbsc.hpp"
+#include "bsc/standard.hpp"
+#include "core/report.hpp"
+#include "jtag/device.hpp"
+#include "jtag/master.hpp"
+#include "si/bus.hpp"
+#include "si/detectors.hpp"
+
+namespace jsi::core {
+
+/// Configuration of a SoC with several core-to-core interconnect buses
+/// sharing one TAP — the natural SoC-scale generalization of the paper's
+/// two-core architecture (its Fig 11 shows one bus; a real SoC has many).
+struct MultiBusConfig {
+  std::size_t n_buses = 2;
+  std::size_t wires_per_bus = 8;
+  std::size_t m_extra_cells = 1;
+  std::size_t ir_width = 4;
+  std::uint32_t idcode = 0x0A572001u;
+  si::BusParams bus{};  ///< electrical template shared by all buses
+  si::NdParams nd{};
+  si::SdParams sd{};
+};
+
+/// SoC model with B equal-width buses. Boundary-register order (cell 0
+/// nearest TDI):
+///
+///   [ PGBSC bus0 | PGBSC bus1 | ... | OBSC bus0 | OBSC bus1 | ... | extras ]
+///
+/// Keeping all PGBSC columns contiguous makes the one-bit victim-rotate
+/// scan work *across* buses: each bus carries one hot bit in its block,
+/// and a single shift advances the victim of every bus simultaneously —
+/// B buses are tested in parallel for (almost) the cost of one.
+class MultiBusSoc {
+ public:
+  explicit MultiBusSoc(MultiBusConfig cfg);
+
+  MultiBusSoc(const MultiBusSoc&) = delete;
+  MultiBusSoc& operator=(const MultiBusSoc&) = delete;
+
+  const MultiBusConfig& config() const { return cfg_; }
+  jtag::TapDevice& tap() { return *tap_; }
+
+  std::size_t n_buses() const { return cfg_.n_buses; }
+  std::size_t wires_per_bus() const { return cfg_.wires_per_bus; }
+  std::size_t chain_length() const;
+
+  si::CoupledBus& bus(std::size_t b) { return *buses_.at(b); }
+  bsc::Pgbsc& pgbsc(std::size_t b, std::size_t wire);
+  bsc::Obsc& obsc(std::size_t b, std::size_t wire);
+
+  const jtag::CellCtl& controls() const { return ctl_; }
+  const util::BitVec& driven_pins(std::size_t b) const {
+    return pins_.at(b);
+  }
+
+  util::BitVec nd_flags(std::size_t b) const;
+  util::BitVec sd_flags(std::size_t b) const;
+
+ private:
+  void decode_instruction(const std::string& name);
+  void on_update_dr();
+  void apply_buses(bool observe);
+  bool boundary_selected() const;
+
+  MultiBusConfig cfg_;
+  std::vector<std::unique_ptr<si::CoupledBus>> buses_;
+  std::unique_ptr<jtag::TapDevice> tap_;
+  jtag::BoundaryRegister* boundary_ = nullptr;
+  std::vector<std::vector<bsc::Pgbsc*>> pgbscs_;  // [bus][wire]
+  std::vector<std::vector<bsc::Obsc*>> obscs_;
+  jtag::CellCtl ctl_{};
+  std::vector<util::BitVec> pins_;  // per bus
+  bool pins_valid_ = false;
+};
+
+/// Per-bus outcome of a parallel multi-bus session.
+struct MultiBusReport {
+  std::vector<IntegrityReport> buses;  ///< per-bus patterns/flags
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t observation_tcks = 0;
+
+  bool any_violation() const;
+};
+
+/// Drives the paper's Fig 12 flow over all buses at once: one preload,
+/// one G-SITEST, one victim-select scan placing a hot bit in every bus's
+/// PGBSC block, then the shared 3-updates-plus-rotate loop. Pattern
+/// application cost is that of a *single* bus; only the scans grow with
+/// the chain. Read-out is a single O-SITEST pass pair covering every
+/// OBSC.
+class MultiBusSession {
+ public:
+  explicit MultiBusSession(MultiBusSoc& soc);
+
+  MultiBusReport run(ObservationMethod method);
+
+  jtag::TapMaster& master() { return master_; }
+
+ private:
+  void load_instruction(const char* name);
+  void record_patterns(MultiBusReport& r,
+                       const std::vector<util::BitVec>& before,
+                       std::size_t victim, int block, bool rotate) const;
+  void read_flags(MultiBusReport& r, int block);
+
+  MultiBusSoc* soc_;
+  jtag::TapMaster master_;
+};
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_MULTIBUS_HPP

@@ -1,0 +1,106 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace jsi::core {
+
+using util::BitVec;
+
+bool IntegrityReport::any_violation() const {
+  return nd_final.popcount() + sd_final.popcount() > 0;
+}
+
+std::vector<std::size_t> IntegrityReport::noisy_wires() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nd_final.size(); ++i) {
+    if (nd_final[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> IntegrityReport::skewed_wires() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sd_final.size(); ++i) {
+    if (sd_final[i]) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+void attribute_pass(const IntegrityReport& r, bool noise,
+                    std::vector<FaultAttribution>& out) {
+  const std::size_t n = r.n;
+  BitVec seen(n, false);
+  for (const auto& ro : r.readouts) {
+    const BitVec& flags = noise ? ro.nd : ro.sd;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!flags[w] || seen[w]) continue;
+      seen.set(w, true);
+      FaultAttribution a;
+      a.wire = w;
+      a.noise = noise;
+      a.init_block = ro.init_block;
+      a.pattern_index = ro.pattern_index;
+      if (r.method == ObservationMethod::PerPattern &&
+          ro.pattern_index > 0 && ro.pattern_index <= r.patterns.size()) {
+        // The flag appeared in the read-out right after pattern
+        // pattern_index-1: classify that transition as seen by wire w.
+        const AppliedPattern& p = r.patterns[ro.pattern_index - 1];
+        a.fault = mafm::classify(p.before, p.after, w);
+      }
+      out.push_back(a);
+    }
+  }
+  // Flags visible only in the final accumulation (method 1 has a single
+  // readout which the loop above already covered; this handles reports
+  // with no readouts at all, e.g. direct-sensor harnesses).
+  const BitVec& fin = noise ? r.nd_final : r.sd_final;
+  for (std::size_t w = 0; w < n && w < fin.size(); ++w) {
+    if (fin[w] && !seen[w]) {
+      out.push_back(FaultAttribution{w, noise, -1, 0, std::nullopt});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FaultAttribution> diagnose(const IntegrityReport& report) {
+  std::vector<FaultAttribution> out;
+  attribute_pass(report, /*noise=*/true, out);
+  attribute_pass(report, /*noise=*/false, out);
+  return out;
+}
+
+std::string format_report(const IntegrityReport& report) {
+  std::ostringstream os;
+  os << "Signal-integrity test, n=" << report.n << ", method "
+     << static_cast<int>(report.method) << "\n";
+  os << "  TCKs: total=" << report.total_tcks
+     << " (generation=" << report.generation_tcks
+     << ", observation=" << report.observation_tcks << ")\n";
+  os << "  patterns applied: " << report.patterns.size()
+     << ", read-outs: " << report.readouts.size() << "\n";
+  if (!report.any_violation()) {
+    os << "  RESULT: all " << report.n << " interconnects clean\n";
+    return os.str();
+  }
+  os << "  RESULT: integrity violations detected\n";
+  for (const auto& a : diagnose(report)) {
+    os << "    wire " << a.wire << ": " << (a.noise ? "NOISE" : "SKEW");
+    if (a.init_block >= 0 &&
+        report.method != ObservationMethod::OnceAtEnd) {
+      os << " [initial value " << a.init_block << " block]";
+    }
+    if (a.fault.has_value()) {
+      os << " fault=" << mafm::fault_name(*a.fault);
+    }
+    if (report.method == ObservationMethod::PerPattern) {
+      os << " first seen after pattern " << a.pattern_index;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jsi::core

@@ -1,0 +1,93 @@
+#ifndef JSI_CORE_REPORT_HPP
+#define JSI_CORE_REPORT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mafm/fault.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::core {
+
+/// The paper's three observation strategies (§3.2):
+///  1. one ND/SD read-out after the entire pattern set — cheapest, detects
+///     only *which wire* failed;
+///  2. one read-out per initial-value block — also identifies which MA
+///     fault group caused the violation;
+///  3. a read-out after every applied pattern — full per-pattern diagnosis
+///     at O(n²) cost.
+enum class ObservationMethod : int {
+  OnceAtEnd = 1,
+  PerInitValue = 2,
+  PerPattern = 3,
+};
+
+/// One bus transition produced by an Update-DR during pattern generation.
+struct AppliedPattern {
+  util::BitVec before;  ///< driven bus state before the update
+  util::BitVec after;   ///< driven bus state after the update
+  std::size_t victim;   ///< selected victim wire (== n when none selected)
+  int init_block;       ///< 0 = first initial value, 1 = second
+  bool from_rotate_scan = false;  ///< fired by a victim-rotate scan's update
+  std::optional<mafm::MaFault> fault;  ///< MA fault this transition excites
+};
+
+/// One O-SITEST read-out (an ND pass plus an SD pass).
+struct ReadoutRecord {
+  util::BitVec nd;            ///< sticky ND flags, bit i = wire i
+  util::BitVec sd;            ///< sticky SD flags
+  std::size_t pattern_index;  ///< patterns applied before this read-out
+  int init_block;             ///< block during/after which it was taken
+};
+
+/// A diagnosed violation: which wire, which sensor, and — when the
+/// observation method affords it — which transition / MA fault caused it.
+struct FaultAttribution {
+  std::size_t wire;
+  bool noise;  ///< true: ND flag, false: SD flag
+  int init_block;
+  std::size_t pattern_index;           ///< first pattern index blamed
+  std::optional<mafm::MaFault> fault;  ///< exact fault (method 3; method 2
+                                       ///< gives the block's fault group)
+};
+
+/// Everything a signal-integrity test session produced.
+struct IntegrityReport {
+  std::size_t n = 0;
+  ObservationMethod method = ObservationMethod::OnceAtEnd;
+
+  util::BitVec nd_final;  ///< accumulated ND flags after the session
+  util::BitVec sd_final;  ///< accumulated SD flags after the session
+
+  std::vector<AppliedPattern> patterns;
+  std::vector<ReadoutRecord> readouts;
+
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;   ///< preload + pattern application
+  std::uint64_t observation_tcks = 0;  ///< O-SITEST read-outs
+
+  /// Any wire flagged by either sensor?
+  bool any_violation() const;
+
+  /// Wires with an ND (noise) flag set.
+  std::vector<std::size_t> noisy_wires() const;
+
+  /// Wires with an SD (skew) flag set.
+  std::vector<std::size_t> skewed_wires() const;
+};
+
+/// Post-process a report into per-violation attributions. Resolution
+/// depends on the method: method 1 yields wire-level entries only
+/// (pattern_index = 0, no fault); method 2 adds the initial-value block;
+/// method 3 pinpoints the first read-out where each flag appeared and
+/// classifies the blamed transition.
+std::vector<FaultAttribution> diagnose(const IntegrityReport& report);
+
+/// Human-readable multi-line summary (used by examples and benches).
+std::string format_report(const IntegrityReport& report);
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_REPORT_HPP

@@ -1,0 +1,92 @@
+#ifndef JSI_CORE_SESSION_HPP
+#define JSI_CORE_SESSION_HPP
+
+#include <cstdint>
+
+#include "core/report.hpp"
+#include "core/soc.hpp"
+#include "jtag/master.hpp"
+
+namespace jsi::core {
+
+/// The enhanced-architecture test session (paper Fig 12):
+///
+///   for k in {0, 1}:
+///     load SAMPLE/PRELOAD, scan initial value k into the chain   (FF2 <- k,
+///                                                                 FF3 re-armed)
+///     load G-SITEST                              (pins take the initial value)
+///     scan the victim-select one-hot             (its Update-DR fires the
+///                                                 first pattern)
+///     for each victim: three bare Update-DR passes, then a one-bit
+///       victim-rotate scan (whose Update-DR fires the next victim's first
+///       pattern)
+///   load O-SITEST and read the ND then SD flags out      (method-dependent:
+///       once, per block, or after every pattern with a G-SITEST resume)
+///
+/// Every TCK is issued through a TapMaster, so the report's clock counts
+/// are measured, not modeled.
+class SiTestSession {
+ public:
+  explicit SiTestSession(SiSocDevice& soc);
+
+  /// Drive through an interposed port (e.g. a jtag::ProtocolMonitor
+  /// wrapping `soc.tap()`), so a session can be protocol-checked or
+  /// traced. `port` must forward to the same device.
+  SiTestSession(SiSocDevice& soc, jtag::TapPort& port);
+
+  /// Run the full session and return the report. Resets the TAP first, so
+  /// back-to-back runs are independent.
+  IntegrityReport run(ObservationMethod method);
+
+  /// Parallel multi-victim extension: victims spaced `guard` wires apart
+  /// are selected together (the PGBSC victim-select word is multi-hot),
+  /// cutting the Update-DR count per block from 4n+1 to 4*guard+1. Valid
+  /// under nearest-neighbour-dominated coupling — every victim's adjacent
+  /// wires are still proper aggressors (see
+  /// mafm::parallel_victim_rounds). Supports observation methods 1 and 2;
+  /// per-pattern read-out remains a single-victim feature. Recorded
+  /// patterns carry victim == n (use mafm::classify_neighborhood on
+  /// before/after for per-victim analysis).
+  IntegrityReport run_parallel(ObservationMethod method, std::size_t guard);
+
+  /// The TCK-counting master (exposed for tests).
+  jtag::TapMaster& master() { return master_; }
+
+ private:
+  void preload(bool init_value);
+  void load_instruction(const char* name);
+  void record_pattern(IntegrityReport& r, const util::BitVec& before,
+                      std::size_t victim, int block, bool rotate) const;
+  ReadoutRecord read_flags(IntegrityReport& r, int block,
+                           std::size_t restore_victim, bool resume_gen);
+
+  SiSocDevice* soc_;
+  jtag::TapMaster master_;
+};
+
+/// The conventional-BSA baseline (paper §3.1 / Table 5): every one of the
+/// 12 MA vectors per victim is scanned through the full chain and applied
+/// with Update-DR. Works on a SoC built with `SocConfig::enhanced ==
+/// false` (standard cells on the sending side). Observation uses the same
+/// O-SITEST read-out so only the pattern-application cost differs.
+class ConventionalSession {
+ public:
+  explicit ConventionalSession(SiSocDevice& soc);
+
+  IntegrityReport run(ObservationMethod method);
+
+  jtag::TapMaster& master() { return master_; }
+
+ private:
+  void load_instruction(const char* name);
+  void apply_vector(IntegrityReport& r, const util::BitVec& vec,
+                    std::size_t victim, int block);
+  ReadoutRecord read_flags(IntegrityReport& r, int block, bool resume_gen);
+
+  SiSocDevice* soc_;
+  jtag::TapMaster master_;
+};
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_SESSION_HPP

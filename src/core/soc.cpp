@@ -1,0 +1,196 @@
+#include "core/soc.hpp"
+
+#include <stdexcept>
+
+namespace jsi::core {
+
+using util::BitVec;
+using util::Logic;
+
+SiSocDevice::SiSocDevice(SocConfig cfg)
+    : cfg_(std::move(cfg)),
+      bus_([&] {
+        si::BusParams bp = cfg_.bus;
+        bp.n_wires = cfg_.n_wires;
+        return bp;
+      }()),
+      pins_(cfg_.n_wires, false) {
+  if (cfg_.n_wires < 2) throw std::invalid_argument("need >= 2 interconnects");
+  // Detector supplies follow the bus supply unless explicitly overridden.
+  cfg_.nd.vdd = cfg_.bus.vdd;
+  cfg_.sd.vdd = cfg_.bus.vdd;
+
+  tap_ = std::make_unique<jtag::TapDevice>("si_soc", cfg_.ir_width);
+  tap_->add_idcode(cfg_.idcode, 0b0010);
+
+  auto boundary = std::make_shared<jtag::BoundaryRegister>(
+      [this] { return ctl_; });
+  boundary_ = boundary.get();
+
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    if (cfg_.enhanced) {
+      auto cell = std::make_unique<bsc::Pgbsc>();
+      pgbscs_.push_back(cell.get());
+      boundary_->add_cell(std::move(cell));
+    } else {
+      auto cell = std::make_unique<bsc::StandardBsc>();
+      sending_std_.push_back(cell.get());
+      boundary_->add_cell(std::move(cell));
+    }
+  }
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    auto cell = std::make_unique<bsc::Obsc>(cfg_.nd, cfg_.sd);
+    obscs_.push_back(cell.get());
+    boundary_->add_cell(std::move(cell));
+  }
+  for (std::size_t i = 0; i < cfg_.m_extra_cells; ++i) {
+    boundary_->add_cell(std::make_unique<bsc::StandardBsc>());
+  }
+
+  tap_->add_data_register("BOUNDARY", boundary);
+  tap_->add_instruction(kExtest, 0b0000, "BOUNDARY");
+  tap_->add_instruction(kSample, 0b0001, "BOUNDARY");
+  tap_->add_instruction(kGSitest, 0b1000, "BOUNDARY");
+  tap_->add_instruction(kOSitest, 0b1001, "BOUNDARY");
+  // CLAMP and HIGHZ select BYPASS between TDI and TDO (1149.1 §8.8/8.9);
+  // the boundary keeps (or releases) the pins per the decode below.
+  tap_->add_instruction(kClamp, 0b0100, "BYPASS");
+  tap_->add_instruction(kHighz, 0b0101, "BYPASS");
+
+  tap_->on_instruction([this](const std::string& name) {
+    decode_instruction(name);
+  });
+  tap_->on_update_dr([this] { on_update_dr(); });
+  tap_->on_reset([this] {
+    ctl_ = jtag::CellCtl{};
+    pins_valid_ = false;
+    bus_transitions_ = 0;
+    apply_bus(/*observe=*/false);
+  });
+
+  core_out_.assign(cfg_.n_wires, Logic::L0);
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    boundary_->cell(i).set_parallel_in(Logic::L0);
+  }
+  decode_instruction(tap_->current_instruction());
+}
+
+std::size_t SiSocDevice::chain_length() const {
+  return 2 * cfg_.n_wires + cfg_.m_extra_cells;
+}
+
+bsc::Pgbsc& SiSocDevice::pgbsc(std::size_t i) {
+  if (!cfg_.enhanced) throw std::logic_error("conventional SoC has no PGBSC");
+  return *pgbscs_.at(i);
+}
+
+bsc::Obsc& SiSocDevice::obsc(std::size_t i) { return *obscs_.at(i); }
+
+void SiSocDevice::set_core_output(std::size_t i, Logic v) {
+  core_out_.at(i) = v;
+  boundary_->cell(i).set_parallel_in(v);
+  apply_bus(/*observe=*/ctl_.ce);
+}
+
+Logic SiSocDevice::core_input(std::size_t i) const {
+  if (i >= cfg_.n_wires) throw std::out_of_range("bad wire");
+  return boundary_->cell(cfg_.n_wires + i).parallel_out(ctl_);
+}
+
+BitVec SiSocDevice::nd_flags() const {
+  BitVec v(cfg_.n_wires, false);
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    v.set(i, obscs_[i]->nd().flag());
+  }
+  return v;
+}
+
+BitVec SiSocDevice::sd_flags() const {
+  BitVec v(cfg_.n_wires, false);
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    v.set(i, obscs_[i]->sd().flag());
+  }
+  return v;
+}
+
+bool SiSocDevice::boundary_selected() const {
+  const std::string& inst = tap_->current_instruction();
+  return inst == kExtest || inst == kSample || inst == kGSitest ||
+         inst == kOSitest;
+}
+
+void SiSocDevice::decode_instruction(const std::string& name) {
+  jtag::CellCtl c;
+  highz_ = name == kHighz;
+  if (name == kExtest || name == kClamp) {
+    // CLAMP: pins stay driven from the update stages while the short
+    // BYPASS path is selected for scanning.
+    c = {.mode = true, .si = false, .ce = false, .gen = false, .nd_sd = true};
+  } else if (name == kGSitest) {
+    c = {.mode = true, .si = true, .ce = true, .gen = true, .nd_sd = true};
+  } else if (name == kOSitest) {
+    // ND/SD select initialized to ND for the first read-out pass.
+    c = {.mode = true, .si = true, .ce = false, .gen = false, .nd_sd = true};
+  } else {
+    // SAMPLE/PRELOAD, IDCODE, BYPASS: functional pins.
+    c = {.mode = false, .si = false, .ce = false, .gen = false, .nd_sd = true};
+  }
+  ctl_ = c;
+  // Activating/deactivating a Mode instruction can retarget the pins
+  // (functional values <-> update stage). This settling transition is not
+  // part of the pattern set, so the sensors do not observe it (physically:
+  // CE is asserted only after the pins are stable).
+  apply_bus(/*observe=*/false);
+}
+
+void SiSocDevice::on_update_dr() {
+  if (!boundary_selected()) return;
+  if (tap_->current_instruction() == kOSitest) {
+    // Complement ND/SD select so the next shift pass reads the other
+    // sensor (paper §4.1, O-SITEST).
+    ctl_.nd_sd = !ctl_.nd_sd;
+  }
+  apply_bus(/*observe=*/ctl_.ce);
+}
+
+void SiSocDevice::apply_bus(bool observe) {
+  if (highz_) {
+    // HIGHZ: all bus drivers float; the receivers see high impedance
+    // until another instruction re-drives the wires.
+    for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+      obscs_[i]->set_parallel_in(Logic::Z);
+    }
+    pins_valid_ = false;
+    return;
+  }
+  // Compute the vector the sending side currently drives.
+  BitVec next(cfg_.n_wires, false);
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    next.set(i, util::to_bool(boundary_->cell(i).parallel_out(ctl_)));
+  }
+  if (pins_valid_ && next == pins_) return;
+
+  if (!pins_valid_) {
+    // First drive after reset: establish levels without a transition.
+    pins_ = next;
+    pins_valid_ = true;
+    for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+      obscs_[i]->set_parallel_in(util::to_logic(next[i]));
+    }
+    return;
+  }
+
+  const BitVec prev = pins_;
+  pins_ = next;
+  ++bus_transitions_;
+  for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
+    const si::Waveform w = bus_.wire_response(i, prev, next);
+    if (observe) {
+      obscs_[i]->observe(w, util::to_logic(prev[i]), util::to_logic(next[i]),
+                         ctl_);
+    }
+    obscs_[i]->set_parallel_in(bus_.settled_logic(w));
+  }
+}
+
+}  // namespace jsi::core

@@ -1,0 +1,64 @@
+#include "ict/board.hpp"
+
+#include <stdexcept>
+
+namespace jsi::ict {
+
+using util::BitVec;
+
+void BoardNets::inject_stuck(std::size_t net, bool value) {
+  fault_.at(net) = value ? NetFault::StuckAt1 : NetFault::StuckAt0;
+}
+
+void BoardNets::inject_open(std::size_t net) {
+  fault_.at(net) = NetFault::Open;
+}
+
+void BoardNets::inject_short(const std::vector<std::size_t>& nets,
+                             bool wired_and) {
+  if (nets.size() < 2) throw std::invalid_argument("short needs >= 2 nets");
+  int next_group = 0;
+  for (int g : group_) next_group = std::max(next_group, g + 1);
+  for (std::size_t net : nets) {
+    fault_.at(net) = wired_and ? NetFault::WiredAndShort
+                               : NetFault::WiredOrShort;
+    group_.at(net) = next_group;
+  }
+}
+
+std::vector<std::size_t> BoardNets::short_partners(std::size_t net) const {
+  std::vector<std::size_t> out;
+  if (group_.at(net) == kNoGroup) return out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i != net && group_[i] == group_[net]) out.push_back(i);
+  }
+  return out;
+}
+
+BitVec BoardNets::propagate(const BitVec& driven) const {
+  if (driven.size() != n_) throw std::invalid_argument("width mismatch");
+  BitVec received = driven;
+  // Resolve short groups first (drivers fight; wired resolution).
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (group_[i] == kNoGroup) continue;
+    const bool and_mode = fault_[i] == NetFault::WiredAndShort;
+    bool acc = and_mode;  // fold identity: true for AND, false for OR
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (group_[j] != group_[i]) continue;
+      acc = and_mode ? (acc && driven[j]) : (acc || driven[j]);
+    }
+    received.set(i, acc);
+  }
+  // Stuck and open override.
+  for (std::size_t i = 0; i < n_; ++i) {
+    switch (fault_[i]) {
+      case NetFault::StuckAt0: received.set(i, false); break;
+      case NetFault::StuckAt1: received.set(i, true); break;
+      case NetFault::Open: received.set(i, float_value_); break;
+      default: break;
+    }
+  }
+  return received;
+}
+
+}  // namespace jsi::ict

@@ -1,0 +1,60 @@
+#ifndef JSI_ICT_BOARD_HPP
+#define JSI_ICT_BOARD_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace jsi::ict {
+
+/// Static fault kinds of board-level nets (the classic EXTEST targets).
+enum class NetFault {
+  None,
+  StuckAt0,
+  StuckAt1,
+  Open,          ///< receiver floats; reads the configured float value
+  WiredAndShort,  ///< member of a bridge group resolving to AND
+  WiredOrShort,   ///< member of a bridge group resolving to OR
+};
+
+/// A set of board traces with injectable static faults.
+///
+/// `propagate` maps the driven vector to the received vector under the
+/// injected faults: stuck nets read their stuck value, open nets read the
+/// float value, shorted groups resolve to the wired-AND or wired-OR of
+/// their drivers.
+class BoardNets {
+ public:
+  explicit BoardNets(std::size_t n, bool float_value = true)
+      : n_(n), float_value_(float_value), fault_(n, NetFault::None),
+        group_(n, kNoGroup) {}
+
+  std::size_t size() const { return n_; }
+
+  void inject_stuck(std::size_t net, bool value);
+  void inject_open(std::size_t net);
+
+  /// Bridge a set of nets (>= 2) into one short group. `wired_and` picks
+  /// the resolution function.
+  void inject_short(const std::vector<std::size_t>& nets, bool wired_and);
+
+  NetFault fault(std::size_t net) const { return fault_.at(net); }
+
+  /// Nets bridged with `net` (excluding itself); empty when not shorted.
+  std::vector<std::size_t> short_partners(std::size_t net) const;
+
+  util::BitVec propagate(const util::BitVec& driven) const;
+
+ private:
+  static constexpr int kNoGroup = -1;
+
+  std::size_t n_;
+  bool float_value_;
+  std::vector<NetFault> fault_;
+  std::vector<int> group_;  // short-group id per net
+};
+
+}  // namespace jsi::ict
+
+#endif  // JSI_ICT_BOARD_HPP

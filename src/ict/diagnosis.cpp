@@ -1,0 +1,91 @@
+#include "ict/diagnosis.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace jsi::ict {
+
+using util::BitVec;
+
+std::string verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Healthy: return "healthy";
+    case Verdict::StuckAt0: return "stuck-at-0";
+    case Verdict::StuckAt1: return "stuck-at-1";
+    case Verdict::ShortedAnd: return "wired-AND short";
+    case Verdict::ShortedOr: return "wired-OR short";
+    case Verdict::Faulty: return "faulty (unresolved)";
+  }
+  return "?";
+}
+
+std::vector<NetVerdict> diagnose_nets(const std::vector<BitVec>& sent,
+                                      const std::vector<BitVec>& received) {
+  const std::size_t n = sent.size();
+  if (received.size() != n) throw std::invalid_argument("size mismatch");
+  std::vector<NetVerdict> out(n);
+
+  // Group suspicious nets by their received word.
+  std::map<std::string, std::vector<std::size_t>> by_word;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].net = i;
+    if (received[i] == sent[i]) {
+      out[i].verdict = Verdict::Healthy;
+    } else {
+      by_word[received[i].to_string()].push_back(i);
+    }
+  }
+
+  for (const auto& [word, nets] : by_word) {
+    const BitVec& r = received[nets.front()];
+    if (r.popcount() == 0) {
+      for (auto i : nets) out[i].verdict = Verdict::StuckAt0;
+      continue;
+    }
+    if (r.popcount() == r.size()) {
+      for (auto i : nets) out[i].verdict = Verdict::StuckAt1;
+      continue;
+    }
+    if (nets.size() >= 2) {
+      // Candidate short group: include any *healthy-looking* net whose
+      // sent code equals the group word (the dominant member of a short
+      // reads back its own code).
+      std::vector<std::size_t> members = nets;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (received[i] == r && sent[i] == r &&
+            out[i].verdict == Verdict::Healthy) {
+          members.push_back(i);
+        }
+      }
+      BitVec and_word = BitVec::ones(r.size());
+      BitVec or_word = BitVec::zeros(r.size());
+      for (auto i : members) {
+        and_word = and_word & sent[i];
+        or_word = or_word | sent[i];
+      }
+      if (r == and_word || r == or_word) {
+        const Verdict v =
+            r == and_word ? Verdict::ShortedAnd : Verdict::ShortedOr;
+        for (auto i : members) {
+          out[i].verdict = v;
+          out[i].group.clear();
+          for (auto j : members) {
+            if (j != i) out[i].group.push_back(j);
+          }
+        }
+        continue;
+      }
+    }
+    for (auto i : nets) out[i].verdict = Verdict::Faulty;
+  }
+  return out;
+}
+
+bool all_healthy(const std::vector<NetVerdict>& verdicts) {
+  for (const auto& v : verdicts) {
+    if (v.verdict != Verdict::Healthy) return false;
+  }
+  return true;
+}
+
+}  // namespace jsi::ict

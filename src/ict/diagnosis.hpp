@@ -1,0 +1,51 @@
+#ifndef JSI_ICT_DIAGNOSIS_HPP
+#define JSI_ICT_DIAGNOSIS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace jsi::ict {
+
+/// Verdict for one net after an interconnect test.
+enum class Verdict {
+  Healthy,
+  StuckAt0,
+  StuckAt1,
+  ShortedAnd,  ///< member of a wired-AND short group
+  ShortedOr,   ///< member of a wired-OR short group
+  Faulty,      ///< response wrong but not attributable (aliasing / open)
+};
+
+std::string verdict_name(Verdict v);
+
+struct NetVerdict {
+  std::size_t net = 0;
+  Verdict verdict = Verdict::Healthy;
+  /// Other members of the short group (ShortedAnd/ShortedOr only).
+  std::vector<std::size_t> group;
+};
+
+/// Diagnose per-net sequential responses against the sent code words.
+///
+/// With the true/complement counting sequence every legal code contains
+/// both a 0 and a 1, so an all-0 (all-1) response is unambiguously
+/// stuck-at-0 (stuck-at-1), and a short group is recognized because every
+/// member returns the identical word equal to the wired-AND (or OR) of
+/// the members' sent codes. With weaker sequences (plain counting,
+/// walking ones) the same procedure still detects every fault but may
+/// only report `Faulty` where the response aliases.
+std::vector<NetVerdict> diagnose_nets(
+    const std::vector<util::BitVec>& sent_codes,
+    const std::vector<util::BitVec>& received_codes);
+
+/// True iff every fault-free net is Healthy and no verdict is Healthy for
+/// a net whose response differs from its sent code (sanity helper for
+/// tests and examples).
+bool all_healthy(const std::vector<NetVerdict>& verdicts);
+
+}  // namespace jsi::ict
+
+#endif  // JSI_ICT_DIAGNOSIS_HPP

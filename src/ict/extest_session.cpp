@@ -1,0 +1,118 @@
+#include "ict/extest_session.hpp"
+
+#include "bsc/standard.hpp"
+#include "ict/patterns.hpp"
+
+namespace jsi::ict {
+
+using util::BitVec;
+using util::Logic;
+
+/// One chip: a 4-bit-IR TAP with an n-cell boundary register of standard
+/// cells and the EXTEST/SAMPLE instructions.
+struct ExtestInterconnectSession::Chip {
+  std::shared_ptr<jtag::TapDevice> tap;
+  jtag::BoundaryRegister* boundary = nullptr;
+  jtag::CellCtl ctl;
+
+  Chip(const std::string& name, std::uint32_t id, std::size_t n_cells) {
+    tap = std::make_shared<jtag::TapDevice>(name, 4);
+    tap->add_idcode(id, 0b0010);
+    auto br =
+        std::make_shared<jtag::BoundaryRegister>([this] { return ctl; });
+    boundary = br.get();
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      boundary->add_cell(std::make_unique<bsc::StandardBsc>());
+    }
+    tap->add_data_register("BOUNDARY", br);
+    tap->add_instruction("EXTEST", 0b0000, "BOUNDARY");
+    tap->add_instruction("SAMPLE", 0b0001, "BOUNDARY");
+    tap->on_instruction(
+        [this](const std::string& inst) { ctl.mode = inst == "EXTEST"; });
+  }
+};
+
+ExtestInterconnectSession::~ExtestInterconnectSession() = default;
+
+ExtestInterconnectSession::ExtestInterconnectSession(BoardNets& board)
+    : board_(&board),
+      driver_impl_(std::make_unique<Chip>("driver", 0xA0000001u,
+                                          board.size())),
+      receiver_impl_(std::make_unique<Chip>("receiver", 0xB0000001u,
+                                            board.size())),
+      master_(chain_) {
+  driver_ = driver_impl_->tap;
+  receiver_ = receiver_impl_->tap;
+  chain_.add_device(driver_);
+  chain_.add_device(receiver_);
+
+  // Board wiring: whenever the driver chip updates its boundary register,
+  // the traces carry its cell outputs (as resolved by the fault model)
+  // into the receiver chip's input cells.
+  driver_->on_update_dr([this] {
+    const std::size_t n = board_->size();
+    const auto out = driver_impl_->boundary->parallel_out(0, n);
+    BitVec driven(n, false);
+    for (std::size_t i = 0; i < n; ++i) driven.set(i, util::to_bool(out[i]));
+    const BitVec received = board_->propagate(driven);
+    for (std::size_t i = 0; i < n; ++i) {
+      receiver_impl_->boundary->cell(i).set_parallel_in(
+          util::to_logic(received[i]));
+    }
+  });
+}
+
+BitVec ExtestInterconnectSession::apply_and_capture(const BitVec& pattern) {
+  // Chain DR = driver n cells (nearest TDI) + receiver n cells. One scan
+  // both captures the receiver's current inputs (the *previous* pattern's
+  // response) and applies the next pattern — the classic pipelined EXTEST
+  // flow.
+  const std::size_t n = board_->size();
+  const std::size_t len = 2 * n;
+  BitVec bits(len, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    bits.set(len - 1 - j, pattern[j]);  // lands on driver cell j
+  }
+  const BitVec out = master_.scan_dr(bits);
+  BitVec captured(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    captured.set(j, out[n - 1 - j]);  // receiver cell n+j
+  }
+  return captured;
+}
+
+ExtestResult ExtestInterconnectSession::run(Algorithm algorithm) {
+  const std::size_t n = board_->size();
+  std::vector<BitVec> patterns;
+  switch (algorithm) {
+    case Algorithm::WalkingOnes: patterns = walking_ones(n); break;
+    case Algorithm::CountingSequence: patterns = counting_sequence(n); break;
+    case Algorithm::TrueComplementCounting:
+      patterns = true_complement_counting(n);
+      break;
+  }
+
+  ExtestResult result;
+  result.patterns_applied = patterns.size();
+  const std::uint64_t t0 = master_.tck();
+
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::zeros(2 * 4));  // EXTEST (0000) in both chips
+
+  std::vector<BitVec> responses;
+  responses.reserve(patterns.size());
+  apply_and_capture(patterns.front());
+  for (std::size_t t = 1; t < patterns.size(); ++t) {
+    responses.push_back(apply_and_capture(patterns[t]));
+  }
+  // Final capture pass (re-applies the last pattern, which is harmless).
+  responses.push_back(apply_and_capture(patterns.back()));
+
+  result.total_tcks = master_.tck() - t0;
+  result.sent_codes = net_codes(patterns, n);
+  result.received_codes = net_codes(responses, n);
+  result.verdicts = diagnose_nets(result.sent_codes, result.received_codes);
+  return result;
+}
+
+}  // namespace jsi::ict

@@ -1,0 +1,74 @@
+#ifndef JSI_ICT_EXTEST_SESSION_HPP
+#define JSI_ICT_EXTEST_SESSION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ict/board.hpp"
+#include "ict/diagnosis.hpp"
+#include "jtag/chain.hpp"
+#include "jtag/master.hpp"
+
+namespace jsi::ict {
+
+/// Pattern-sequence choice for the EXTEST interconnect session.
+enum class Algorithm {
+  WalkingOnes,             ///< n patterns, trivially diagnosable
+  CountingSequence,        ///< ceil(log2(n+2)) patterns
+  TrueComplementCounting,  ///< 2*ceil(log2(n+2)) patterns, self-diagnosing
+};
+
+/// Result of a board interconnect test.
+struct ExtestResult {
+  std::vector<util::BitVec> sent_codes;      ///< per net
+  std::vector<util::BitVec> received_codes;  ///< per net
+  std::vector<NetVerdict> verdicts;
+  std::size_t patterns_applied = 0;
+  std::uint64_t total_tcks = 0;
+
+  bool board_is_clean() const { return all_healthy(verdicts); }
+};
+
+/// The classic two-chip board scenario the 1149.1 standard was designed
+/// for (and the baseline of the paper): chip A's output boundary cells
+/// drive `n` PCB traces into chip B's input cells; both chips share one
+/// JTAG chain driven by this session's TapMaster.
+///
+/// This is a full protocol-level implementation: every pattern is scanned
+/// through both chips' boundary registers under EXTEST, the board model
+/// propagates the trace values (with any injected faults), a capturing
+/// scan retrieves chip B's observations, and the per-net sequential
+/// responses are diagnosed.
+class ExtestInterconnectSession {
+ public:
+  /// `board.size()` traces between the chips.
+  explicit ExtestInterconnectSession(BoardNets& board);
+  ~ExtestInterconnectSession();  // out of line: Chip is an incomplete type
+
+  ExtestInterconnectSession(const ExtestInterconnectSession&) = delete;
+  ExtestInterconnectSession& operator=(const ExtestInterconnectSession&) =
+      delete;
+
+  ExtestResult run(Algorithm algorithm);
+
+  jtag::Chain& chain() { return chain_; }
+  jtag::TapDevice& driver_chip() { return *driver_; }
+  jtag::TapDevice& receiver_chip() { return *receiver_; }
+
+ private:
+  struct Chip;
+  util::BitVec apply_and_capture(const util::BitVec& pattern);
+
+  BoardNets* board_;
+  std::shared_ptr<jtag::TapDevice> driver_;
+  std::shared_ptr<jtag::TapDevice> receiver_;
+  std::unique_ptr<Chip> driver_impl_;
+  std::unique_ptr<Chip> receiver_impl_;
+  jtag::Chain chain_;
+  jtag::TapMaster master_;
+};
+
+}  // namespace jsi::ict
+
+#endif  // JSI_ICT_EXTEST_SESSION_HPP

@@ -1,0 +1,66 @@
+#include "ict/patterns.hpp"
+
+#include <stdexcept>
+
+namespace jsi::ict {
+
+using util::BitVec;
+
+std::vector<BitVec> walking_ones(std::size_t n) {
+  std::vector<BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(BitVec::one_hot(n, i));
+  return out;
+}
+
+std::vector<BitVec> walking_zeros(std::size_t n) {
+  std::vector<BitVec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(~BitVec::one_hot(n, i));
+  return out;
+}
+
+std::size_t counting_length(std::size_t n) {
+  // Codes 1..n must fit, and we reserve the all-0 and all-1 words so
+  // stuck-ats cannot mimic a legal code: need 2^k >= n + 2.
+  std::size_t k = 1;
+  while ((1ull << k) < n + 2) ++k;
+  return k;
+}
+
+std::vector<BitVec> counting_sequence(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("no nets");
+  const std::size_t k = counting_length(n);
+  std::vector<BitVec> out(k, BitVec(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t code = i + 1;
+    for (std::size_t t = 0; t < k; ++t) {
+      out[t].set(i, (code >> t) & 1u);
+    }
+  }
+  return out;
+}
+
+std::vector<BitVec> true_complement_counting(std::size_t n) {
+  auto seq = counting_sequence(n);
+  const std::size_t k = seq.size();
+  seq.reserve(2 * k);
+  for (std::size_t t = 0; t < k; ++t) seq.push_back(~seq[t]);
+  return seq;
+}
+
+std::vector<BitVec> net_codes(const std::vector<BitVec>& patterns,
+                              std::size_t n) {
+  std::vector<BitVec> codes(n, BitVec(patterns.size(), false));
+  for (std::size_t t = 0; t < patterns.size(); ++t) {
+    if (patterns[t].size() != n) {
+      throw std::invalid_argument("pattern width mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      codes[i].set(t, patterns[t][i]);
+    }
+  }
+  return codes;
+}
+
+}  // namespace jsi::ict

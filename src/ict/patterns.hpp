@@ -1,0 +1,49 @@
+#ifndef JSI_ICT_PATTERNS_HPP
+#define JSI_ICT_PATTERNS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace jsi::ict {
+
+/// Classic board-level interconnect test-pattern generators.
+///
+/// These are the algorithms the standard boundary-scan flow (the paper's
+/// baseline) applies through EXTEST. A *pattern* is one parallel bus
+/// vector (bit i = net i); applying a sequence of k patterns sends each
+/// net a k-bit *sequential code word* (its column through the sequence).
+///
+/// Terminology follows the interconnect-test literature (Kautz counting
+/// sequence, Wagner true/complement).
+
+/// One-hot walk: n patterns, detects every stuck-at and every short, and
+/// localizes trivially — at O(n) test length.
+std::vector<util::BitVec> walking_ones(std::size_t n);
+
+/// Complement of the above.
+std::vector<util::BitVec> walking_zeros(std::size_t n);
+
+/// Kautz counting sequence: net i receives the binary code of (i+1) over
+/// ceil(log2(n+2)) patterns. Detects all stuck-ats and wired-AND/OR
+/// shorts at O(log n) test length, but diagnosis can alias.
+std::vector<util::BitVec> counting_sequence(std::size_t n);
+
+/// Wagner true/complement counting sequence: the counting sequence
+/// followed by its complement (2*ceil(log2(n+2)) patterns). Every net's
+/// code word contains both a 0 and a 1, so stuck-ats cannot alias with
+/// legal codes and wired-AND/OR short groups are self-diagnosing.
+std::vector<util::BitVec> true_complement_counting(std::size_t n);
+
+/// Transpose a pattern sequence into per-net sequential code words:
+/// result[i] is net i's k-bit code (bit t = value in pattern t).
+std::vector<util::BitVec> net_codes(const std::vector<util::BitVec>& patterns,
+                                    std::size_t n);
+
+/// Number of patterns each generator emits (for test-length analysis).
+std::size_t counting_length(std::size_t n);
+
+}  // namespace jsi::ict
+
+#endif  // JSI_ICT_PATTERNS_HPP

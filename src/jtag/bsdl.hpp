@@ -1,0 +1,45 @@
+#ifndef JSI_JTAG_BSDL_HPP
+#define JSI_JTAG_BSDL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsi::jtag {
+
+/// Device description consumed by the BSDL generator.
+///
+/// BSDL (IEEE 1149.1b) is the interchange format ATE and boundary-scan
+/// tools use to learn a device's test logic. Tools in the field would
+/// need exactly this file to drive the paper's architecture, so the SoC
+/// models can emit their own description (see core::bsdl_for).
+struct BsdlDescription {
+  struct Instruction {
+    std::string name;
+    std::uint64_t opcode;
+  };
+  /// One boundary-register stage, index 0 nearest TDI.
+  struct Cell {
+    std::string port;      ///< associated port name
+    std::string function;  ///< BSDL function: "OUTPUT2", "INPUT", ...
+    std::string bsdl_type; ///< cell type name: "BC_1" or a private type
+    char safe = 'X';       ///< safe capture/update value
+  };
+
+  std::string entity = "jsi_soc";
+  std::size_t ir_length = 4;
+  std::uint32_t idcode = 0;
+  bool has_idcode = false;
+  std::vector<Instruction> instructions;
+  std::vector<Cell> cells;
+};
+
+/// Render the description as BSDL text. The output follows the 1149.1b
+/// grammar closely enough for human review and for the structural checks
+/// in the test suite; private cell types (the PGBSC/OBSC) are declared
+/// through the standard's extension mechanism.
+std::string to_bsdl(const BsdlDescription& desc);
+
+}  // namespace jsi::jtag
+
+#endif  // JSI_JTAG_BSDL_HPP

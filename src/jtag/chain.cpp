@@ -1,0 +1,33 @@
+#include "jtag/chain.hpp"
+
+#include <stdexcept>
+
+namespace jsi::jtag {
+
+void Chain::add_device(std::shared_ptr<TapDevice> dev) {
+  if (!dev) throw std::invalid_argument("null device");
+  devices_.push_back(std::move(dev));
+}
+
+std::size_t Chain::total_ir_width() const {
+  std::size_t w = 0;
+  for (const auto& d : devices_) w += d->ir_width();
+  return w;
+}
+
+util::Logic Chain::tick(bool tms, bool tdi) {
+  if (devices_.empty()) throw std::logic_error("empty chain");
+  ++tck_;
+  util::Logic bit = util::to_logic(tdi);
+  for (auto& d : devices_) {
+    const util::Logic out = d->tick(tms, util::to_bool(bit));
+    bit = out;
+  }
+  return bit;
+}
+
+void Chain::async_reset() {
+  for (auto& d : devices_) d->async_reset();
+}
+
+}  // namespace jsi::jtag

@@ -1,0 +1,42 @@
+#ifndef JSI_JTAG_CHAIN_HPP
+#define JSI_JTAG_CHAIN_HPP
+
+#include <memory>
+#include <vector>
+
+#include "jtag/device.hpp"
+
+namespace jsi::jtag {
+
+/// A board-level serial chain of TAP devices sharing TCK/TMS, with TDO of
+/// each device feeding TDI of the next. Device 0 is nearest the master's
+/// TDI.
+///
+/// Because each device's shift stage returns its pre-edge output, ticking
+/// the devices in chain order and rippling the bit reproduces the hardware
+/// behaviour where all devices shift on the same edge and each samples its
+/// neighbour's previous output.
+class Chain : public TapPort {
+ public:
+  /// Append `dev` at the TDO end of the chain (shared ownership so
+  /// examples can keep handles to individual devices).
+  void add_device(std::shared_ptr<TapDevice> dev);
+
+  std::size_t size() const { return devices_.size(); }
+  TapDevice& device(std::size_t i) { return *devices_.at(i); }
+
+  /// Sum of IR widths (a chain IR scan shifts this many bits).
+  std::size_t total_ir_width() const;
+
+  util::Logic tick(bool tms, bool tdi) override;
+  void async_reset() override;
+  std::uint64_t tck_count() const override { return tck_; }
+
+ private:
+  std::vector<std::shared_ptr<TapDevice>> devices_;
+  std::uint64_t tck_ = 0;
+};
+
+}  // namespace jsi::jtag
+
+#endif  // JSI_JTAG_CHAIN_HPP

@@ -1,0 +1,108 @@
+#include "jtag/master.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace jsi::jtag {
+
+util::Logic TapMaster::clock(bool tms, bool tdi) {
+  ++tck_;
+  const util::Logic tdo = port_->tick(tms, tdi);
+  state_ = next_state(state_, tms);
+  return tdo;
+}
+
+void TapMaster::require_idle(const char* op) const {
+  if (state_ != TapState::RunTestIdle) {
+    throw std::logic_error(std::string(op) + " requires Run-Test/Idle, not " +
+                           std::string(tap_state_name(state_)));
+  }
+}
+
+void TapMaster::reset_to_idle() {
+  for (int i = 0; i < 5; ++i) clock(true);
+  clock(false);  // Test-Logic-Reset -> Run-Test/Idle
+}
+
+void TapMaster::goto_state(TapState target) {
+  for (const bool tms : tms_path(state_, target)) clock(tms);
+}
+
+util::BitVec TapMaster::scan_dr(const util::BitVec& bits) {
+  require_idle("scan_dr");
+  if (bits.empty()) throw std::invalid_argument("scan_dr of zero bits");
+  clock(true);   // -> Select-DR-Scan
+  clock(false);  // -> Capture-DR
+  clock(false);  // capture executes; -> Shift-DR
+  util::BitVec out(bits.size(), false);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool last = i + 1 == bits.size();
+    out.set(i, util::to_bool(clock(last, bits[i])));  // shift; last -> Exit1
+  }
+  clock(true);   // Exit1-DR -> Update-DR
+  clock(false);  // update executes; -> Run-Test/Idle
+  return out;
+}
+
+util::BitVec TapMaster::scan_dr_paused(const util::BitVec& bits,
+                                       std::size_t pause_every,
+                                       std::size_t pause_clocks) {
+  require_idle("scan_dr_paused");
+  if (bits.empty()) throw std::invalid_argument("scan of zero bits");
+  if (pause_every == 0) throw std::invalid_argument("pause_every == 0");
+  clock(true);   // -> Select-DR-Scan
+  clock(false);  // -> Capture-DR
+  clock(false);  // capture executes; -> Shift-DR
+  util::BitVec out(bits.size(), false);
+  std::size_t since_pause = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool last = i + 1 == bits.size();
+    const bool park = !last && ++since_pause == pause_every;
+    // A shift occurs on this edge either way; TMS=1 moves to Exit1-DR.
+    out.set(i, util::to_bool(clock(last || park, bits[i])));
+    if (park) {
+      clock(false);  // Exit1-DR -> Pause-DR
+      for (std::size_t p = 0; p < pause_clocks; ++p) clock(false);
+      clock(true);   // Pause-DR -> Exit2-DR
+      clock(false);  // Exit2-DR -> Shift-DR (no shift on this edge: the
+                     // acting state is Exit2-DR)
+      since_pause = 0;
+    }
+  }
+  clock(true);   // Exit1-DR -> Update-DR
+  clock(false);  // update executes; -> Run-Test/Idle
+  return out;
+}
+
+util::BitVec TapMaster::scan_ir(const util::BitVec& bits) {
+  require_idle("scan_ir");
+  if (bits.empty()) throw std::invalid_argument("scan_ir of zero bits");
+  clock(true);   // -> Select-DR-Scan
+  clock(true);   // -> Select-IR-Scan
+  clock(false);  // -> Capture-IR
+  clock(false);  // capture executes; -> Shift-IR
+  util::BitVec out(bits.size(), false);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool last = i + 1 == bits.size();
+    out.set(i, util::to_bool(clock(last, bits[i])));
+  }
+  clock(true);   // Exit1-IR -> Update-IR
+  clock(false);  // update executes; -> Run-Test/Idle
+  return out;
+}
+
+void TapMaster::pulse_update_dr() {
+  require_idle("pulse_update_dr");
+  clock(true);   // -> Select-DR-Scan
+  clock(false);  // -> Capture-DR
+  clock(true);   // capture executes; -> Exit1-DR
+  clock(true);   // -> Update-DR
+  clock(false);  // update executes; -> Run-Test/Idle
+}
+
+void TapMaster::run_idle(std::size_t n) {
+  require_idle("run_idle");
+  for (std::size_t i = 0; i < n; ++i) clock(false);
+}
+
+}  // namespace jsi::jtag

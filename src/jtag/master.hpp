@@ -1,0 +1,74 @@
+#ifndef JSI_JTAG_MASTER_HPP
+#define JSI_JTAG_MASTER_HPP
+
+#include <cstdint>
+
+#include "jtag/device.hpp"
+#include "jtag/tap_state.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::jtag {
+
+/// Host-side TAP driver — the role the ATE plays in the paper's Fig 8/12
+/// procedures. Generates TMS/TDI sequences, mirrors the controller state,
+/// and counts every TCK it issues; the Tables 5-6 clock budgets are *read
+/// off this counter*, not computed from formulas.
+///
+/// All scan operations start from and return to Run-Test/Idle.
+class TapMaster {
+ public:
+  explicit TapMaster(TapPort& port) : port_(&port) {}
+
+  /// Five TMS=1 clocks: guaranteed Test-Logic-Reset from any state, then
+  /// one TMS=0 clock into Run-Test/Idle.
+  void reset_to_idle();
+
+  /// Navigate to `target` along the shortest TMS path (register actions on
+  /// the way execute as the hardware would).
+  void goto_state(TapState target);
+
+  /// Full IR scan: shift `bits` (LSB first = nearest TDO end of the IR),
+  /// return the bits shifted out. Takes bits.size() + 6 TCKs.
+  util::BitVec scan_ir(const util::BitVec& bits);
+
+  /// Full DR scan: shift `bits`, return the outgoing bits.
+  /// Takes bits.size() + 5 TCKs.
+  util::BitVec scan_dr(const util::BitVec& bits);
+
+  /// DR scan that parks in Pause-DR every `pause_every` bits for
+  /// `pause_clocks` TCKs before resuming through Exit2-DR — the flow an
+  /// ATE uses to refill its vector buffers mid-scan. Scan semantics are
+  /// identical to `scan_dr`; only the TCK count grows.
+  util::BitVec scan_dr_paused(const util::BitVec& bits,
+                              std::size_t pause_every,
+                              std::size_t pause_clocks = 1);
+
+  /// Select-DR -> Capture-DR -> Exit1-DR -> Update-DR -> RTI without any
+  /// shifting: the "apply one Update-DR" primitive of the paper's pattern
+  /// generation loop (5 TCKs).
+  void pulse_update_dr();
+
+  /// Spend `n` TCKs in Run-Test/Idle.
+  void run_idle(std::size_t n);
+
+  /// Total TCK edges issued by this master.
+  std::uint64_t tck() const { return tck_; }
+
+  /// Reset the TCK counter (e.g. to meter one phase of a session).
+  void reset_tck_counter() { tck_ = 0; }
+
+  /// Mirrored controller state (all devices move in lockstep on TMS).
+  TapState state() const { return state_; }
+
+ private:
+  util::Logic clock(bool tms, bool tdi = false);
+  void require_idle(const char* op) const;
+
+  TapPort* port_;
+  TapState state_ = TapState::TestLogicReset;
+  std::uint64_t tck_ = 0;
+};
+
+}  // namespace jsi::jtag
+
+#endif  // JSI_JTAG_MASTER_HPP

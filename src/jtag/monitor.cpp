@@ -1,0 +1,65 @@
+#include "jtag/monitor.hpp"
+
+namespace jsi::jtag {
+
+using util::Logic;
+
+void ProtocolMonitor::flush_burst() {
+  if (!in_burst_) return;
+  (burst_is_ir_ ? ir_shifts_ : dr_shifts_).push_back(burst_);
+  burst_ = 0;
+  in_burst_ = false;
+}
+
+util::Logic ProtocolMonitor::tick(bool tms, bool tdi) {
+  const TapState acting = state_;  // state whose action this edge performs
+  ++visits_[static_cast<int>(acting)];
+  ++tck_;
+
+  const Logic tdo = inner_->tick(tms, tdi);
+
+  // Rule: TDO drive windows.
+  const bool shifting = is_shift_state(acting);
+  if (shifting && !util::is_known(tdo)) {
+    violations_.push_back(std::to_string(tck_) +
+                          ": TDO not driven during " +
+                          std::string(tap_state_name(acting)));
+  }
+  if (!shifting && tdo != Logic::Z) {
+    violations_.push_back(std::to_string(tck_) + ": TDO driven in " +
+                          std::string(tap_state_name(acting)));
+  }
+
+  // Shift-burst accounting.
+  if (shifting) {
+    const bool is_ir = acting == TapState::ShiftIr;
+    if (in_burst_ && burst_is_ir_ != is_ir) flush_burst();
+    in_burst_ = true;
+    burst_is_ir_ = is_ir;
+    ++burst_;
+  } else {
+    flush_burst();
+  }
+
+  if (acting == TapState::UpdateDr) ++dr_updates_;
+  if (acting == TapState::UpdateIr) ++ir_updates_;
+
+  state_ = next_state(state_, tms);
+  return tdo;
+}
+
+void ProtocolMonitor::async_reset() {
+  flush_burst();
+  state_ = TapState::TestLogicReset;
+  inner_->async_reset();
+}
+
+std::vector<TapState> ProtocolMonitor::unvisited_states() const {
+  std::vector<TapState> out;
+  for (int i = 0; i < kTapStateCount; ++i) {
+    if (visits_[i] == 0) out.push_back(static_cast<TapState>(i));
+  }
+  return out;
+}
+
+}  // namespace jsi::jtag

@@ -1,0 +1,79 @@
+#ifndef JSI_JTAG_MONITOR_HPP
+#define JSI_JTAG_MONITOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jtag/device.hpp"
+#include "jtag/tap_state.hpp"
+
+namespace jsi::jtag {
+
+/// Passive 1149.1 protocol monitor — verification IP that wraps any
+/// TapPort, forwards every TCK, and checks the rules a compliance suite
+/// would:
+///
+///  * TDO must be high-impedance outside Shift-DR/Shift-IR and driven to
+///    a known value inside them;
+///  * the state trajectory must follow the standard FSM for the applied
+///    TMS stream;
+///  * (statistics) per-state visit counts, scan lengths, instruction
+///    loads — so tests can assert a session's protocol shape.
+///
+/// Violations are recorded, not thrown, so a session runs to completion
+/// and the test inspects the full list.
+class ProtocolMonitor : public TapPort {
+ public:
+  explicit ProtocolMonitor(TapPort& inner) : inner_(&inner) {}
+
+  util::Logic tick(bool tms, bool tdi) override;
+  void async_reset() override;
+  std::uint64_t tck_count() const override { return tck_; }
+
+  /// Recorded rule violations ("<tck>: <message>").
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+  /// TCKs spent in each controller state.
+  std::uint64_t visits(TapState s) const {
+    return visits_[static_cast<int>(s)];
+  }
+
+  /// States never visited (protocol-coverage hole detection).
+  std::vector<TapState> unvisited_states() const;
+
+  /// Completed DR shift bursts and their lengths, in order.
+  const std::vector<std::size_t>& dr_shift_lengths() const {
+    return dr_shifts_;
+  }
+  /// Completed IR shift bursts and their lengths.
+  const std::vector<std::size_t>& ir_shift_lengths() const {
+    return ir_shifts_;
+  }
+
+  /// Number of Update-DR / Update-IR events observed.
+  std::uint64_t dr_updates() const { return dr_updates_; }
+  std::uint64_t ir_updates() const { return ir_updates_; }
+
+ private:
+  void flush_burst();
+
+  TapPort* inner_;
+  TapState state_ = TapState::TestLogicReset;
+  std::uint64_t tck_ = 0;
+  std::array<std::uint64_t, kTapStateCount> visits_{};
+  std::vector<std::string> violations_;
+  std::vector<std::size_t> dr_shifts_;
+  std::vector<std::size_t> ir_shifts_;
+  std::size_t burst_ = 0;
+  bool burst_is_ir_ = false;
+  bool in_burst_ = false;
+  std::uint64_t dr_updates_ = 0;
+  std::uint64_t ir_updates_ = 0;
+};
+
+}  // namespace jsi::jtag
+
+#endif  // JSI_JTAG_MONITOR_HPP

@@ -1,0 +1,42 @@
+#include "jtag/registers.hpp"
+
+namespace jsi::jtag {
+
+std::size_t BoundaryRegister::add_cell(std::unique_ptr<BoundaryCell> cell) {
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+void BoundaryRegister::capture() {
+  const CellCtl c = ctl_();
+  for (auto& cell : cells_) cell->capture(c);
+}
+
+bool BoundaryRegister::shift(bool tdi) {
+  const CellCtl c = ctl_();
+  bool bit = tdi;
+  for (auto& cell : cells_) bit = cell->shift_bit(bit, c);
+  return bit;
+}
+
+void BoundaryRegister::update() {
+  const CellCtl c = ctl_();
+  for (auto& cell : cells_) cell->update(c);
+}
+
+void BoundaryRegister::reset() {
+  for (auto& cell : cells_) cell->reset();
+}
+
+std::vector<util::Logic> BoundaryRegister::parallel_out(
+    std::size_t first, std::size_t count) const {
+  const CellCtl c = ctl_();
+  std::vector<util::Logic> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(cells_.at(first + i)->parallel_out(c));
+  }
+  return out;
+}
+
+}  // namespace jsi::jtag

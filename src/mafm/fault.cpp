@@ -1,0 +1,98 @@
+#include "mafm/fault.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace jsi::mafm {
+
+using util::BitVec;
+
+std::string_view fault_name(MaFault f) {
+  switch (f) {
+    case MaFault::Pg: return "Pg";
+    case MaFault::PgBar: return "Pg'";
+    case MaFault::Ng: return "Ng";
+    case MaFault::NgBar: return "Ng'";
+    case MaFault::Rs: return "Rs";
+    case MaFault::Fs: return "Fs";
+  }
+  return "?";
+}
+
+VectorPair vectors_for(MaFault f, std::size_t n, std::size_t victim) {
+  if (victim >= n) throw std::out_of_range("victim >= n");
+  const BitVec zeros = BitVec::zeros(n);
+  const BitVec ones = BitVec::ones(n);
+  const BitVec hot = BitVec::one_hot(n, victim);   // victim 1, aggressors 0
+  const BitVec cold = ~hot;                        // victim 0, aggressors 1
+  switch (f) {
+    case MaFault::Pg: return {zeros, cold};
+    case MaFault::PgBar: return {hot, ones};
+    case MaFault::Ng: return {ones, hot};
+    case MaFault::NgBar: return {cold, zeros};
+    case MaFault::Rs: return {cold, hot};
+    case MaFault::Fs: return {hot, cold};
+  }
+  throw std::invalid_argument("bad fault");
+}
+
+namespace {
+
+/// Shared classification core: `first`..`last` is the aggressor range
+/// (inclusive), victim excluded.
+std::optional<MaFault> classify_range(const BitVec& prev, const BitVec& next,
+                                      std::size_t victim, std::size_t first,
+                                      std::size_t last) {
+  // All aggressors in range must switch the same way.
+  int agg = 2;  // 2 = unset
+  for (std::size_t i = first; i <= last; ++i) {
+    if (i == victim) continue;
+    const int d = (next[i] ? 1 : 0) - (prev[i] ? 1 : 0);
+    if (agg == 2) {
+      agg = d;
+    } else if (agg != d) {
+      return std::nullopt;
+    }
+  }
+  if (agg == 0 || agg == 2) return std::nullopt;
+
+  const int dv = (next[victim] ? 1 : 0) - (prev[victim] ? 1 : 0);
+  if (agg > 0) {  // aggressors rising
+    if (dv == 0) return prev[victim] ? MaFault::PgBar : MaFault::Pg;
+    if (dv < 0) return MaFault::Fs;
+    return std::nullopt;  // victim rising with aggressors: no MA stress
+  }
+  // Aggressors falling.
+  if (dv == 0) return prev[victim] ? MaFault::Ng : MaFault::NgBar;
+  if (dv > 0) return MaFault::Rs;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MaFault> classify(const BitVec& prev, const BitVec& next,
+                                std::size_t victim) {
+  const std::size_t n = prev.size();
+  if (next.size() != n) throw std::invalid_argument("width mismatch");
+  if (victim >= n) throw std::out_of_range("victim >= n");
+  if (n < 2) return std::nullopt;
+  return classify_range(prev, next, victim, 0, n - 1);
+}
+
+std::optional<MaFault> classify_neighborhood(const BitVec& prev,
+                                             const BitVec& next,
+                                             std::size_t victim) {
+  const std::size_t n = prev.size();
+  if (next.size() != n) throw std::invalid_argument("width mismatch");
+  if (victim >= n) throw std::out_of_range("victim >= n");
+  if (n < 2) return std::nullopt;
+  const std::size_t first = victim == 0 ? 0 : victim - 1;
+  const std::size_t last = victim + 1 < n ? victim + 1 : n - 1;
+  return classify_range(prev, next, victim, first, last);
+}
+
+std::ostream& operator<<(std::ostream& os, MaFault f) {
+  return os << fault_name(f);
+}
+
+}  // namespace jsi::mafm

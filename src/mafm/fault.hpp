@@ -1,0 +1,67 @@
+#ifndef JSI_MAFM_FAULT_HPP
+#define JSI_MAFM_FAULT_HPP
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "util/bitvec.hpp"
+
+namespace jsi::mafm {
+
+/// The six integrity faults of the Maximum-Aggressor fault model
+/// (Cuviello et al., paper Fig 3): for a victim wire among n interconnects,
+/// all other wires act as aggressors switching in unison.
+enum class MaFault : std::uint8_t {
+  Pg,     ///< positive glitch: victim quiet 0, aggressors rise
+  PgBar,  ///< positive glitch on a high line: victim quiet 1, aggressors rise
+  Ng,     ///< negative glitch: victim quiet 1, aggressors fall
+  NgBar,  ///< negative glitch on a low line: victim quiet 0, aggressors fall
+  Rs,     ///< rising skew: victim rises, aggressors fall
+  Fs,     ///< falling skew: victim falls, aggressors rise
+};
+
+inline constexpr std::array<MaFault, 6> kAllFaults{
+    MaFault::Pg, MaFault::PgBar, MaFault::Ng,
+    MaFault::NgBar, MaFault::Rs, MaFault::Fs};
+
+/// Display name: "Pg", "Pg'", "Ng", "Ng'", "Rs", "Fs".
+std::string_view fault_name(MaFault f);
+
+/// True for the glitch (noise) faults caught by the ND cell; false for the
+/// skew faults caught by the SD cell.
+constexpr bool is_noise_fault(MaFault f) {
+  return f != MaFault::Rs && f != MaFault::Fs;
+}
+
+/// The two consecutive test vectors exciting one MA fault.
+struct VectorPair {
+  util::BitVec v1;  ///< bus state before the transition
+  util::BitVec v2;  ///< bus state after the transition
+};
+
+/// Vector pair exciting fault `f` on `victim` in an `n`-wire bus.
+/// Throws std::out_of_range when victim >= n.
+VectorPair vectors_for(MaFault f, std::size_t n, std::size_t victim);
+
+/// Identify which MA fault (if any) the bus transition `prev -> next`
+/// excites on wire `victim`: requires every aggressor to switch the same
+/// direction and the victim to behave per the fault definition.
+std::optional<MaFault> classify(const util::BitVec& prev,
+                                const util::BitVec& next, std::size_t victim);
+
+/// Like `classify`, but considering only the victim's *adjacent* wires as
+/// aggressors. Under a nearest-neighbour coupling model this is the
+/// stress that actually reaches the victim, and it is what multi-victim
+/// (parallel) pattern generation preserves: distant wires may do anything.
+std::optional<MaFault> classify_neighborhood(const util::BitVec& prev,
+                                             const util::BitVec& next,
+                                             std::size_t victim);
+
+std::ostream& operator<<(std::ostream& os, MaFault f);
+
+}  // namespace jsi::mafm
+
+#endif  // JSI_MAFM_FAULT_HPP

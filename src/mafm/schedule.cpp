@@ -1,0 +1,164 @@
+#include "mafm/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsi::mafm {
+
+using util::BitVec;
+
+std::vector<BitVec> conventional_victim_sequence(std::size_t n,
+                                                 std::size_t victim) {
+  std::vector<BitVec> seq;
+  seq.reserve(12);
+  for (const MaFault f : kAllFaults) {
+    const VectorPair p = vectors_for(f, n, victim);
+    seq.push_back(p.v1);
+    seq.push_back(p.v2);
+  }
+  return seq;
+}
+
+std::vector<BitVec> conventional_session(std::size_t n) {
+  std::vector<BitVec> seq;
+  seq.reserve(12 * n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto part = conventional_victim_sequence(n, v);
+    seq.insert(seq.end(), part.begin(), part.end());
+  }
+  return seq;
+}
+
+std::vector<std::vector<std::size_t>> parallel_victim_rounds(
+    std::size_t n, std::size_t guard) {
+  if (guard < 2) throw std::invalid_argument("guard must be >= 2");
+  std::vector<std::vector<std::size_t>> rounds;
+  for (std::size_t r = 0; r < guard && r < n; ++r) {
+    std::vector<std::size_t> victims;
+    for (std::size_t v = r; v < n; v += guard) victims.push_back(v);
+    rounds.push_back(std::move(victims));
+  }
+  return rounds;
+}
+
+namespace {
+
+/// Shared update semantics of a column of PGBSCs (see Pgbsc::update).
+class RefGenerator {
+ public:
+  RefGenerator(std::size_t n, bool initial_value)
+      : q2_(n, initial_value), sel_(BitVec::one_hot(n, 0)) {}
+
+  RefGenerator(std::size_t n, bool initial_value, BitVec select)
+      : q2_(n, initial_value), sel_(std::move(select)) {}
+
+  PgbscStep update(bool from_rotate_scan) {
+    const BitVec prev = q2_;
+    const bool ff3_old = ff3_;
+    ff3_ = !ff3_;
+    for (std::size_t i = 0; i < q2_.size(); ++i) {
+      const bool victim = sel_[i];
+      const bool clk = victim ? (!ff3_old && ff3_) : true;
+      if (clk) q2_.set(i, !q2_[i]);
+    }
+    const std::size_t victim = victim_index();
+    std::optional<MaFault> fault;
+    if (victim < q2_.size()) fault = classify(prev, q2_, victim);
+    return PgbscStep{q2_, victim, fault, from_rotate_scan};
+  }
+
+  void rotate() { sel_.shift_in(false); }
+
+  /// Currently selected victims (any number of hot bits).
+  std::vector<std::size_t> victims() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < sel_.size(); ++i) {
+      if (sel_[i]) out.push_back(i);
+    }
+    return out;
+  }
+
+  const BitVec& vector() const { return q2_; }
+
+  std::size_t victim_index() const {
+    for (std::size_t i = 0; i < sel_.size(); ++i) {
+      if (sel_[i]) return i;
+    }
+    return sel_.size();  // one-hot shifted out: no victim selected
+  }
+
+ private:
+  BitVec q2_;
+  BitVec sel_;
+  bool ff3_ = true;
+};
+
+}  // namespace
+
+std::vector<PgbscStep> pgbsc_reference_sequence(std::size_t n,
+                                                bool initial_value) {
+  if (n < 2) throw std::invalid_argument("MA model needs >= 2 wires");
+  RefGenerator gen(n, initial_value);
+  std::vector<PgbscStep> steps;
+  steps.reserve(4 * n + 1);
+  // The victim-select scan's trailing Update-DR fires the first pattern.
+  steps.push_back(gen.update(false));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int i = 0; i < 3; ++i) steps.push_back(gen.update(false));
+    gen.rotate();
+    steps.push_back(gen.update(true));
+  }
+  return steps;
+}
+
+std::vector<MaFault> faults_covered(const std::vector<PgbscStep>& seq,
+                                    std::size_t victim) {
+  std::vector<MaFault> out;
+  for (const auto& s : seq) {
+    if (s.victim == victim && s.fault.has_value()) {
+      if (std::find(out.begin(), out.end(), *s.fault) == out.end()) {
+        out.push_back(*s.fault);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ParallelStep> pgbsc_parallel_reference(std::size_t n,
+                                                   std::size_t guard,
+                                                   bool initial_value) {
+  if (n < 2) throw std::invalid_argument("MA model needs >= 2 wires");
+  const auto rounds = parallel_victim_rounds(n, guard);
+  BitVec select(n, false);
+  for (std::size_t v : rounds.front()) select.set(v, true);
+  RefGenerator gen(n, initial_value, select);
+
+  std::vector<ParallelStep> steps;
+  steps.reserve(4 * rounds.size() + 1);
+  auto record = [&](bool rotate) {
+    gen.update(false);
+    steps.push_back(ParallelStep{gen.vector(), gen.victims(), rotate});
+  };
+  // The victim-select scan's trailing update fires the first pattern.
+  record(false);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    for (int i = 0; i < 3; ++i) record(false);
+    gen.rotate();  // advance every hot bit by one wire
+    record(true);
+  }
+  return steps;
+}
+
+std::vector<PgbscStep> single_init_extended_sequence(std::size_t n,
+                                                     std::size_t updates) {
+  if (n < 2) throw std::invalid_argument("MA model needs >= 2 wires");
+  RefGenerator gen(n, false);
+  std::vector<PgbscStep> steps;
+  steps.reserve(updates);
+  for (std::size_t i = 0; i < updates; ++i) {
+    steps.push_back(gen.update(false));
+  }
+  return steps;
+}
+
+}  // namespace jsi::mafm

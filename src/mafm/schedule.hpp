@@ -1,0 +1,82 @@
+#ifndef JSI_MAFM_SCHEDULE_HPP
+#define JSI_MAFM_SCHEDULE_HPP
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "mafm/fault.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::mafm {
+
+/// Conventional-BSA schedule: every one of the 6 vector pairs per victim,
+/// each vector scanned in individually (paper §3.1: "2n² test patterns...
+/// O(n²) clocks"). Returns the 12 bus states to apply, in order, for one
+/// victim.
+std::vector<util::BitVec> conventional_victim_sequence(std::size_t n,
+                                                       std::size_t victim);
+
+/// Full conventional session: victim 0..n-1, 12 vectors each (12n total).
+std::vector<util::BitVec> conventional_session(std::size_t n);
+
+/// One Update-DR event of the PGBSC reference sequence.
+struct PgbscStep {
+  util::BitVec vector;           ///< bus state after the update
+  std::size_t victim;            ///< selected victim at the update
+  std::optional<MaFault> fault;  ///< MA fault excited by this transition
+  bool from_rotate_scan;         ///< update belonged to a victim-rotate scan
+};
+
+/// Golden reference for the hardware pattern generator (paper Figs 5 & 8).
+///
+/// Models the PGBSC update semantics exactly — FF3 divider starting at 1,
+/// aggressors toggling every Update-DR, the victim at half rate — for one
+/// initial value. The sequence contains 4n+1 updates:
+///   update 0   — end of the victim-select scan (excites the victim-0
+///                glitch fault immediately),
+///   then per victim: two more pattern updates, one all-toggle "reset"
+///   update, and the rotate-scan update exciting the next victim's first
+///   fault.
+///
+/// With initial value 0 every victim receives {Pg, Rs, Pg'}; with initial
+/// value 1, {Ng, Fs, Ng'}.
+std::vector<PgbscStep> pgbsc_reference_sequence(std::size_t n,
+                                                bool initial_value);
+
+/// Distinct MA faults excited on `victim` by a reference sequence.
+std::vector<MaFault> faults_covered(const std::vector<PgbscStep>& seq,
+                                    std::size_t victim);
+
+/// Parallel (multi-victim) extension: victims spaced `guard` wires apart
+/// are tested simultaneously — legitimate whenever coupling is
+/// nearest-neighbour dominated, since every victim's adjacent wires are
+/// still aggressors. Round r selects victims {r, r+guard, r+2*guard, ...};
+/// `guard` rounds cover every wire. Requires guard >= 2 (guard == n
+/// degenerates to the paper's one-victim-at-a-time flow).
+std::vector<std::vector<std::size_t>> parallel_victim_rounds(
+    std::size_t n, std::size_t guard);
+
+/// One Update-DR of the parallel-victim reference sequence.
+struct ParallelStep {
+  util::BitVec vector;               ///< bus state after the update
+  std::vector<std::size_t> victims;  ///< selected victims at the update
+  bool from_rotate_scan;
+};
+
+/// Golden reference for multi-hot pattern generation: per initial value,
+/// 4*guard + 1 updates instead of 4n + 1.
+std::vector<ParallelStep> pgbsc_parallel_reference(std::size_t n,
+                                                   std::size_t guard,
+                                                   bool initial_value);
+
+/// What a *single*-initial-value PGBSC scheme would cover if it simply kept
+/// running (the paper's §3.1 ablation: the victim passes through both
+/// levels and the aggressor:victim frequency ratio breaks). Used by the
+/// `ablation_one_init` bench.
+std::vector<PgbscStep> single_init_extended_sequence(std::size_t n,
+                                                     std::size_t updates);
+
+}  // namespace jsi::mafm
+
+#endif  // JSI_MAFM_SCHEDULE_HPP

@@ -1,0 +1,63 @@
+#include "rtl/area.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace jsi::rtl {
+
+double nand_equiv(GateKind k) {
+  switch (k) {
+    case GateKind::Const0:
+    case GateKind::Const1: return 0.0;
+    case GateKind::Buf: return 1.0;
+    case GateKind::Inv: return 0.5;
+    case GateKind::And2:
+    case GateKind::Or2: return 1.5;
+    case GateKind::Nand2:
+    case GateKind::Nor2: return 1.0;
+    case GateKind::Xor2:
+    case GateKind::Xnor2: return 2.5;
+    case GateKind::Mux2: return 2.5;
+    case GateKind::Dff: return 6.0;
+    case GateKind::LatchH: return 3.0;
+    case GateKind::AnalogNd: return 1.75;
+    case GateKind::AnalogSd: return 5.25;
+  }
+  return 0.0;
+}
+
+double nand_equiv(const Netlist& nl) {
+  double total = 0.0;
+  for (const auto& g : nl.gates()) total += nand_equiv(g.kind);
+  return total;
+}
+
+std::map<GateKind, AreaLine> area_breakdown(const Netlist& nl) {
+  std::map<GateKind, AreaLine> m;
+  for (const auto& g : nl.gates()) {
+    auto& line = m[g.kind];
+    ++line.count;
+    line.nand_eq += nand_equiv(g.kind);
+  }
+  return m;
+}
+
+std::string format_area_report(const Netlist& nl) {
+  util::Table t({"cell", "count", "NAND-eq"});
+  t.set_title("Area report: " + nl.name());
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& [kind, line] : area_breakdown(nl)) {
+    t.add_row({std::string(gate_name(kind)), std::to_string(line.count),
+               util::fmt_double(line.nand_eq, 2)});
+    total += line.nand_eq;
+    count += line.count;
+  }
+  t.add_row({"TOTAL", std::to_string(count), util::fmt_double(total, 2)});
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+}  // namespace jsi::rtl

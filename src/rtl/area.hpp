@@ -1,0 +1,44 @@
+#ifndef JSI_RTL_AREA_HPP
+#define JSI_RTL_AREA_HPP
+
+#include <map>
+#include <string>
+
+#include "rtl/gate.hpp"
+#include "rtl/netlist.hpp"
+
+namespace jsi::rtl {
+
+/// NAND2-equivalent area model.
+///
+/// The paper's Table 7 reports boundary-scan cell cost in NAND-gate
+/// equivalents from a Synopsys flow; we regenerate the same unit from the
+/// structural netlists. The convention is the classic transistor-count one:
+/// one NAND2 = 4 transistors, so NE(kind) = transistors(kind) / 4 for
+/// static CMOS implementations:
+///
+///   INV 2T -> 0.5      BUF 4T -> 1.0      NAND2/NOR2 4T -> 1.0
+///   AND2/OR2 6T -> 1.5 XOR2/XNOR2 10T -> 2.5
+///   MUX2 (static) 10T -> 2.5
+///   DFF (TG master-slave) 24T -> 6.0
+///   LATCH 12T -> 3.0
+///   ND macro (Fig 1, T1..T7) 7T -> 1.75
+///   SD macro (Fig 2, 7T + 5-inv delay generator + NOR) 21T -> 5.25
+double nand_equiv(GateKind k);
+
+/// Total NAND2-equivalents of all gates in `nl`.
+double nand_equiv(const Netlist& nl);
+
+/// Per-kind breakdown: kind -> (count, total NE).
+struct AreaLine {
+  std::size_t count = 0;
+  double nand_eq = 0.0;
+};
+std::map<GateKind, AreaLine> area_breakdown(const Netlist& nl);
+
+/// Render an area breakdown as text (for reports and benches).
+std::string format_area_report(const Netlist& nl);
+
+}  // namespace jsi::rtl
+
+#endif  // JSI_RTL_AREA_HPP

@@ -1,0 +1,85 @@
+#ifndef JSI_RTL_GATE_HPP
+#define JSI_RTL_GATE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace jsi::rtl {
+
+/// Primitive cell kinds available to structural netlists.
+///
+/// The last two are *macro* cells for the analog sensor blocks of the
+/// paper's Figs 1-2; they have no gate-level function here (the behavioural
+/// models in `jsi::si` provide it) but carry transistor-derived area so the
+/// Table 7 cost analysis can include them.
+enum class GateKind : std::uint8_t {
+  Const0,    ///< tie-low
+  Const1,    ///< tie-high
+  Buf,       ///< buffer
+  Inv,       ///< inverter
+  And2,      ///< 2-input AND
+  Or2,       ///< 2-input OR
+  Nand2,     ///< 2-input NAND
+  Nor2,      ///< 2-input NOR
+  Xor2,      ///< 2-input XOR
+  Xnor2,     ///< 2-input XNOR
+  Mux2,      ///< 2:1 mux, inputs (a, b, sel): out = sel ? b : a
+  Dff,       ///< rising-edge D flip-flop, inputs (d, clk)
+  LatchH,    ///< level-sensitive latch, transparent high, inputs (d, en)
+  AnalogNd,  ///< noise-detector sense-amp macro (Fig 1), area only
+  AnalogSd,  ///< skew-detector delay-gen + comparator macro (Fig 2), area only
+};
+
+/// Number of input pins a gate of kind `k` takes.
+constexpr int gate_arity(GateKind k) {
+  switch (k) {
+    case GateKind::Const0:
+    case GateKind::Const1: return 0;
+    case GateKind::Buf:
+    case GateKind::Inv:
+    case GateKind::AnalogNd:
+    case GateKind::AnalogSd: return 1;
+    case GateKind::And2:
+    case GateKind::Or2:
+    case GateKind::Nand2:
+    case GateKind::Nor2:
+    case GateKind::Xor2:
+    case GateKind::Xnor2:
+    case GateKind::Dff:
+    case GateKind::LatchH: return 2;
+    case GateKind::Mux2: return 3;
+  }
+  return 0;
+}
+
+/// True for state-holding elements (evaluated on clock/enable, not in the
+/// combinational levelization).
+constexpr bool is_sequential(GateKind k) {
+  return k == GateKind::Dff || k == GateKind::LatchH;
+}
+
+/// Human-readable kind name for netlist dumps.
+constexpr std::string_view gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::Const0: return "CONST0";
+    case GateKind::Const1: return "CONST1";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Inv: return "INV";
+    case GateKind::And2: return "AND2";
+    case GateKind::Or2: return "OR2";
+    case GateKind::Nand2: return "NAND2";
+    case GateKind::Nor2: return "NOR2";
+    case GateKind::Xor2: return "XOR2";
+    case GateKind::Xnor2: return "XNOR2";
+    case GateKind::Mux2: return "MUX2";
+    case GateKind::Dff: return "DFF";
+    case GateKind::LatchH: return "LATCHH";
+    case GateKind::AnalogNd: return "ND_MACRO";
+    case GateKind::AnalogSd: return "SD_MACRO";
+  }
+  return "?";
+}
+
+}  // namespace jsi::rtl
+
+#endif  // JSI_RTL_GATE_HPP

@@ -1,0 +1,133 @@
+#include "rtl/netlist.hpp"
+
+#include <stdexcept>
+
+namespace jsi::rtl {
+
+NetId Netlist::new_net(const std::string& net_name) {
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(net_name);
+  drivers_.push_back(-1);
+  if (!net_name.empty()) by_name_[net_name] = id;
+  return id;
+}
+
+NetId Netlist::add_input(const std::string& net_name) {
+  const NetId id = new_net(net_name);
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_net(const std::string& net_name) {
+  return new_net(net_name);
+}
+
+NetId Netlist::add_gate(GateKind kind, const std::vector<NetId>& ins,
+                        const std::string& net_name) {
+  const NetId out = new_net(net_name);
+  add_gate_driving(out, kind, ins, net_name);
+  return out;
+}
+
+void Netlist::add_gate_driving(NetId out, GateKind kind,
+                               const std::vector<NetId>& ins,
+                               const std::string& g_name) {
+  if (static_cast<int>(ins.size()) != gate_arity(kind)) {
+    throw std::invalid_argument(std::string("gate ") +
+                                std::string(gate_name(kind)) +
+                                ": wrong input count");
+  }
+  if (out >= net_names_.size()) throw std::out_of_range("unknown output net");
+  if (drivers_[out] != -1) {
+    throw std::logic_error("net already driven: " + net_names_[out]);
+  }
+  for (NetId in : ins) {
+    if (in >= net_names_.size()) {
+      throw std::out_of_range("gate input references unknown net");
+    }
+  }
+  Gate g;
+  g.kind = kind;
+  for (std::size_t i = 0; i < ins.size(); ++i) g.in[i] = ins[i];
+  g.out = out;
+  g.name = g_name.empty() ? net_names_[out] : g_name;
+  drivers_[out] = static_cast<int>(gates_.size());
+  gates_.push_back(g);
+}
+
+void Netlist::set_output(NetId net, const std::string& port_name) {
+  if (net >= net_names_.size()) throw std::out_of_range("unknown net");
+  outputs_.emplace_back(port_name, net);
+}
+
+void Netlist::name_net(NetId net, const std::string& net_name) {
+  if (net >= net_names_.size()) throw std::out_of_range("unknown net");
+  net_names_[net] = net_name;
+  by_name_[net_name] = net;
+}
+
+NetId Netlist::find_net(const std::string& net_name) const {
+  return by_name_.at(net_name);
+}
+
+std::map<GateKind, std::size_t> Netlist::kind_histogram() const {
+  std::map<GateKind, std::size_t> h;
+  for (const auto& g : gates_) ++h[g.kind];
+  return h;
+}
+
+std::vector<std::size_t> Netlist::topo_order() const {
+  // DFS over combinational gates only; sequential outputs act as sources.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(gates_.size(), Mark::White);
+  std::vector<std::size_t> order;
+  order.reserve(gates_.size());
+
+  // Iterative DFS to survive large netlists.
+  struct Frame {
+    std::size_t gate;
+    int next_in;
+  };
+  for (std::size_t root = 0; root < gates_.size(); ++root) {
+    if (is_sequential(gates_[root].kind) || mark[root] != Mark::White) continue;
+    std::vector<Frame> stack{{root, 0}};
+    mark[root] = Mark::Grey;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Gate& g = gates_[f.gate];
+      if (f.next_in < gate_arity(g.kind)) {
+        const NetId in = g.in[f.next_in++];
+        const int drv = drivers_[in];
+        if (drv >= 0 && !is_sequential(gates_[drv].kind)) {
+          const auto d = static_cast<std::size_t>(drv);
+          if (mark[d] == Mark::Grey) {
+            throw std::logic_error("combinational cycle through net " +
+                                   net_names_[in]);
+          }
+          if (mark[d] == Mark::White) {
+            mark[d] = Mark::Grey;
+            stack.push_back({d, 0});
+          }
+        }
+      } else {
+        mark[f.gate] = Mark::Black;
+        order.push_back(f.gate);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (const auto& g : gates_) {
+    for (int i = 0; i < gate_arity(g.kind); ++i) {
+      if (g.in[i] == kNoNet) {
+        throw std::logic_error("gate " + g.name + " has unconnected input");
+      }
+    }
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+}  // namespace jsi::rtl

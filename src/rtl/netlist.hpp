@@ -1,0 +1,108 @@
+#ifndef JSI_RTL_NETLIST_HPP
+#define JSI_RTL_NETLIST_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/gate.hpp"
+
+namespace jsi::rtl {
+
+/// Index of a net inside a Netlist.
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+/// One gate instance: kind, up to three input nets, one output net.
+struct Gate {
+  GateKind kind;
+  std::array<NetId, 3> in{kNoNet, kNoNet, kNoNet};
+  NetId out = kNoNet;
+  std::string name;
+};
+
+/// Structural gate-level netlist.
+///
+/// Every net is driven by at most one gate or declared as a primary input.
+/// The netlist is the single source of truth for both functional
+/// simulation (`NetlistSim`) and area accounting (`area.hpp`), so the
+/// structural cell libraries in `jsi::bsc` stay consistent with the cost
+/// figures they report.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declare a primary input net.
+  NetId add_input(const std::string& net_name);
+
+  /// Declare a floating net to be driven later by `add_gate_driving`
+  /// (needed for feedback loops such as a toggle flip-flop).
+  NetId add_net(const std::string& net_name = "");
+
+  /// Add a gate; returns its output net. Input count must match
+  /// `gate_arity(kind)`. For `Dff` the inputs are (d, clk); for `LatchH`,
+  /// (d, en); for `Mux2`, (a, b, sel) with out = sel ? b : a.
+  NetId add_gate(GateKind kind, const std::vector<NetId>& inputs,
+                 const std::string& net_name = "");
+
+  /// Add a gate whose output is the pre-declared net `out` (from
+  /// `add_net`). Throws std::logic_error if `out` already has a driver.
+  void add_gate_driving(NetId out, GateKind kind,
+                        const std::vector<NetId>& inputs,
+                        const std::string& gate_name = "");
+
+  /// Mark `net` as a primary output under `port_name`.
+  void set_output(NetId net, const std::string& port_name);
+
+  /// Give `net` a (better) name; later names win.
+  void name_net(NetId net, const std::string& net_name);
+
+  std::size_t net_count() const { return net_names_.size(); }
+  std::size_t gate_count() const { return gates_.size(); }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<std::pair<std::string, NetId>>& outputs() const {
+    return outputs_;
+  }
+
+  /// Net name ("" if never named).
+  const std::string& net_name(NetId id) const { return net_names_.at(id); }
+
+  /// Resolve a named net; throws std::out_of_range if unknown.
+  NetId find_net(const std::string& net_name) const;
+
+  /// Driving gate index for `net`, or -1 for primary inputs / undriven.
+  int driver_of(NetId net) const { return drivers_.at(net); }
+
+  /// Count of gates per kind (for area and reporting).
+  std::map<GateKind, std::size_t> kind_histogram() const;
+
+  /// Verify structural sanity: every gate input driven (or a primary
+  /// input), no combinational cycles (paths through Dff/LatchH break
+  /// cycles). Throws std::logic_error describing the first violation.
+  void validate() const;
+
+  /// Combinational gates in dependency order (inputs before users).
+  /// Sequential gates are excluded. Computed by validate-like DFS.
+  std::vector<std::size_t> topo_order() const;
+
+ private:
+  NetId new_net(const std::string& net_name);
+
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::vector<int> drivers_;  // per net: gate index or -1
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<std::pair<std::string, NetId>> outputs_;
+  std::map<std::string, NetId> by_name_;
+};
+
+}  // namespace jsi::rtl
+
+#endif  // JSI_RTL_NETLIST_HPP

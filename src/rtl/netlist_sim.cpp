@@ -1,0 +1,144 @@
+#include "rtl/netlist_sim.hpp"
+
+#include <stdexcept>
+
+namespace jsi::rtl {
+
+using util::Logic;
+
+namespace {
+
+Logic eval_gate(GateKind kind, Logic a, Logic b, Logic c) {
+  switch (kind) {
+    case GateKind::Const0: return Logic::L0;
+    case GateKind::Const1: return Logic::L1;
+    case GateKind::Buf: return a;
+    case GateKind::Inv: return util::l_not(a);
+    case GateKind::And2: return util::l_and(a, b);
+    case GateKind::Or2: return util::l_or(a, b);
+    case GateKind::Nand2: return util::l_not(util::l_and(a, b));
+    case GateKind::Nor2: return util::l_not(util::l_or(a, b));
+    case GateKind::Xor2: return util::l_xor(a, b);
+    case GateKind::Xnor2: return util::l_not(util::l_xor(a, b));
+    case GateKind::Mux2: return util::l_mux(c, a, b);
+    default: return Logic::X;
+  }
+}
+
+}  // namespace
+
+std::vector<Logic> evaluate_combinational(const Netlist& nl,
+                                          std::vector<Logic> values) {
+  if (values.size() != nl.net_count()) {
+    throw std::invalid_argument("value map size != net count");
+  }
+  for (const std::size_t gi : nl.topo_order()) {
+    const Gate& g = nl.gates()[gi];
+    const auto in = [&](int i) {
+      return g.in[i] == kNoNet ? Logic::X : values[g.in[i]];
+    };
+    values[g.out] = eval_gate(g.kind, in(0), in(1), in(2));
+  }
+  return values;
+}
+
+NetlistSim::NetlistSim(sim::Scheduler& sched, const Netlist& nl,
+                       sim::Time gate_delay)
+    : sched_(&sched), nl_(&nl), gate_delay_(gate_delay) {
+  nl.validate();
+  values_.assign(nl.net_count(), Logic::X);
+  fanout_.assign(nl.net_count(), {});
+  const auto& gates = nl.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& g = gates[gi];
+    for (int i = 0; i < gate_arity(g.kind); ++i) {
+      fanout_[g.in[i]].push_back(gi);
+    }
+    // Tie cells drive their constant from time zero.
+    if (g.kind == GateKind::Const0) values_[g.out] = Logic::L0;
+    if (g.kind == GateKind::Const1) values_[g.out] = Logic::L1;
+  }
+}
+
+void NetlistSim::set_input(NetId net, Logic v, sim::Time delay) {
+  sched_->schedule(delay, [this, net, v] {
+    const Logic old = values_[net];
+    if (old == v) return;
+    values_[net] = v;
+    net_changed(net, old);
+  });
+}
+
+void NetlistSim::set_input(const std::string& name, Logic v, sim::Time delay) {
+  set_input(nl_->find_net(name), v, delay);
+}
+
+void NetlistSim::deposit(NetId net, Logic v) {
+  const Logic old = values_[net];
+  if (old == v) return;
+  values_[net] = v;
+  net_changed(net, old);
+}
+
+util::Logic NetlistSim::value(const std::string& name) const {
+  return values_.at(nl_->find_net(name));
+}
+
+Logic NetlistSim::comb_value(const Gate& g) const {
+  const auto in = [&](int i) {
+    return g.in[i] == kNoNet ? Logic::X : values_[g.in[i]];
+  };
+  return eval_gate(g.kind, in(0), in(1), in(2));
+}
+
+void NetlistSim::assign(NetId net, Logic v, sim::Time delay) {
+  sched_->schedule(delay, [this, net, v] {
+    const Logic old = values_[net];
+    if (old == v) return;
+    values_[net] = v;
+    net_changed(net, old);
+  });
+}
+
+void NetlistSim::eval_comb(std::size_t gate_idx) {
+  const Gate& g = nl_->gates()[gate_idx];
+  ++evals_;
+  assign(g.out, comb_value(g), gate_delay_);
+}
+
+void NetlistSim::net_changed(NetId net, Logic old_v) {
+  for (std::size_t gi : fanout_[net]) {
+    const Gate& g = nl_->gates()[gi];
+    switch (g.kind) {
+      case GateKind::Dff:
+        // Sample only on a clean rising edge of the clock pin.
+        if (g.in[1] == net && old_v != Logic::L1 &&
+            values_[net] == Logic::L1) {
+          const Logic d = old_v == Logic::L0 ? values_[g.in[0]] : Logic::X;
+          ++evals_;
+          assign(g.out, d, gate_delay_);
+        }
+        break;
+      case GateKind::LatchH: {
+        const Logic en = values_[g.in[1]];
+        if (en == Logic::L1) {
+          // Transparent: follow D (also fires when EN itself rose).
+          ++evals_;
+          assign(g.out, values_[g.in[0]], gate_delay_);
+        } else if (en != Logic::L0) {
+          ++evals_;
+          assign(g.out, Logic::X, gate_delay_);
+        }
+        break;
+      }
+      case GateKind::AnalogNd:
+      case GateKind::AnalogSd:
+        break;  // area-only macros
+      default:
+        eval_comb(gi);
+        break;
+    }
+  }
+}
+
+}  // namespace jsi::rtl

@@ -1,0 +1,82 @@
+#ifndef JSI_RTL_NETLIST_SIM_HPP
+#define JSI_RTL_NETLIST_SIM_HPP
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/logic.hpp"
+
+namespace jsi::rtl {
+
+/// Zero-delay levelized evaluation of a netlist's combinational part:
+/// given values for primary inputs and sequential-element outputs (X
+/// where unspecified, indexed by NetId), computes every combinational net
+/// in topological order and returns the complete value map. Sequential
+/// and analog-macro outputs are passed through untouched.
+///
+/// This is the oracle the event-driven `NetlistSim` is property-tested
+/// against: after the event queue drains, both must agree on every net.
+std::vector<util::Logic> evaluate_combinational(
+    const Netlist& nl, std::vector<util::Logic> values);
+
+/// Event-driven 4-state simulator for a `Netlist`.
+///
+/// Every combinational gate re-evaluates when one of its inputs changes and
+/// drives its output after `gate_delay`. `Dff` samples D on the rising edge
+/// of its clock net; because derived/gated clocks accumulate gate delays the
+/// D input observed at the edge is the pre-edge value, exactly as in
+/// hardware with positive hold margin. `LatchH` is transparent while its
+/// enable is 1.
+///
+/// The analog macro kinds (`AnalogNd`, `AnalogSd`) have no logic function;
+/// their outputs stay X (the behavioural sensors in `jsi::si` model them).
+class NetlistSim {
+ public:
+  NetlistSim(sim::Scheduler& sched, const Netlist& nl,
+             sim::Time gate_delay = 10 * sim::kPs);
+
+  /// Schedule primary-input `net` to take value `v` after `delay`.
+  void set_input(NetId net, util::Logic v, sim::Time delay = 0);
+
+  /// By-name convenience for `set_input`.
+  void set_input(const std::string& name, util::Logic v, sim::Time delay = 0);
+
+  /// Force a net immediately (e.g. initialize flip-flop outputs) and
+  /// propagate through the fanout with normal gate delays.
+  void deposit(NetId net, util::Logic v);
+
+  /// Current value of a net.
+  util::Logic value(NetId net) const { return values_.at(net); }
+
+  /// Current value of a named net.
+  util::Logic value(const std::string& name) const;
+
+  /// Snapshot of every net's current value (indexed by NetId).
+  const std::vector<util::Logic>& values() const { return values_; }
+
+  /// Run the scheduler until quiescent.
+  void settle() { sched_->run_all(); }
+
+  /// Number of gate evaluations performed (perf counter).
+  std::uint64_t evals() const { return evals_; }
+
+ private:
+  void net_changed(NetId net, util::Logic old_v);
+  void eval_comb(std::size_t gate_idx);
+  void assign(NetId net, util::Logic v, sim::Time delay);
+  util::Logic comb_value(const Gate& g) const;
+
+  sim::Scheduler* sched_;
+  const Netlist* nl_;
+  sim::Time gate_delay_;
+  std::vector<util::Logic> values_;
+  std::vector<std::vector<std::size_t>> fanout_;  // net -> gate indices
+  std::uint64_t evals_ = 0;
+};
+
+}  // namespace jsi::rtl
+
+#endif  // JSI_RTL_NETLIST_SIM_HPP

@@ -1,0 +1,27 @@
+#include "si/ac.hpp"
+
+namespace jsi::si {
+
+Waveform ac_couple(const Waveform& w, const AcCouplingParams& p) {
+  Waveform out(w.samples(), w.dt(), p.bias);
+  if (w.samples() == 0) return out;
+  const double dt = static_cast<double>(w.dt()) * 1e-12;
+  const double a = p.tau / (p.tau + dt);
+  // y[i] = a * (y[i-1] + x[i] - x[i-1]); capacitor initially settled, so
+  // the DC level of x at t=0 is fully blocked.
+  double y = 0.0;
+  out[0] = p.bias;
+  for (std::size_t i = 1; i < w.samples(); ++i) {
+    y = a * (y + w[i] - w[i - 1]);
+    out[i] = p.bias + y;
+  }
+  return out;
+}
+
+bool AcTestReceiver::sees_activity(const Waveform& w) const {
+  const Waveform post = ac_couple(w, channel_);
+  return post.max_value() >= channel_.bias + threshold_ ||
+         post.min_value() <= channel_.bias - threshold_;
+}
+
+}  // namespace jsi::si

@@ -1,0 +1,56 @@
+#ifndef JSI_SI_AC_HPP
+#define JSI_SI_AC_HPP
+
+#include "si/detectors.hpp"
+#include "si/waveform.hpp"
+
+namespace jsi::si {
+
+/// AC-coupling model for the IEEE 1149.6 comparison (paper §1.1).
+///
+/// 1149.6 targets AC-coupled interconnects: a series DC-blocking capacitor
+/// with a terminated receiver forms a first-order high-pass, so the test
+/// receiver sees only the *derivative-shaped* edges of the signal riding
+/// on the termination bias. The paper argues this is exactly why a 49.6
+/// receiver cannot observe the class of integrity losses the ND cell
+/// catches — slowly developing level errors and low-speed noise survive
+/// the channel as (almost) nothing.
+struct AcCouplingParams {
+  double tau = 200e-12;  ///< R_term * C_block high-pass time constant [s]
+  double bias = 0.9;     ///< receiver termination bias [V]
+};
+
+/// Pass `w` through the AC-coupled channel: first-order high-pass plus
+/// the termination bias.
+Waveform ac_couple(const Waveform& w, const AcCouplingParams& p);
+
+/// A 1149.6-style test receiver: hysteresis comparator around the bias.
+/// It fires on excursions beyond `edge_threshold` volts from the bias —
+/// i.e. on sufficiently fast edges — and is blind to anything the
+/// DC-block removed.
+class AcTestReceiver {
+ public:
+  explicit AcTestReceiver(AcCouplingParams channel, double edge_threshold)
+      : channel_(channel), threshold_(edge_threshold) {}
+
+  /// True iff the receiver sees any activity for this (pre-channel)
+  /// waveform: the post-channel signal leaves the bias band.
+  bool sees_activity(const Waveform& w) const;
+
+  /// Sticky-flag semantics analogous to NdCell, but operating on the
+  /// post-channel waveform only.
+  void observe(const Waveform& w) {
+    if (sees_activity(w)) flag_ = true;
+  }
+  bool flag() const { return flag_; }
+  void clear() { flag_ = false; }
+
+ private:
+  AcCouplingParams channel_;
+  double threshold_;
+  bool flag_ = false;
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_AC_HPP

@@ -1,0 +1,126 @@
+#ifndef JSI_SI_BUS_HPP
+#define JSI_SI_BUS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "si/waveform.hpp"
+#include "sim/time.hpp"
+#include "util/bitvec.hpp"
+#include "util/logic.hpp"
+
+namespace jsi::si {
+
+/// Electrical parameters of an n-wire parallel interconnect bus.
+///
+/// Defaults model a long 180 nm-era global interconnect: ~350 Ω total drive
+/// resistance and ~300 fF per-wire load gives a ~105 ps self time constant,
+/// i.e. a ~73 ps nominal 50% delay.
+struct BusParams {
+  std::size_t n_wires = 8;
+  double vdd = 1.8;            ///< supply [V]
+  double r_driver = 250.0;     ///< driver output resistance [Ohm]
+  double r_wire = 100.0;       ///< distributed wire resistance (lumped) [Ohm]
+  double c_ground = 200e-15;   ///< wire-to-ground capacitance [F]
+  double c_couple = 50e-15;    ///< adjacent-pair coupling capacitance [F]
+  double l_wire = 0.0;         ///< wire inductance [H]; >0 enables ringing
+  sim::Time sample_dt = sim::kPs;  ///< waveform sample step
+  std::size_t samples = 2048;      ///< waveform window (2048 ps default)
+};
+
+/// Analytic coupled-RC(+L) model of the bus between two cores.
+///
+/// For each bus transition `prev -> next` the model produces the receiving-
+/// end voltage waveform of every wire:
+///
+///  * a **switching** wire follows a single-pole exponential whose time
+///    constant includes the Miller-weighted coupling capacitance (factor 0
+///    toward a neighbor switching the same way, 1 toward a quiet neighbor,
+///    2 toward an opposite-phase neighbor) — this reproduces the Rs/Fs
+///    delay push-out of the MA fault model. With `l_wire > 0` an
+///    underdamped second-order response adds overshoot/ringing.
+///  * a **quiet** wire stays at its rail plus the superposed
+///    double-exponential crosstalk glitch injected by each switching
+///    neighbor through the pair's coupling capacitor — the Pg/Ng family.
+///
+/// Manufacturing defects are injected by scaling a pair's coupling
+/// capacitance and/or adding series resistance to a wire (resistive open /
+/// weak driver), which is exactly the defect class the paper targets:
+/// "process variations and manufacturing defects may lead to an unexpected
+/// increase in coupling capacitances".
+class CoupledBus {
+ public:
+  explicit CoupledBus(BusParams p);
+
+  const BusParams& params() const { return p_; }
+  std::size_t n() const { return p_.n_wires; }
+
+  // ---- defect / process-variation injection -------------------------------
+
+  /// Multiply the coupling capacitance of adjacent pair `pair` = (pair,
+  /// pair+1) by `factor`. Cumulative.
+  void scale_coupling(std::size_t pair, double factor);
+
+  /// Add series resistance to `wire` (resistive open, weak driver).
+  void add_series_resistance(std::size_t wire, double ohms);
+
+  /// Composite crosstalk defect around `wire`: scales both adjacent
+  /// couplings by `severity` and weakens the wire's driver proportionally.
+  /// `severity` 1.0 is a no-op; ~5+ produces detectable glitches with the
+  /// default detector thresholds.
+  void inject_crosstalk_defect(std::size_t wire, double severity);
+
+  /// Remove all injected defects.
+  void clear_defects();
+
+  // ---- electrical queries --------------------------------------------------
+
+  /// Effective coupling capacitance of adjacent pair `pair` [F].
+  double coupling(std::size_t pair) const;
+
+  /// Total series resistance of `wire` including defects [Ohm].
+  double resistance(std::size_t wire) const;
+
+  /// Total capacitance seen by `wire` (ground + both couplings) [F].
+  double total_cap(std::size_t wire) const;
+
+  /// Self time constant R*C of `wire` with current defects [s].
+  double self_tau(std::size_t wire) const;
+
+  /// Defect-free 50% delay of `wire` — the designer's timing expectation
+  /// from which the SD cell's skew-immune window is budgeted.
+  sim::Time nominal_delay(std::size_t wire) const;
+
+  // ---- simulation ----------------------------------------------------------
+
+  /// Receiving-end waveform of wire `i` for bus transition `prev -> next`
+  /// (bit vectors of width n, bit k = logic level of wire k).
+  Waveform wire_response(std::size_t i, const util::BitVec& prev,
+                         const util::BitVec& next) const;
+
+  /// All wire waveforms for one bus transition.
+  std::vector<Waveform> transition(const util::BitVec& prev,
+                                   const util::BitVec& next) const;
+
+  /// Logic value a receiver reads once the waveform settles (vdd/2
+  /// threshold on the final sample).
+  util::Logic settled_logic(const Waveform& w) const;
+
+ private:
+  int delta(const util::BitVec& prev, const util::BitVec& next,
+            std::size_t i) const;
+  double miller_cap(std::size_t i, const util::BitVec& prev,
+                    const util::BitVec& next) const;
+  Waveform switching_response(std::size_t i, double v0, double vf,
+                              double tau) const;
+  void add_glitch(Waveform& w, double cc, double ctot_v, double tau_v,
+                  double tau_a, int direction) const;
+
+  BusParams p_;
+  std::vector<double> couple_;   // per adjacent pair, with defects
+  std::vector<double> extra_r_;  // per wire, defect series resistance
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_BUS_HPP

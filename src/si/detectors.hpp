@@ -1,0 +1,116 @@
+#ifndef JSI_SI_DETECTORS_HPP
+#define JSI_SI_DETECTORS_HPP
+
+#include <optional>
+
+#include "si/waveform.hpp"
+#include "sim/time.hpp"
+#include "util/logic.hpp"
+
+namespace jsi::si {
+
+/// Behavioural parameters of the Noise Detector cell (paper Fig 1).
+///
+/// The physical cell is a cross-coupled PMOS sense amplifier with
+/// hysteresis: it fires when the monitored node crosses `V_Hthr` into the
+/// vulnerable region and releases only when the node returns below
+/// `V_Hmin`. We express both as fractions of Vdd measured as *deviation
+/// from the wire's nominal rail*, which covers positive glitches on a low
+/// line and negative glitches on a high line with one mirrored pair of
+/// thresholds.
+struct NdParams {
+  double vdd = 1.8;
+  double v_hthr_frac = 0.45;     ///< deviation that arms the detector
+  double v_hmin_frac = 0.35;     ///< deviation below which it releases
+  double overshoot_frac = 0.25;  ///< excursion beyond the rail (> Vdd or
+                                 ///< < GND) that also counts as noise
+};
+
+/// Behavioural Noise Detector (ND) cell.
+///
+/// `observe()` scans one receiving-end waveform and sets the sticky flag —
+/// the "FF set to 1" of the paper's OBSC — when the signal violates
+/// integrity while the cell is enabled (CE=1). The flag survives until
+/// `clear()`, matching "if CE=0 the cells are disabled but the captured
+/// data in their flip-flops remain unchanged".
+class NdCell {
+ public:
+  explicit NdCell(NdParams p = {}) : p_(p) {}
+
+  const NdParams& params() const { return p_; }
+
+  /// CE signal: when false, observe() leaves the flag untouched.
+  void set_enable(bool ce) { ce_ = ce; }
+  bool enabled() const { return ce_; }
+
+  /// Scan `w` given the line's driven logic level before (`initial`) and
+  /// after (`expected`) the transition. Passing the *driven* final level —
+  /// rather than inferring it from the waveform — lets the cell flag a
+  /// line that erroneously settles at the wrong rail (e.g. a slow droop).
+  void observe(const Waveform& w, util::Logic initial, util::Logic expected);
+
+  /// Pure query: would this waveform set the flag? (No state change.)
+  bool violates(const Waveform& w, util::Logic initial,
+                util::Logic expected) const;
+
+  /// Sticky violation flag (the ND flip-flop of the OBSC).
+  bool flag() const { return flag_; }
+
+  /// Reset the sticky flip-flop (Test-Logic-Reset / new test session).
+  void clear() { flag_ = false; }
+
+ private:
+  NdParams p_;
+  bool ce_ = false;
+  bool flag_ = false;
+};
+
+/// Behavioural parameters of the Skew Detector cell (paper Fig 2).
+///
+/// The physical cell delays the capture clock by a designer-chosen amount
+/// (odd inverter chain) and compares it with the interconnect output; a
+/// pulse appears when the signal is still in transit after the delayed
+/// clock edge. Behaviourally: a transitioning wire must have made its last
+/// crossing of the receiver threshold by `skew_budget`, and must settle to
+/// the driven value.
+struct SdParams {
+  double vdd = 1.8;
+  sim::Time skew_budget = 150 * sim::kPs;  ///< skew-immune window
+  double vth_frac = 0.5;                   ///< receiver threshold
+};
+
+/// Behavioural Skew Detector (SD) cell with a sticky violation flip-flop.
+class SdCell {
+ public:
+  explicit SdCell(SdParams p = {}) : p_(p) {}
+
+  const SdParams& params() const { return p_; }
+
+  void set_enable(bool ce) { ce_ = ce; }
+  bool enabled() const { return ce_; }
+
+  /// Scan `w` for a wire whose driven value changed from `initial` to
+  /// `expected` this cycle. Quiet wires are ND territory and are ignored.
+  void observe(const Waveform& w, util::Logic initial, util::Logic expected);
+
+  /// Pure query form of observe().
+  bool violates(const Waveform& w, util::Logic initial,
+                util::Logic expected) const;
+
+  /// Arrival instant: the last crossing of the receiver threshold, i.e.
+  /// when the transition is finally committed. nullopt if the wire never
+  /// crosses (stuck).
+  std::optional<sim::Time> arrival_time(const Waveform& w) const;
+
+  bool flag() const { return flag_; }
+  void clear() { flag_ = false; }
+
+ private:
+  SdParams p_;
+  bool ce_ = false;
+  bool flag_ = false;
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_DETECTORS_HPP

@@ -1,0 +1,75 @@
+#include "si/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace jsi::si {
+
+WaveMetrics measure(const Waveform& w, double vdd) {
+  WaveMetrics m;
+  if (w.samples() == 0) return m;
+  m.v_start = w[0];
+  m.v_final = w.final_value();
+  m.v_min = w.min_value();
+  m.v_max = w.max_value();
+
+  const double vth = vdd / 2.0;
+  const bool start_high = m.v_start >= vth;
+  const bool final_high = m.v_final >= vth;
+
+  if (start_high == final_high) {
+    // Quiet wire: report the worst excursion from its rail.
+    const double rail = final_high ? vdd : 0.0;
+    m.glitch_peak = std::max(m.v_max - rail, rail - m.v_min);
+    m.glitch_peak = std::max(m.glitch_peak, 0.0);
+    return m;
+  }
+
+  // Transition: 10/50/90 thresholds relative to the swing direction.
+  const double lo = 0.1 * vdd;
+  const double hi = 0.9 * vdd;
+  std::optional<sim::Time> t_lo, t_hi;
+  if (final_high) {
+    t_lo = w.first_above(lo);
+    t_hi = w.first_above(hi);
+    m.delay_50 = w.first_above(vth);
+  } else {
+    t_lo = w.first_below(hi);
+    t_hi = w.first_below(lo);
+    m.delay_50 = w.first_below(vth);
+  }
+  if (t_lo && t_hi && *t_hi >= *t_lo) {
+    m.transition_time = *t_hi - *t_lo;
+  } else {
+    m.transition_time = sim::Time{0};
+  }
+  m.settle_time = w.last_crossing(vth);
+
+  // Overshoot beyond the destination rail, relative to the full swing.
+  const double swing = vdd;
+  const double beyond =
+      final_high ? m.v_max - vdd : 0.0 - m.v_min;
+  m.overshoot_frac = std::max(0.0, beyond / swing);
+  return m;
+}
+
+std::string format_metrics(const WaveMetrics& m) {
+  std::ostringstream os;
+  os.precision(3);
+  if (m.is_transition()) {
+    os << "transition " << m.v_start << "V -> " << m.v_final << "V";
+    if (m.transition_time) os << ", 10-90% " << *m.transition_time << " ps";
+    if (m.delay_50) os << ", 50% delay " << *m.delay_50 << " ps";
+    if (m.settle_time) os << ", settles " << *m.settle_time << " ps";
+    if (m.overshoot_frac > 0.0) {
+      os << ", overshoot " << m.overshoot_frac * 100.0 << "%";
+    }
+  } else {
+    os << "quiet at " << m.v_final << "V, worst glitch " << m.glitch_peak
+       << "V";
+  }
+  return os.str();
+}
+
+}  // namespace jsi::si

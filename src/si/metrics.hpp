@@ -1,0 +1,51 @@
+#ifndef JSI_SI_METRICS_HPP
+#define JSI_SI_METRICS_HPP
+
+#include <optional>
+#include <string>
+
+#include "si/waveform.hpp"
+
+namespace jsi::si {
+
+/// Signal-integrity figures of merit extracted from one receiving-end
+/// waveform — the numbers a characterization report tabulates next to the
+/// pass/fail flags the detectors produce.
+struct WaveMetrics {
+  double v_start = 0.0;  ///< first sample [V]
+  double v_final = 0.0;  ///< settled value [V]
+  double v_min = 0.0;
+  double v_max = 0.0;
+
+  /// 10%-90% rise (or 90%-10% fall) time of the main transition; nullopt
+  /// for quiet waveforms.
+  std::optional<sim::Time> transition_time;
+
+  /// 50% propagation delay (first crossing); nullopt when never crossing.
+  std::optional<sim::Time> delay_50;
+
+  /// Settling instant: last crossing of the 50% threshold.
+  std::optional<sim::Time> settle_time;
+
+  /// Peak excursion beyond the final rail (over/undershoot), as a
+  /// fraction of the swing; 0 for monotone signals.
+  double overshoot_frac = 0.0;
+
+  /// Largest deviation from the rail for quiet waveforms [V]; 0 when the
+  /// waveform transitions.
+  double glitch_peak = 0.0;
+
+  bool is_transition() const { return transition_time.has_value(); }
+};
+
+/// Extract metrics. `vdd` sets the logic thresholds; the waveform is
+/// treated as a transition when start and settled values are on opposite
+/// sides of vdd/2, as a quiet (possibly glitching) wire otherwise.
+WaveMetrics measure(const Waveform& w, double vdd);
+
+/// One-line human-readable rendering ("rise 83 ps, delay 72 ps, ...").
+std::string format_metrics(const WaveMetrics& m);
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_METRICS_HPP

@@ -1,0 +1,73 @@
+#ifndef JSI_SI_WAVEFORM_HPP
+#define JSI_SI_WAVEFORM_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace jsi::si {
+
+/// Uniformly sampled analog voltage waveform.
+///
+/// The coupled-bus solver emits one `Waveform` per wire per bus transition;
+/// the ND/SD detector models then scan it for threshold crossings. Sampling
+/// step defaults to 1 ps which comfortably resolves the ~100 ps RC time
+/// constants of the modeled interconnects.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// `n` samples spaced `dt` apart, all at `init` volts.
+  Waveform(std::size_t n, sim::Time dt, double init = 0.0)
+      : dt_(dt), v_(n, init) {}
+
+  sim::Time dt() const { return dt_; }
+  std::size_t samples() const { return v_.size(); }
+  sim::Time duration() const { return dt_ * v_.size(); }
+
+  double& operator[](std::size_t i) { return v_[i]; }
+  double operator[](std::size_t i) const { return v_[i]; }
+
+  /// Linear interpolation at absolute time `t` (clamped to the ends).
+  double at(sim::Time t) const;
+
+  /// Voltage of the last sample (the settled value).
+  double final_value() const { return v_.empty() ? 0.0 : v_.back(); }
+
+  double max_value() const;
+  double min_value() const;
+
+  /// Earliest time at/after `from` where the waveform rises to >= `level`;
+  /// nullopt if it never does.
+  std::optional<sim::Time> first_above(double level, sim::Time from = 0) const;
+
+  /// Earliest time at/after `from` where the waveform falls to <= `level`.
+  std::optional<sim::Time> first_below(double level, sim::Time from = 0) const;
+
+  /// The *last* time the waveform crosses `level` (in either direction).
+  /// This is the signal's settling instant relative to a receiver threshold:
+  /// after it, the value stays on the final side of `level`. nullopt if the
+  /// waveform never crosses `level`.
+  std::optional<sim::Time> last_crossing(double level) const;
+
+  /// Add `other` sample-by-sample (same dt required; shorter one is
+  /// implicitly extended by its final value).
+  Waveform& operator+=(const Waveform& other);
+
+  /// Add a constant to every sample.
+  Waveform& offset(double dv);
+
+  /// CSV dump "t_ps,volts" (for gnuplot / inspection in benches).
+  std::string to_csv() const;
+
+ private:
+  sim::Time dt_ = sim::kPs;
+  std::vector<double> v_;
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_WAVEFORM_HPP

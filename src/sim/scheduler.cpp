@@ -1,0 +1,45 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace jsi::sim {
+
+void Scheduler::schedule_at(Time at, Callback cb) {
+  if (at < now_) at = now_;
+  queue_.push(Entry{at, seq_++, std::move(cb)});
+}
+
+std::size_t Scheduler::run_until(Time horizon) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    // Copy out before pop so the callback may schedule new events.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.at;
+    e.cb();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return n;
+}
+
+std::size_t Scheduler::run_all() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.at;
+    e.cb();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+void Scheduler::reset() {
+  queue_ = {};
+  now_ = 0;
+}
+
+}  // namespace jsi::sim

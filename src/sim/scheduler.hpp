@@ -1,0 +1,71 @@
+#ifndef JSI_SIM_SCHEDULER_HPP
+#define JSI_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace jsi::sim {
+
+/// Discrete-event scheduler.
+///
+/// Events are callbacks ordered by (time, insertion sequence): two events
+/// scheduled for the same instant fire in the order they were scheduled,
+/// which makes gate-delay simulations deterministic without delta-cycle
+/// bookkeeping at the call sites.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` picoseconds from `now()`.
+  void schedule(Time delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Schedule `cb` at absolute time `at`. `at` may equal `now()` (a delta
+  /// event) but must not be in the past; a past time is clamped to now.
+  void schedule_at(Time at, Callback cb);
+
+  /// Run events until the queue drains or simulated time would exceed
+  /// `horizon`. Returns the number of events executed. Events scheduled at
+  /// exactly `horizon` still run.
+  std::size_t run_until(Time horizon);
+
+  /// Run until the queue is completely empty. Returns events executed.
+  std::size_t run_all();
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed since construction (perf counter).
+  std::uint64_t executed() const { return executed_; }
+
+  /// Drop every pending event and reset time to 0.
+  void reset();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace jsi::sim
+
+#endif  // JSI_SIM_SCHEDULER_HPP

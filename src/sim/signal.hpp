@@ -1,0 +1,72 @@
+#ifndef JSI_SIM_SIGNAL_HPP
+#define JSI_SIM_SIGNAL_HPP
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/logic.hpp"
+
+namespace jsi::sim {
+
+/// A named, traced digital signal living inside a `Scheduler` timeline.
+///
+/// `set()` schedules the new value after a transport delay; observers
+/// registered with `on_change` fire when the value actually changes.
+/// Later-scheduled writes override earlier ones that land at the same or a
+/// later time only in arrival order (transport semantics, no inertial
+/// cancellation) — adequate for the clocked structures modeled here.
+class DSignal {
+ public:
+  using Observer = std::function<void(util::Logic old_v, util::Logic new_v, Time at)>;
+
+  DSignal(Scheduler& sched, std::string name,
+          util::Logic initial = util::Logic::X)
+      : sched_(&sched), name_(std::move(name)), value_(initial) {}
+
+  const std::string& name() const { return name_; }
+  util::Logic value() const { return value_; }
+
+  /// Schedule `v` to appear on the signal `delay` after the current time.
+  void set(util::Logic v, Time delay = 0) {
+    sched_->schedule(delay, [this, v] { apply(v); });
+  }
+
+  /// Immediately force the value (initialization / test setup).
+  void force(util::Logic v) { apply(v); }
+
+  /// Register an observer invoked on every value change.
+  void on_change(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Register an observer invoked only on a rising edge (0/X -> 1).
+  void on_rise(std::function<void(Time)> f) {
+    on_change([f = std::move(f)](util::Logic, util::Logic nv, Time at) {
+      if (nv == util::Logic::L1) f(at);
+    });
+  }
+
+  /// Number of value changes applied so far (toggle counter).
+  std::uint64_t toggles() const { return toggles_; }
+
+ private:
+  void apply(util::Logic v) {
+    if (v == value_) return;
+    const util::Logic old = value_;
+    value_ = v;
+    ++toggles_;
+    for (auto& obs : observers_) obs(old, v, sched_->now());
+  }
+
+  Scheduler* sched_;
+  std::string name_;
+  util::Logic value_;
+  std::uint64_t toggles_ = 0;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace jsi::sim
+
+#endif  // JSI_SIM_SIGNAL_HPP

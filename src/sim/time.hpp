@@ -1,0 +1,29 @@
+#ifndef JSI_SIM_TIME_HPP
+#define JSI_SIM_TIME_HPP
+
+#include <cstdint>
+
+namespace jsi::sim {
+
+/// Simulation time in picoseconds. 64 bits of picoseconds covers ~213 days
+/// of simulated time — far beyond any test session here.
+using Time = std::uint64_t;
+
+/// Convenience constructors so call sites read `5 * kNs` instead of raw
+/// picosecond literals.
+inline constexpr Time kPs = 1;
+inline constexpr Time kNs = 1000 * kPs;
+inline constexpr Time kUs = 1000 * kNs;
+inline constexpr Time kMs = 1000 * kUs;
+
+/// Convert picoseconds to (double) nanoseconds for reporting.
+inline constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Convert (double) nanoseconds to picoseconds, rounding to nearest.
+inline constexpr Time from_ns(double ns) {
+  return static_cast<Time>(ns * 1e3 + 0.5);
+}
+
+}  // namespace jsi::sim
+
+#endif  // JSI_SIM_TIME_HPP

@@ -1,0 +1,94 @@
+#include "sim/vcd.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace jsi::sim {
+
+VcdWriter::VcdWriter(const std::string& path) : os_(path) {
+  if (!os_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+VcdWriter::~VcdWriter() {
+  if (started_ && have_time_) {
+    // Final timestamp already emitted; nothing else required by the format.
+  }
+}
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable identifier characters per the VCD grammar: '!' (33) .. '~' (126).
+  std::string code;
+  std::size_t n = index;
+  do {
+    code.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return code;
+}
+
+VcdWriter::Id VcdWriter::add_signal(const std::string& name) {
+  if (started_) throw std::logic_error("VcdWriter: add_signal after begin");
+  sigs_.push_back(Sig{name, code_for(sigs_.size()), util::Logic::X});
+  return sigs_.size() - 1;
+}
+
+void VcdWriter::begin() {
+  if (started_) return;
+  started_ = true;
+  os_ << "$date jsi trace $end\n"
+      << "$version jsi VcdWriter $end\n"
+      << "$timescale 1ps $end\n";
+
+  // Group signals by their scope prefix (everything before the last dot).
+  std::map<std::string, std::vector<std::size_t>> scopes;
+  for (std::size_t i = 0; i < sigs_.size(); ++i) {
+    const auto& name = sigs_[i].name;
+    const auto dot = name.rfind('.');
+    scopes[dot == std::string::npos ? "" : name.substr(0, dot)].push_back(i);
+  }
+  for (const auto& [scope, ids] : scopes) {
+    if (!scope.empty()) os_ << "$scope module " << scope << " $end\n";
+    for (auto i : ids) {
+      const auto& name = sigs_[i].name;
+      const auto dot = name.rfind('.');
+      const std::string leaf =
+          dot == std::string::npos ? name : name.substr(dot + 1);
+      os_ << "$var wire 1 " << sigs_[i].code << ' ' << leaf << " $end\n";
+    }
+    if (!scope.empty()) os_ << "$upscope $end\n";
+  }
+  os_ << "$enddefinitions $end\n$dumpvars\n";
+  for (const auto& s : sigs_) os_ << 'x' << s.code << '\n';
+  os_ << "$end\n";
+}
+
+void VcdWriter::emit_time(Time at) {
+  if (!have_time_ || at != last_time_) {
+    os_ << '#' << at << '\n';
+    last_time_ = at;
+    have_time_ = true;
+  }
+}
+
+void VcdWriter::change(Id id, util::Logic v, Time at) {
+  if (!started_) throw std::logic_error("VcdWriter: change before begin");
+  if (id >= sigs_.size()) throw std::out_of_range("VcdWriter: bad signal id");
+  if (have_time_ && at < last_time_) {
+    throw std::logic_error("VcdWriter: time went backwards");
+  }
+  if (sigs_[id].last == v && have_time_) return;
+  emit_time(at);
+  char c = util::to_char(v);
+  if (c == 'X') c = 'x';
+  if (c == 'Z') c = 'z';
+  os_ << c << sigs_[id].code << '\n';
+  sigs_[id].last = v;
+  ++changes_;
+}
+
+void VcdWriter::timestamp(Time at) {
+  if (!started_) throw std::logic_error("VcdWriter: timestamp before begin");
+  emit_time(at);
+}
+
+}  // namespace jsi::sim

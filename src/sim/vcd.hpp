@@ -1,0 +1,73 @@
+#ifndef JSI_SIM_VCD_HPP
+#define JSI_SIM_VCD_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/logic.hpp"
+
+namespace jsi::sim {
+
+/// Value-Change-Dump (IEEE 1364 §18) writer so any session or cell model
+/// can be inspected in GTKWave. Timescale is fixed at 1 ps to match
+/// `sim::Time`.
+///
+/// Usage:
+///   VcdWriter vcd("trace.vcd");
+///   auto tck = vcd.add_signal("tap.tck");
+///   vcd.begin();                       // emits header
+///   vcd.change(tck, Logic::L0, 0);
+///   vcd.change(tck, Logic::L1, 500);
+///   ...                                // flushed/closed by destructor
+class VcdWriter {
+ public:
+  /// Opaque handle for a declared signal.
+  using Id = std::size_t;
+
+  /// Open `path` for writing; throws std::runtime_error on failure.
+  explicit VcdWriter(const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Declare a scalar signal. Dots in `name` become scope separators
+  /// ("tap.tck" -> module tap, wire tck). Must be called before `begin()`.
+  Id add_signal(const std::string& name);
+
+  /// Emit the VCD header; call after all signals are declared.
+  void begin();
+
+  /// Record `v` on signal `id` at absolute time `at` (ps). Times must be
+  /// non-decreasing across calls.
+  void change(Id id, util::Logic v, Time at);
+
+  /// Advance the timestamp without a value change (marks end of trace).
+  void timestamp(Time at);
+
+  /// Number of change records written (test hook).
+  std::uint64_t changes_written() const { return changes_; }
+
+ private:
+  struct Sig {
+    std::string name;
+    std::string code;
+    util::Logic last = util::Logic::X;
+  };
+  void emit_time(Time at);
+  static std::string code_for(std::size_t index);
+
+  std::ofstream os_;
+  std::vector<Sig> sigs_;
+  bool started_ = false;
+  bool have_time_ = false;
+  Time last_time_ = 0;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace jsi::sim
+
+#endif  // JSI_SIM_VCD_HPP

@@ -1,0 +1,32 @@
+#include "util/logic.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace jsi::util {
+
+char to_char(Logic v) {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'X';
+    case Logic::Z: return 'Z';
+  }
+  return '?';
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'x':
+    case 'X': return Logic::X;
+    case 'z':
+    case 'Z': return Logic::Z;
+    default: throw std::invalid_argument(std::string("not a logic char: ") + c);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v) { return os << to_char(v); }
+
+}  // namespace jsi::util

@@ -1,0 +1,78 @@
+#ifndef JSI_UTIL_LOGIC_HPP
+#define JSI_UTIL_LOGIC_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace jsi::util {
+
+/// Four-state logic value as used by gate-level and boundary-scan models.
+///
+/// `X` is "unknown" (uninitialized storage, conflicting drivers), `Z` is
+/// "high impedance" (undriven net). Gate evaluation treats `Z` inputs as
+/// `X` per common HDL semantics.
+enum class Logic : std::uint8_t {
+  L0 = 0,  ///< strong logic 0
+  L1 = 1,  ///< strong logic 1
+  X  = 2,  ///< unknown
+  Z  = 3,  ///< high impedance
+};
+
+/// True iff `v` is a known binary value (0 or 1).
+constexpr bool is_known(Logic v) { return v == Logic::L0 || v == Logic::L1; }
+
+/// Convert a bool to a Logic value.
+constexpr Logic to_logic(bool b) { return b ? Logic::L1 : Logic::L0; }
+
+/// Convert a known Logic value to bool; X/Z map to false.
+constexpr bool to_bool(Logic v) { return v == Logic::L1; }
+
+/// Logical NOT with X-propagation (Z treated as X).
+constexpr Logic l_not(Logic a) {
+  if (a == Logic::L0) return Logic::L1;
+  if (a == Logic::L1) return Logic::L0;
+  return Logic::X;
+}
+
+/// Logical AND with X-propagation: 0 dominates.
+constexpr Logic l_and(Logic a, Logic b) {
+  if (a == Logic::L0 || b == Logic::L0) return Logic::L0;
+  if (a == Logic::L1 && b == Logic::L1) return Logic::L1;
+  return Logic::X;
+}
+
+/// Logical OR with X-propagation: 1 dominates.
+constexpr Logic l_or(Logic a, Logic b) {
+  if (a == Logic::L1 || b == Logic::L1) return Logic::L1;
+  if (a == Logic::L0 && b == Logic::L0) return Logic::L0;
+  return Logic::X;
+}
+
+/// Logical XOR with X-propagation.
+constexpr Logic l_xor(Logic a, Logic b) {
+  if (!is_known(a) || !is_known(b)) return Logic::X;
+  return to_logic(a != b);
+}
+
+/// 2:1 multiplexer with X-propagation. `sel==1` picks `b`, `sel==0` picks
+/// `a`; an unknown select yields X unless both inputs agree.
+constexpr Logic l_mux(Logic sel, Logic a, Logic b) {
+  if (sel == Logic::L0) return a;
+  if (sel == Logic::L1) return b;
+  if (a == b && is_known(a)) return a;
+  return Logic::X;
+}
+
+/// Single-character display form: '0', '1', 'X', 'Z'.
+char to_char(Logic v);
+
+/// Parse '0','1','x','X','z','Z' into a Logic value; throws
+/// std::invalid_argument otherwise.
+Logic logic_from_char(char c);
+
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+}  // namespace jsi::util
+
+#endif  // JSI_UTIL_LOGIC_HPP

@@ -1,0 +1,63 @@
+#ifndef JSI_UTIL_PRNG_HPP
+#define JSI_UTIL_PRNG_HPP
+
+#include <cstdint>
+
+namespace jsi::util {
+
+/// Small, fast, deterministic PRNG (xoshiro256** by Blackman & Vigna).
+///
+/// Used everywhere a test, bench, or workload generator needs repeatable
+/// pseudo-random stimulus; seeding with the same value always yields the
+/// same stream on every platform.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding so even seed=0 gives a well-mixed state.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0); Lemire reduction.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace jsi::util
+
+#endif  // JSI_UTIL_PRNG_HPP

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace jsi::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  if (!title_.empty()) os << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(w[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(w[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace jsi::util

@@ -1,0 +1,48 @@
+#ifndef JSI_UTIL_TABLE_HPP
+#define JSI_UTIL_TABLE_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jsi::util {
+
+/// Minimal aligned-column ASCII table used by the bench binaries to print
+/// the paper's tables in a readable, diffable form.
+///
+///     Table t({"n", "conventional", "PGBSC", "improvement"});
+///     t.add_row({"8", "2304", "131", "94.3%"});
+///     std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment, a header rule, and the title if set.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec = 2);
+
+/// Format a ratio as a percentage string, e.g. 0.943 -> "94.3%".
+std::string fmt_percent(double ratio, int prec = 1);
+
+}  // namespace jsi::util
+
+#endif  // JSI_UTIL_TABLE_HPP

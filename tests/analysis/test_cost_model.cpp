@@ -1,0 +1,52 @@
+#include "analysis/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::analysis {
+namespace {
+
+TEST(CostModel, CellCostsArePositiveAndOrdered) {
+  const CellCosts c = cell_costs();
+  EXPECT_GT(c.standard_bsc, 0.0);
+  // Both enhanced cells are costlier than the standard cell.
+  EXPECT_GT(c.pgbsc, c.standard_bsc);
+  EXPECT_GT(c.obsc, c.standard_bsc);
+  // The OBSC carries two sensors + two extra FFs: costlier than PGBSC.
+  EXPECT_GT(c.obsc, c.pgbsc);
+}
+
+TEST(CostModel, ArchCostsScaleLinearly) {
+  const ArchCost c8 = enhanced_cost(8);
+  const ArchCost c16 = enhanced_cost(16);
+  EXPECT_DOUBLE_EQ(c16.total, 2 * c8.total);
+  EXPECT_DOUBLE_EQ(c8.total, c8.sending + c8.observing);
+}
+
+TEST(CostModel, ConventionalSidesAreSymmetric) {
+  const ArchCost c = conventional_cost(32);
+  EXPECT_DOUBLE_EQ(c.sending, c.observing);
+}
+
+TEST(CostModel, OverheadIsRoughlyTwofold) {
+  // Paper Table 7: "the new cells are almost twice expensive compared to
+  // the conventional cells".
+  const double ratio = overhead_ratio(32);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(CostModel, OverheadIndependentOfN) {
+  EXPECT_DOUBLE_EQ(overhead_ratio(8), overhead_ratio(32));
+}
+
+TEST(CostModel, DetailsMentionEveryCell) {
+  const std::string d = cell_cost_details();
+  EXPECT_NE(d.find("standard_bsc"), std::string::npos);
+  EXPECT_NE(d.find("pgbsc"), std::string::npos);
+  EXPECT_NE(d.find("obsc"), std::string::npos);
+  EXPECT_NE(d.find("ND_MACRO"), std::string::npos);
+  EXPECT_NE(d.find("SD_MACRO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsi::analysis

@@ -1,0 +1,108 @@
+#include "analysis/time_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::analysis {
+namespace {
+
+using core::ObservationMethod;
+
+TEST(TimeModel, PrimitiveCosts) {
+  TimeModel m{8, 1, 4};
+  EXPECT_EQ(m.chain(), 17u);
+  EXPECT_EQ(TimeModel::reset_clocks(), 6u);
+  EXPECT_EQ(m.ir_scan(), 10u);
+  EXPECT_EQ(TimeModel::dr_scan(17), 22u);
+  EXPECT_EQ(TimeModel::update_pulse(), 5u);
+}
+
+TEST(TimeModel, PgbscGenerationIsLinearInN) {
+  // f(n) = a*n + b exactly: check by finite differences.
+  const auto f = [](std::size_t n) {
+    return TimeModel{n, 1, 4}.pgbsc_generation();
+  };
+  const auto d1 = f(9) - f(8);
+  const auto d2 = f(17) - f(16);
+  const auto d3 = f(33) - f(32);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d2, d3);
+}
+
+TEST(TimeModel, ConventionalGenerationIsQuadraticInN) {
+  const auto f = [](std::size_t n) {
+    return TimeModel{n, 1, 4}.conventional_generation();
+  };
+  // Second difference of a quadratic is constant and positive.
+  const auto dd1 = f(10) - 2 * f(9) + f(8);
+  const auto dd2 = f(34) - 2 * f(33) + f(32);
+  EXPECT_EQ(dd1, dd2);
+  EXPECT_GT(dd1, 0u);
+}
+
+TEST(TimeModel, ImprovementGrowsWithN) {
+  double prev = 0.0;
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const double imp = TimeModel{n, 1, 4}.generation_improvement();
+    EXPECT_GT(imp, prev) << "n=" << n;
+    prev = imp;
+  }
+  // Paper Table 5 shape: large n improvements in the high 90s.
+  const TimeModel m32{32, 1, 4};
+  EXPECT_GT(m32.generation_improvement(), 0.9);
+}
+
+TEST(TimeModel, ObservationOrdering) {
+  TimeModel m{16, 1, 4};
+  for (auto arch : {0, 1}) {
+    const auto obs = [&](ObservationMethod meth) {
+      return arch == 0 ? m.enhanced_observation(meth)
+                       : m.conventional_observation(meth);
+    };
+    EXPECT_LT(obs(ObservationMethod::OnceAtEnd),
+              obs(ObservationMethod::PerInitValue));
+    EXPECT_LT(obs(ObservationMethod::PerInitValue),
+              obs(ObservationMethod::PerPattern));
+  }
+}
+
+TEST(TimeModel, Method1IsExactlyOneReadout) {
+  TimeModel m{8, 1, 4};
+  EXPECT_EQ(m.enhanced_observation(ObservationMethod::OnceAtEnd),
+            m.readout(false));
+  EXPECT_EQ(m.enhanced_observation(ObservationMethod::PerInitValue),
+            2 * m.readout(false));
+}
+
+TEST(TimeModel, KScalesObservationLinearly) {
+  TimeModel m{8, 1, 4};
+  for (auto meth :
+       {ObservationMethod::OnceAtEnd, ObservationMethod::PerInitValue,
+        ObservationMethod::PerPattern}) {
+    EXPECT_EQ(m.enhanced_observation(meth, 3),
+              3 * m.enhanced_observation(meth, 1));
+  }
+}
+
+TEST(TimeModel, Method3IsQuadraticForEnhancedToo) {
+  const auto f = [](std::size_t n) {
+    return TimeModel{n, 1, 4}.enhanced_observation(
+        ObservationMethod::PerPattern);
+  };
+  const auto dd1 = f(10) - 2 * f(9) + f(8);
+  const auto dd2 = f(34) - 2 * f(33) + f(32);
+  EXPECT_EQ(dd1, dd2);
+  EXPECT_GT(dd1, 0u);
+}
+
+TEST(TimeModel, TotalsSumParts) {
+  TimeModel m{8, 2, 4};
+  EXPECT_EQ(m.enhanced_total(ObservationMethod::PerInitValue),
+            m.pgbsc_generation() +
+                m.enhanced_observation(ObservationMethod::PerInitValue));
+  EXPECT_EQ(m.conventional_total(ObservationMethod::OnceAtEnd),
+            m.conventional_generation() +
+                m.conventional_observation(ObservationMethod::OnceAtEnd));
+}
+
+}  // namespace
+}  // namespace jsi::analysis

@@ -1,0 +1,120 @@
+#include "analysis/yield.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::analysis {
+namespace {
+
+DefectDistribution clean_dist() {
+  DefectDistribution d;
+  d.p_coupling = 0.0;
+  d.p_resistive = 0.0;
+  return d;
+}
+
+TEST(Yield, SampleRespectsProbabilities) {
+  util::Prng rng(1);
+  DefectDistribution d;
+  d.p_coupling = 0.5;
+  d.p_resistive = 0.5;
+  int coupling = 0, resistive = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto die = sample_die(10, d, rng);
+    for (std::size_t w = 0; w < 10; ++w) {
+      coupling += die.coupling_severity[w] > 1.0;
+      resistive += die.extra_resistance[w] > 0.0;
+      // Never both on the same wire with this sampler.
+      EXPECT_FALSE(die.coupling_severity[w] > 1.0 &&
+                   die.extra_resistance[w] > 0.0);
+    }
+  }
+  EXPECT_NEAR(coupling / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(resistive / 2000.0, 0.5, 0.05);
+}
+
+TEST(Yield, SampleMagnitudesInRange) {
+  util::Prng rng(2);
+  DefectDistribution d;
+  d.p_coupling = 1.0;
+  d.coupling_severity_min = 3.0;
+  d.coupling_severity_max = 4.0;
+  const auto die = sample_die(50, d, rng);
+  for (double s : die.coupling_severity) {
+    EXPECT_GE(s, 3.0);
+    EXPECT_LE(s, 4.0);
+  }
+}
+
+TEST(Yield, CleanDieTruthIsClean) {
+  DieSample die;
+  die.coupling_severity.assign(6, 0.0);
+  die.extra_resistance.assign(6, 0.0);
+  si::BusParams bp;
+  bp.n_wires = 6;
+  const auto truth = evaluate_truth(die, bp, SpecLimits{});
+  EXPECT_EQ(truth.noisy.popcount(), 0u);
+  EXPECT_EQ(truth.skewed.popcount(), 0u);
+}
+
+TEST(Yield, SevereDefectsViolateTruth) {
+  DieSample die;
+  die.coupling_severity.assign(6, 0.0);
+  die.extra_resistance.assign(6, 0.0);
+  die.coupling_severity[2] = 8.0;
+  die.extra_resistance[4] = 1000.0;
+  si::BusParams bp;
+  bp.n_wires = 6;
+  const auto truth = evaluate_truth(die, bp, SpecLimits{});
+  EXPECT_TRUE(truth.noisy[2]);
+  EXPECT_TRUE(truth.skewed[4]);
+  EXPECT_FALSE(truth.noisy[0]);
+}
+
+TEST(Yield, MonteCarloIsDeterministicInSeed) {
+  core::SocConfig cfg;
+  cfg.n_wires = 5;
+  DefectDistribution dist;
+  const auto a = run_monte_carlo(10, cfg, dist, SpecLimits{}, 42);
+  const auto b = run_monte_carlo(10, cfg, dist, SpecLimits{}, 42);
+  EXPECT_EQ(a.flagged_dies, b.flagged_dies);
+  EXPECT_EQ(a.truly_bad_dies, b.truly_bad_dies);
+  EXPECT_EQ(a.wire_true_positive, b.wire_true_positive);
+}
+
+TEST(Yield, NoDefectsNoFlags) {
+  core::SocConfig cfg;
+  cfg.n_wires = 5;
+  const auto s = run_monte_carlo(8, cfg, clean_dist(), SpecLimits{}, 1);
+  EXPECT_EQ(s.dies, 8u);
+  EXPECT_EQ(s.truly_bad_dies, 0u);
+  EXPECT_EQ(s.flagged_dies, 0u);
+  EXPECT_EQ(s.wire_false_positive, 0u);
+  EXPECT_DOUBLE_EQ(s.die_escape_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.die_overkill_rate(), 0.0);
+}
+
+TEST(Yield, SevereDistributionGetsCaught) {
+  core::SocConfig cfg;
+  cfg.n_wires = 6;
+  DefectDistribution dist;
+  dist.p_coupling = 0.3;
+  dist.coupling_severity_min = 7.0;
+  dist.coupling_severity_max = 9.0;
+  dist.p_resistive = 0.0;
+  const auto s = run_monte_carlo(12, cfg, dist, SpecLimits{}, 3);
+  EXPECT_GT(s.truly_bad_dies, 0u);
+  EXPECT_GT(s.flagged_dies, 0u);
+  // Severe defects are far past both spec and detector thresholds: the
+  // sensitivity at wire level should be high.
+  EXPECT_GT(s.wire_sensitivity(), 0.8);
+}
+
+TEST(Yield, StatsRatiosHandleEdgeCases) {
+  YieldStats s;
+  EXPECT_DOUBLE_EQ(s.die_escape_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.die_overkill_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wire_sensitivity(), 1.0);
+}
+
+}  // namespace
+}  // namespace jsi::analysis

@@ -1,0 +1,110 @@
+#include "core/bist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+
+namespace jsi::core {
+namespace {
+
+SocConfig cfg_n(std::size_t n) {
+  SocConfig cfg;
+  cfg.n_wires = n;
+  return cfg;
+}
+
+TEST(BistProgram, LengthMatchesAteSession) {
+  // The microcode replays exactly the ATE-driven method-1 session.
+  for (std::size_t n : {4u, 8u, 16u}) {
+    const auto p = BistProgram::compile(cfg_n(n));
+    analysis::TimeModel model{n, 1, 4};
+    EXPECT_EQ(p.length(),
+              model.enhanced_total(ObservationMethod::OnceAtEnd))
+        << "n=" << n;
+  }
+}
+
+TEST(BistProgram, RomCostIsTwoBitsPerStep) {
+  const auto p = BistProgram::compile(cfg_n(8));
+  EXPECT_EQ(p.rom_bits(), 2 * p.length());
+  EXPECT_GT(p.controller_nand_equiv(), 0.0);
+}
+
+TEST(BistProgram, CaptureMarkersCoverEveryWireTwice) {
+  const std::size_t n = 6;
+  const auto p = BistProgram::compile(cfg_n(n));
+  std::vector<int> nd_marks(n, 0), sd_marks(n, 0);
+  for (const auto& s : p.steps()) {
+    if (s.capture_wire >= 0) {
+      (s.capture_is_nd ? nd_marks : sd_marks)[s.capture_wire]++;
+    }
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    EXPECT_EQ(nd_marks[w], 1) << "wire " << w;
+    EXPECT_EQ(sd_marks[w], 1) << "wire " << w;
+  }
+}
+
+TEST(BistController, CleanSocPasses) {
+  SiSocDevice soc(cfg_n(6));
+  SiBistController bist(soc);
+  const auto r = bist.run();
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.nd.popcount(), 0u);
+  EXPECT_EQ(r.sd.popcount(), 0u);
+  EXPECT_EQ(r.tcks, bist.program().length());
+}
+
+TEST(BistController, MatchesAteSessionFlagForFlag) {
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    SiSocDevice ate_soc(cfg_n(8));
+    SiSocDevice bist_soc(cfg_n(8));
+    auto inject = [&](SiSocDevice& soc) {
+      if (scenario == 0) soc.bus().inject_crosstalk_defect(2, 6.0);
+      if (scenario == 1) soc.bus().add_series_resistance(5, 900.0);
+      if (scenario == 2) {
+        soc.bus().inject_crosstalk_defect(1, 7.0);
+        soc.bus().add_series_resistance(6, 1000.0);
+      }
+    };
+    inject(ate_soc);
+    inject(bist_soc);
+
+    SiTestSession ate(ate_soc);
+    const auto ate_r = ate.run(ObservationMethod::OnceAtEnd);
+    SiBistController bist(bist_soc);
+    const auto bist_r = bist.run();
+
+    EXPECT_EQ(bist_r.nd.to_string(), ate_r.nd_final.to_string())
+        << "scenario " << scenario;
+    EXPECT_EQ(bist_r.sd.to_string(), ate_r.sd_final.to_string())
+        << "scenario " << scenario;
+    EXPECT_EQ(bist_r.tcks, ate_r.total_tcks);
+    EXPECT_FALSE(bist_r.pass);
+  }
+}
+
+TEST(BistController, RunsFromAnyTapState) {
+  // The program starts with a TMS reset, so a wedged TAP is no obstacle.
+  SiSocDevice soc(cfg_n(5));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  for (int i = 0; i < 37; ++i) soc.tap().tick(i % 3 == 0, i % 2 == 0);
+  SiBistController bist(soc);
+  const auto r = bist.run();
+  EXPECT_TRUE(r.nd[2]);
+}
+
+TEST(BistController, RepeatedRunsAgree) {
+  SiSocDevice soc(cfg_n(5));
+  soc.bus().add_series_resistance(3, 900.0);
+  SiBistController bist(soc);
+  const auto a = bist.run();
+  const auto b = bist.run();
+  EXPECT_EQ(a.nd.to_string(), b.nd.to_string());
+  EXPECT_EQ(a.sd.to_string(), b.sd.to_string());
+  EXPECT_EQ(a.pass, b.pass);
+}
+
+}  // namespace
+}  // namespace jsi::core

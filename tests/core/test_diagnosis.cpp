@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/session.hpp"
+
+namespace jsi::core {
+namespace {
+
+SocConfig cfg_n(std::size_t n) {
+  SocConfig cfg;
+  cfg.n_wires = n;
+  return cfg;
+}
+
+TEST(Diagnosis, CleanReportYieldsNoAttributions) {
+  SiSocDevice soc(cfg_n(4));
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_TRUE(diagnose(r).empty());
+}
+
+TEST(Diagnosis, Method1GivesWireLevelResolution) {
+  SiSocDevice soc(cfg_n(6));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  const auto attrs = diagnose(r);
+  ASSERT_FALSE(attrs.empty());
+  for (const auto& a : attrs) {
+    EXPECT_FALSE(a.fault.has_value());  // method 1 cannot name the fault
+  }
+  EXPECT_TRUE(std::any_of(attrs.begin(), attrs.end(),
+                          [](const auto& a) { return a.wire == 2 && a.noise; }));
+}
+
+TEST(Diagnosis, Method3NamesTheFault) {
+  SiSocDevice soc(cfg_n(6));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::PerPattern);
+  const auto attrs = diagnose(r);
+  ASSERT_FALSE(attrs.empty());
+  bool found = false;
+  for (const auto& a : attrs) {
+    if (a.wire == 2 && a.noise && a.fault.has_value()) {
+      found = true;
+      EXPECT_TRUE(mafm::is_noise_fault(*a.fault));
+    }
+  }
+  EXPECT_TRUE(found) << format_report(r);
+}
+
+TEST(Diagnosis, Method3SkewAttributionNamesSkewFault) {
+  SiSocDevice soc(cfg_n(6));
+  // 300 extra ohms is calibrated so only the Miller-doubled (opposite-
+  // phase) victim transition misses the skew budget: the wire is fine as
+  // an aggressor and fails exactly on its own Rs/Fs patterns.
+  soc.bus().add_series_resistance(3, 300.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::PerPattern);
+  bool found = false;
+  for (const auto& a : diagnose(r)) {
+    if (a.wire == 3 && !a.noise) {
+      found = true;
+      ASSERT_TRUE(a.fault.has_value()) << format_report(r);
+      EXPECT_FALSE(mafm::is_noise_fault(*a.fault));
+    }
+  }
+  EXPECT_TRUE(found) << format_report(r);
+}
+
+TEST(Diagnosis, Method2IdentifiesTheInitBlock) {
+  SiSocDevice soc(cfg_n(6));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::PerInitValue);
+  EXPECT_EQ(r.readouts.size(), 2u);
+  const auto attrs = diagnose(r);
+  ASSERT_FALSE(attrs.empty());
+  // A symmetric coupling defect shows up already in the first block.
+  EXPECT_TRUE(std::any_of(attrs.begin(), attrs.end(), [](const auto& a) {
+    return a.wire == 2 && a.init_block == 0;
+  }));
+}
+
+TEST(Diagnosis, FormatReportMentionsEveryFlaggedWire) {
+  SiSocDevice soc(cfg_n(6));
+  soc.bus().inject_crosstalk_defect(1, 6.0);
+  soc.bus().add_series_resistance(4, 900.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::PerPattern);
+  const std::string text = format_report(r);
+  EXPECT_NE(text.find("wire 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("wire 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("NOISE"), std::string::npos);
+  EXPECT_NE(text.find("SKEW"), std::string::npos);
+}
+
+TEST(Diagnosis, ReportAccessorsListFlaggedWires) {
+  SiSocDevice soc(cfg_n(6));
+  soc.bus().inject_crosstalk_defect(1, 6.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  const auto noisy = r.noisy_wires();
+  EXPECT_TRUE(std::find(noisy.begin(), noisy.end(), 1u) != noisy.end());
+}
+
+}  // namespace
+}  // namespace jsi::core

@@ -1,0 +1,101 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "jtag/monitor.hpp"
+
+namespace jsi::core {
+namespace {
+
+IntegrityReport defective_report(ObservationMethod method) {
+  SocConfig cfg;
+  cfg.n_wires = 6;
+  SiSocDevice soc(cfg);
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  soc.bus().add_series_resistance(4, 900.0);
+  SiTestSession session(soc);
+  return session.run(method);
+}
+
+TEST(Export, JsonContainsCoreFields) {
+  const auto r = defective_report(ObservationMethod::OnceAtEnd);
+  const std::string j = report_to_json(r);
+  EXPECT_NE(j.find("\"n\": 6"), std::string::npos);
+  EXPECT_NE(j.find("\"pass\": false"), std::string::npos);
+  EXPECT_NE(j.find("\"nd_flags\": \"" + r.nd_final.to_string() + "\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"sd_flags\": \"" + r.sd_final.to_string() + "\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"total\": " + std::to_string(r.total_tcks)),
+            std::string::npos);
+}
+
+TEST(Export, JsonBalancedBracesAndQuotes) {
+  const auto r = defective_report(ObservationMethod::PerPattern);
+  const std::string j = report_to_json(r);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
+}
+
+TEST(Export, JsonDiagnosisNamesFaultsUnderMethod3) {
+  const auto r = defective_report(ObservationMethod::PerPattern);
+  const std::string j = report_to_json(r);
+  EXPECT_NE(j.find("\"sensor\": \"ND\""), std::string::npos);
+  EXPECT_NE(j.find("\"fault\": \"P"), std::string::npos);  // Pg or Pg'
+}
+
+TEST(Export, CleanReportPasses) {
+  SocConfig cfg;
+  cfg.n_wires = 4;
+  SiSocDevice soc(cfg);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_NE(report_to_json(r).find("\"pass\": true"), std::string::npos);
+}
+
+TEST(Export, CsvHasOneRowPerWireAndSensor) {
+  const auto r = defective_report(ObservationMethod::OnceAtEnd);
+  const std::string csv = report_to_csv(r);
+  // Header + 2 rows per wire.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            1 + 2 * static_cast<long>(r.n));
+  EXPECT_NE(csv.find("2,ND,1"), std::string::npos);
+  EXPECT_NE(csv.find("4,SD,1"), std::string::npos);
+  EXPECT_NE(csv.find("0,ND,0"), std::string::npos);
+}
+
+TEST(MonitoredSession, AllMethodsAreProtocolClean) {
+  for (const auto method :
+       {ObservationMethod::OnceAtEnd, ObservationMethod::PerInitValue,
+        ObservationMethod::PerPattern}) {
+    SocConfig cfg;
+    cfg.n_wires = 5;
+    SiSocDevice soc(cfg);
+    soc.bus().inject_crosstalk_defect(2, 6.0);
+    jtag::ProtocolMonitor mon(soc.tap());
+    SiTestSession session(soc, mon);
+    const auto r = session.run(method);
+    EXPECT_TRUE(mon.clean())
+        << "method " << static_cast<int>(method) << ": "
+        << mon.violations().front();
+    EXPECT_TRUE(r.nd_final[2]);
+    EXPECT_EQ(mon.tck_count(), r.total_tcks);
+  }
+}
+
+TEST(MonitoredSession, ParallelVictimFlowIsProtocolClean) {
+  SocConfig cfg;
+  cfg.n_wires = 8;
+  SiSocDevice soc(cfg);
+  jtag::ProtocolMonitor mon(soc.tap());
+  SiTestSession session(soc, mon);
+  session.run_parallel(ObservationMethod::OnceAtEnd, 2);
+  EXPECT_TRUE(mon.clean());
+}
+
+}  // namespace
+}  // namespace jsi::core

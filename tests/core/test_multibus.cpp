@@ -1,0 +1,187 @@
+#include "core/multibus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+#include "mafm/schedule.hpp"
+
+namespace jsi::core {
+namespace {
+
+MultiBusConfig cfg(std::size_t buses, std::size_t wires) {
+  MultiBusConfig c;
+  c.n_buses = buses;
+  c.wires_per_bus = wires;
+  return c;
+}
+
+TEST(MultiBusSoc, ChainLayout) {
+  MultiBusSoc soc(cfg(3, 4));
+  EXPECT_EQ(soc.chain_length(), 2u * 3 * 4 + 1);
+  EXPECT_EQ(soc.n_buses(), 3u);
+  EXPECT_EQ(soc.wires_per_bus(), 4u);
+}
+
+TEST(MultiBusSoc, RejectsDegenerateConfigs) {
+  EXPECT_THROW(MultiBusSoc soc(cfg(0, 4)), std::invalid_argument);
+  EXPECT_THROW(MultiBusSoc soc(cfg(2, 1)), std::invalid_argument);
+}
+
+TEST(MultiBusSession, HealthyBusesAllClean) {
+  MultiBusSoc soc(cfg(3, 5));
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_FALSE(r.any_violation());
+  ASSERT_EQ(r.buses.size(), 3u);
+  for (const auto& b : r.buses) {
+    EXPECT_EQ(b.patterns.size(), 2u * (4 * 5 + 1));
+  }
+}
+
+TEST(MultiBusSession, EveryBusReceivesTheFullFaultSet) {
+  // The parallel rotation must give every victim of every bus all six MA
+  // faults, exactly like the single-bus flow.
+  const std::size_t n = 4, nb = 3;
+  MultiBusSoc soc(cfg(nb, n));
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::set<mafm::MaFault> got;
+      for (const auto& p : r.buses[b].patterns) {
+        if (p.victim == v && p.fault) got.insert(*p.fault);
+      }
+      EXPECT_EQ(got.size(), 6u) << "bus " << b << " victim " << v;
+    }
+  }
+}
+
+TEST(MultiBusSession, PatternsMatchSingleBusReference) {
+  // Every bus must generate the same golden sequence as a lone bus
+  // (ignoring the final cross-block rotation step, whose vector differs
+  // because the neighbouring block's hot bit arrives).
+  const std::size_t n = 5, nb = 2;
+  MultiBusSoc soc(cfg(nb, n));
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  for (int block = 0; block < 2; ++block) {
+    const auto ref = mafm::pgbsc_reference_sequence(n, block != 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t i = 0; i + 1 < ref.size(); ++i) {
+        const auto& got = r.buses[b].patterns[block * ref.size() + i];
+        EXPECT_EQ(got.after.to_string(), ref[i].vector.to_string())
+            << "bus " << b << " block " << block << " step " << i;
+        EXPECT_EQ(got.fault, ref[i].fault);
+      }
+    }
+  }
+}
+
+TEST(MultiBusSession, DefectsLocalizedToTheRightBus) {
+  MultiBusSoc soc(cfg(3, 6));
+  soc.bus(0).inject_crosstalk_defect(2, 6.0);
+  soc.bus(2).add_series_resistance(4, 900.0);
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_TRUE(r.buses[0].nd_final[2]);
+  EXPECT_TRUE(r.buses[2].sd_final[4]);
+  // Bus 1 is healthy and must stay silent.
+  EXPECT_EQ(r.buses[1].nd_final.popcount(), 0u);
+  EXPECT_EQ(r.buses[1].sd_final.popcount(), 0u);
+}
+
+TEST(MultiBusSession, ScanOutMatchesGroundTruth) {
+  MultiBusSoc soc(cfg(2, 5));
+  soc.bus(1).inject_crosstalk_defect(3, 6.0);
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  for (std::size_t b = 0; b < 2; ++b) {
+    ASSERT_EQ(r.buses[b].readouts.size(), 1u);
+    EXPECT_EQ(r.buses[b].readouts[0].nd.to_string(),
+              soc.nd_flags(b).to_string())
+        << "bus " << b;
+    EXPECT_EQ(r.buses[b].readouts[0].sd.to_string(),
+              soc.sd_flags(b).to_string());
+  }
+}
+
+TEST(MultiBusSession, ParallelismMakesGenerationNearlyFlatInBusCount) {
+  // Pattern updates do not grow with B; only the scans (chain length) do.
+  // Testing 4 buses in parallel must cost far less than 4 separate
+  // single-bus sessions.
+  const std::size_t n = 8;
+  std::uint64_t parallel4;
+  {
+    MultiBusSoc soc(cfg(4, n));
+    MultiBusSession session(soc);
+    parallel4 = session.run(ObservationMethod::OnceAtEnd).total_tcks;
+  }
+  std::uint64_t single;
+  {
+    SocConfig sc;
+    sc.n_wires = n;
+    SiSocDevice soc(sc);
+    SiTestSession session(soc);
+    single = session.run(ObservationMethod::OnceAtEnd).total_tcks;
+  }
+  EXPECT_LT(parallel4, 4 * single);
+  EXPECT_LT(parallel4, 2 * single);  // in fact close to 1x plus scan growth
+}
+
+TEST(MultiBusSession, PerInitValueMethodWorks) {
+  MultiBusSoc soc(cfg(2, 4));
+  soc.bus(0).inject_crosstalk_defect(1, 6.0);
+  MultiBusSession session(soc);
+  const auto r = session.run(ObservationMethod::PerInitValue);
+  EXPECT_EQ(r.buses[0].readouts.size(), 2u);
+  EXPECT_TRUE(r.buses[0].nd_final[1]);
+}
+
+TEST(MultiBusSession, PerPatternRejected) {
+  MultiBusSoc soc(cfg(2, 4));
+  MultiBusSession session(soc);
+  EXPECT_THROW(session.run(ObservationMethod::PerPattern),
+               std::invalid_argument);
+}
+
+class MultiBusClockCounts
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(MultiBusClockCounts, MeasuredTcksMatchClosedForm) {
+  const auto [buses, n] = GetParam();
+  MultiBusSoc soc(cfg(buses, n));
+  MultiBusSession session(soc);
+  analysis::TimeModel model{n, 1, 4};
+
+  const auto r1 = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_EQ(r1.generation_tcks, model.multibus_generation(buses));
+  EXPECT_EQ(r1.observation_tcks, model.multibus_readout(buses));
+
+  const auto r2 = session.run(ObservationMethod::PerInitValue);
+  EXPECT_EQ(r2.observation_tcks, 2 * model.multibus_readout(buses));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiBusClockCounts,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values<std::size_t>(4, 8)));
+
+TEST(MultiBusSession, SingleBusDegeneratesToSiTestSessionCounts) {
+  // B=1 must cost exactly what the single-bus session costs (generation).
+  const std::size_t n = 6;
+  MultiBusSoc msoc(cfg(1, n));
+  MultiBusSession msession(msoc);
+  const auto mr = msession.run(ObservationMethod::OnceAtEnd);
+
+  analysis::TimeModel model{n, 1, 4};
+  EXPECT_EQ(mr.generation_tcks, model.pgbsc_generation());
+  EXPECT_EQ(mr.observation_tcks,
+            model.enhanced_observation(ObservationMethod::OnceAtEnd));
+}
+
+}  // namespace
+}  // namespace jsi::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+#include "mafm/schedule.hpp"
+
+namespace jsi::core {
+namespace {
+
+SocConfig cfg_n(std::size_t n) {
+  SocConfig cfg;
+  cfg.n_wires = n;
+  return cfg;
+}
+
+TEST(ParallelRounds, EveryWireVictimExactlyOnce) {
+  for (std::size_t n : {4u, 5u, 8u, 13u}) {
+    for (std::size_t guard : {2u, 3u, 4u}) {
+      const auto rounds = mafm::parallel_victim_rounds(n, guard);
+      std::set<std::size_t> seen;
+      for (const auto& round : rounds) {
+        for (std::size_t v : round) {
+          EXPECT_TRUE(seen.insert(v).second)
+              << "wire " << v << " victim twice (n=" << n << ")";
+        }
+      }
+      EXPECT_EQ(seen.size(), n) << "n=" << n << " guard=" << guard;
+    }
+  }
+}
+
+TEST(ParallelRounds, VictimsRespectGuardSpacing) {
+  const auto rounds = mafm::parallel_victim_rounds(12, 3);
+  for (const auto& round : rounds) {
+    for (std::size_t i = 1; i < round.size(); ++i) {
+      EXPECT_GE(round[i] - round[i - 1], 3u);
+    }
+  }
+  EXPECT_THROW(mafm::parallel_victim_rounds(8, 1), std::invalid_argument);
+}
+
+TEST(ParallelReference, CoversAllSixFaultsPerVictimLocally) {
+  // Under the nearest-neighbour view, every wire must still receive the
+  // full MA fault set across both initial values.
+  const std::size_t n = 9, guard = 3;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::set<mafm::MaFault> got;
+    for (bool init : {false, true}) {
+      const auto steps = mafm::pgbsc_parallel_reference(n, guard, init);
+      util::BitVec prev(n, init);
+      for (const auto& s : steps) {
+        const auto f = mafm::classify_neighborhood(prev, s.vector, v);
+        // Count the stress only while v is actually a selected victim.
+        const bool selected =
+            std::find(s.victims.begin(), s.victims.end(), v) !=
+            s.victims.end();
+        if (f && selected) got.insert(*f);
+        prev = s.vector;
+      }
+    }
+    EXPECT_EQ(got.size(), 6u) << "victim " << v;
+  }
+}
+
+TEST(ParallelSession, HardwareMatchesParallelReference) {
+  const std::size_t n = 8, guard = 2;
+  SiSocDevice soc(cfg_n(n));
+  SiTestSession session(soc);
+  const auto r = session.run_parallel(ObservationMethod::OnceAtEnd, guard);
+
+  const std::size_t per_block = 4 * guard + 1;
+  ASSERT_EQ(r.patterns.size(), 2 * per_block);
+  for (int block = 0; block < 2; ++block) {
+    const auto ref = mafm::pgbsc_parallel_reference(n, guard, block != 0);
+    ASSERT_EQ(ref.size(), per_block);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(r.patterns[block * per_block + i].after.to_string(),
+                ref[i].vector.to_string())
+          << "block " << block << " step " << i;
+    }
+  }
+}
+
+TEST(ParallelSession, DetectsTheSameDefectsAsTheFullFlow) {
+  for (std::size_t guard : {2u, 3u}) {
+    SiSocDevice soc(cfg_n(8));
+    soc.bus().inject_crosstalk_defect(3, 6.0);
+    soc.bus().add_series_resistance(6, 900.0);
+    SiTestSession session(soc);
+    const auto r = session.run_parallel(ObservationMethod::OnceAtEnd, guard);
+    EXPECT_TRUE(r.nd_final[3]) << "guard " << guard;
+    EXPECT_TRUE(r.sd_final[6]) << "guard " << guard;
+    EXPECT_FALSE(r.nd_final[0]);
+  }
+}
+
+TEST(ParallelSession, ClockCountMatchesModelAndBeatsFullFlow) {
+  const std::size_t n = 16;
+  analysis::TimeModel model{n, 1, 4};
+  for (std::size_t guard : {2u, 4u}) {
+    SiSocDevice soc(cfg_n(n));
+    SiTestSession session(soc);
+    const auto r = session.run_parallel(ObservationMethod::OnceAtEnd, guard);
+    EXPECT_EQ(r.generation_tcks, model.pgbsc_parallel_generation(guard));
+    EXPECT_LT(r.generation_tcks, model.pgbsc_generation());
+  }
+}
+
+TEST(ParallelSession, GuardEqualNDegeneratesToFullFlowCost) {
+  const std::size_t n = 6;
+  analysis::TimeModel model{n, 1, 4};
+  EXPECT_EQ(model.pgbsc_parallel_generation(n), model.pgbsc_generation());
+}
+
+TEST(ParallelSession, RejectsPerPatternMethod) {
+  SiSocDevice soc(cfg_n(6));
+  SiTestSession session(soc);
+  EXPECT_THROW(session.run_parallel(ObservationMethod::PerPattern, 2),
+               std::invalid_argument);
+}
+
+TEST(ParallelSession, PerInitValueReadoutsWork) {
+  SiSocDevice soc(cfg_n(8));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession session(soc);
+  const auto r = session.run_parallel(ObservationMethod::PerInitValue, 2);
+  EXPECT_EQ(r.readouts.size(), 2u);
+  EXPECT_TRUE(r.nd_final[2]);
+}
+
+TEST(ClassifyNeighborhood, MatchesGlobalClassifyOnSingleVictimPatterns) {
+  const std::size_t n = 7;
+  for (const auto f : mafm::kAllFaults) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto p = mafm::vectors_for(f, n, v);
+      EXPECT_EQ(mafm::classify_neighborhood(p.v1, p.v2, v),
+                mafm::classify(p.v1, p.v2, v));
+    }
+  }
+}
+
+TEST(ClassifyNeighborhood, IgnoresDistantWires) {
+  // Victim 2 quiet low, neighbours 1 and 3 rise, distant wire 6 falls:
+  // global classify rejects (non-uniform), neighbourhood classify sees Pg.
+  util::BitVec a = util::BitVec::from_string("1000000");
+  util::BitVec b = util::BitVec::from_string("0001010");
+  EXPECT_FALSE(mafm::classify(a, b, 2).has_value());
+  const auto f = mafm::classify_neighborhood(a, b, 2);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, mafm::MaFault::Pg);
+}
+
+}  // namespace
+}  // namespace jsi::core

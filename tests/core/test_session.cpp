@@ -1,0 +1,189 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/time_model.hpp"
+#include "mafm/schedule.hpp"
+
+namespace jsi::core {
+namespace {
+
+SocConfig cfg_n(std::size_t n, bool enhanced = true) {
+  SocConfig cfg;
+  cfg.n_wires = n;
+  cfg.m_extra_cells = 1;
+  cfg.enhanced = enhanced;
+  return cfg;
+}
+
+TEST(SiTestSession, RejectsConventionalSoc) {
+  SiSocDevice soc(cfg_n(4, false));
+  EXPECT_THROW(SiTestSession s(soc), std::invalid_argument);
+}
+
+TEST(ConventionalSession, RejectsEnhancedSoc) {
+  SiSocDevice soc(cfg_n(4, true));
+  EXPECT_THROW(ConventionalSession s(soc), std::invalid_argument);
+}
+
+TEST(SiTestSession, HealthyBusHasNoViolations) {
+  SiSocDevice soc(cfg_n(5));
+  SiTestSession session(soc);
+  const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_FALSE(r.any_violation()) << format_report(r);
+  EXPECT_EQ(r.readouts.size(), 1u);
+  EXPECT_EQ(r.patterns.size(), 2u * (4 * 5 + 1));
+}
+
+TEST(SiTestSession, GeneratedPatternsMatchGoldenReference) {
+  // The PGBSC hardware must reproduce the mafm reference sequence exactly:
+  // same vectors, same victims, same fault classification (paper Fig 5).
+  const std::size_t n = 5;
+  SiSocDevice soc(cfg_n(n));
+  SiTestSession session(soc);
+  const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+
+  ASSERT_EQ(r.patterns.size(), 2 * (4 * n + 1));
+  for (int block = 0; block < 2; ++block) {
+    const auto ref = mafm::pgbsc_reference_sequence(n, block != 0);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const auto& got = r.patterns[block * ref.size() + i];
+      EXPECT_EQ(got.after.to_string(), ref[i].vector.to_string())
+          << "block " << block << " step " << i;
+      EXPECT_EQ(got.victim, ref[i].victim)
+          << "block " << block << " step " << i;
+      EXPECT_EQ(got.fault, ref[i].fault)
+          << "block " << block << " step " << i;
+    }
+  }
+}
+
+TEST(SiTestSession, CrosstalkDefectFlagsNdOnVictim) {
+  const std::size_t n = 6;
+  SiSocDevice soc(cfg_n(n));
+  soc.bus().inject_crosstalk_defect(3, 6.0);
+  SiTestSession session(soc);
+  const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_TRUE(r.nd_final[3]) << format_report(r);
+  // Healthy distant wires stay clean.
+  EXPECT_FALSE(r.nd_final[0]);
+  EXPECT_FALSE(r.nd_final[5]);
+}
+
+TEST(SiTestSession, SeriesResistanceDefectFlagsSd) {
+  const std::size_t n = 6;
+  SiSocDevice soc(cfg_n(n));
+  soc.bus().add_series_resistance(2, 800.0);
+  SiTestSession session(soc);
+  const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_TRUE(r.sd_final[2]) << format_report(r);
+  EXPECT_FALSE(r.sd_final[5]);
+}
+
+TEST(SiTestSession, ScannedOutFlagsMatchGroundTruth) {
+  const std::size_t n = 6;
+  SiSocDevice soc(cfg_n(n));
+  soc.bus().inject_crosstalk_defect(1, 6.0);
+  soc.bus().add_series_resistance(4, 900.0);
+  SiTestSession session(soc);
+  const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+  // The bits recovered through the O-SITEST scan must equal the sticky
+  // sensor flip-flops read directly from the model.
+  ASSERT_EQ(r.readouts.size(), 1u);
+  EXPECT_EQ(r.readouts[0].nd.to_string(), r.nd_final.to_string());
+  EXPECT_EQ(r.readouts[0].sd.to_string(), r.sd_final.to_string());
+}
+
+class SessionClockCounts
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SessionClockCounts, MeasuredTcksMatchClosedForm) {
+  const auto [n, m] = GetParam();
+  SocConfig cfg = cfg_n(n);
+  cfg.m_extra_cells = m;
+  analysis::TimeModel model{n, m, cfg.ir_width};
+
+  for (const auto method :
+       {ObservationMethod::OnceAtEnd, ObservationMethod::PerInitValue,
+        ObservationMethod::PerPattern}) {
+    SiSocDevice soc(cfg);
+    SiTestSession session(soc);
+    const IntegrityReport r = session.run(method);
+    EXPECT_EQ(r.generation_tcks, model.pgbsc_generation())
+        << "n=" << n << " m=" << m << " method " << static_cast<int>(method);
+    EXPECT_EQ(r.observation_tcks, model.enhanced_observation(method))
+        << "n=" << n << " m=" << m << " method " << static_cast<int>(method);
+    EXPECT_EQ(r.total_tcks, model.enhanced_total(method));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SessionClockCounts,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8, 16),
+                       ::testing::Values<std::size_t>(0, 1, 3)));
+
+class ConventionalClockCounts
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConventionalClockCounts, MeasuredTcksMatchClosedForm) {
+  const std::size_t n = GetParam();
+  SocConfig cfg = cfg_n(n, /*enhanced=*/false);
+  analysis::TimeModel model{n, cfg.m_extra_cells, cfg.ir_width};
+
+  for (const auto method :
+       {ObservationMethod::OnceAtEnd, ObservationMethod::PerInitValue,
+        ObservationMethod::PerPattern}) {
+    SiSocDevice soc(cfg);
+    ConventionalSession session(soc);
+    const IntegrityReport r = session.run(method);
+    EXPECT_EQ(r.generation_tcks, model.conventional_generation());
+    EXPECT_EQ(r.observation_tcks, model.conventional_observation(method));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConventionalClockCounts,
+                         ::testing::Values<std::size_t>(2, 4, 8));
+
+TEST(Sessions, PgbscBeatsConventionalAndGapGrowsWithN) {
+  std::uint64_t prev_gap = 0;
+  for (std::size_t n : {8u, 16u, 32u}) {
+    analysis::TimeModel model{n, 1, 4};
+    const auto conv = model.conventional_generation();
+    const auto enh = model.pgbsc_generation();
+    EXPECT_LT(enh, conv);
+    const std::uint64_t gap = conv - enh;
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(Sessions, BothArchitecturesDetectTheSameDefect) {
+  for (bool enhanced : {true, false}) {
+    SocConfig cfg = cfg_n(5, enhanced);
+    SiSocDevice soc(cfg);
+    soc.bus().inject_crosstalk_defect(2, 6.0);
+    IntegrityReport r;
+    if (enhanced) {
+      SiTestSession s(soc);
+      r = s.run(ObservationMethod::OnceAtEnd);
+    } else {
+      ConventionalSession s(soc);
+      r = s.run(ObservationMethod::OnceAtEnd);
+    }
+    EXPECT_TRUE(r.nd_final[2]) << "enhanced=" << enhanced;
+  }
+}
+
+TEST(SiTestSession, BackToBackRunsAreIndependent) {
+  SiSocDevice soc(cfg_n(4));
+  SiTestSession session(soc);
+  const auto r1 = session.run(ObservationMethod::OnceAtEnd);
+  const auto r2 = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_EQ(r1.total_tcks, r2.total_tcks);
+  EXPECT_EQ(r1.patterns.size(), r2.patterns.size());
+  EXPECT_EQ(r1.nd_final.to_string(), r2.nd_final.to_string());
+}
+
+}  // namespace
+}  // namespace jsi::core

@@ -1,0 +1,84 @@
+#include "ict/board.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::ict {
+namespace {
+
+using util::BitVec;
+
+TEST(BoardNets, HealthyBoardIsTransparent) {
+  BoardNets b(4);
+  const BitVec v = BitVec::from_string("1010");
+  EXPECT_EQ(b.propagate(v), v);
+}
+
+TEST(BoardNets, StuckAtOverridesDriver) {
+  BoardNets b(4);
+  b.inject_stuck(1, false);
+  b.inject_stuck(2, true);
+  const BitVec r = b.propagate(BitVec::from_string("1111"));
+  EXPECT_EQ(r.to_string(), "1101");
+  const BitVec r2 = b.propagate(BitVec::from_string("0000"));
+  EXPECT_EQ(r2.to_string(), "0100");
+}
+
+TEST(BoardNets, OpenReadsFloatValue) {
+  BoardNets pull_high(2, /*float_value=*/true);
+  pull_high.inject_open(0);
+  EXPECT_EQ(pull_high.propagate(BitVec::from_string("00")).to_string(), "01");
+  BoardNets pull_low(2, /*float_value=*/false);
+  pull_low.inject_open(0);
+  EXPECT_EQ(pull_low.propagate(BitVec::from_string("11")).to_string(), "10");
+}
+
+TEST(BoardNets, WiredAndShortResolvesToAnd) {
+  BoardNets b(4);
+  b.inject_short({1, 3}, /*wired_and=*/true);
+  // Nets 1 and 3 disagree: the low driver wins on both.
+  EXPECT_EQ(b.propagate(BitVec::from_string("1000")).to_string(), "0000");
+  // Both high: unchanged.
+  EXPECT_EQ(b.propagate(BitVec::from_string("1011")).to_string(), "1011");
+  EXPECT_EQ(b.propagate(BitVec::from_string("0010")).to_string(), "0000");
+}
+
+TEST(BoardNets, WiredOrShortResolvesToOr) {
+  BoardNets b(4);
+  b.inject_short({0, 2}, /*wired_and=*/false);
+  EXPECT_EQ(b.propagate(BitVec::from_string("0001")).to_string(), "0101");
+  EXPECT_EQ(b.propagate(BitVec::from_string("0000")).to_string(), "0000");
+}
+
+TEST(BoardNets, ThreeWayShort) {
+  BoardNets b(5);
+  b.inject_short({0, 2, 4}, /*wired_and=*/true);
+  // Any member low pulls the whole group low.
+  EXPECT_EQ(b.propagate(BitVec::from_string("11011")).to_string(), "01010");
+}
+
+TEST(BoardNets, ShortPartnersQuery) {
+  BoardNets b(5);
+  b.inject_short({1, 3}, true);
+  EXPECT_EQ(b.short_partners(1), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(b.short_partners(3), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(b.short_partners(0).empty());
+}
+
+TEST(BoardNets, IndependentShortGroups) {
+  BoardNets b(6);
+  b.inject_short({0, 1}, true);
+  b.inject_short({4, 5}, false);
+  const BitVec r = b.propagate(BitVec::from_string("010010"));
+  // group {0,1}: AND(0,1)=0 -> both 0; group {4,5}: OR(1,0)=1 -> both 1.
+  EXPECT_EQ(r.to_string(), "110000");
+}
+
+TEST(BoardNets, ApiValidation) {
+  BoardNets b(3);
+  EXPECT_THROW(b.inject_short({1}, true), std::invalid_argument);
+  EXPECT_THROW(b.inject_stuck(5, true), std::out_of_range);
+  EXPECT_THROW(b.propagate(BitVec::zeros(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsi::ict

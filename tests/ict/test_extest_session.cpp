@@ -1,0 +1,82 @@
+#include "ict/extest_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ict/patterns.hpp"
+
+namespace jsi::ict {
+namespace {
+
+TEST(ExtestSession, CleanBoardPasses) {
+  BoardNets board(8);
+  ExtestInterconnectSession session(board);
+  const auto r = session.run(Algorithm::TrueComplementCounting);
+  EXPECT_TRUE(r.board_is_clean());
+  EXPECT_EQ(r.patterns_applied, true_complement_counting(8).size());
+  EXPECT_GT(r.total_tcks, 0u);
+}
+
+TEST(ExtestSession, ReceivedCodesEqualSentOnCleanBoard) {
+  BoardNets board(5);
+  ExtestInterconnectSession session(board);
+  const auto r = session.run(Algorithm::WalkingOnes);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.received_codes[i], r.sent_codes[i]) << "net " << i;
+  }
+}
+
+TEST(ExtestSession, DiagnosesInjectedFaultsThroughRealJtag) {
+  BoardNets board(8);
+  board.inject_stuck(1, false);
+  board.inject_short({3, 6}, /*wired_and=*/true);
+  ExtestInterconnectSession session(board);
+  const auto r = session.run(Algorithm::TrueComplementCounting);
+  EXPECT_EQ(r.verdicts[1].verdict, Verdict::StuckAt0);
+  EXPECT_EQ(r.verdicts[3].verdict, Verdict::ShortedAnd);
+  EXPECT_EQ(r.verdicts[6].verdict, Verdict::ShortedAnd);
+  EXPECT_EQ(r.verdicts[0].verdict, Verdict::Healthy);
+  EXPECT_FALSE(r.board_is_clean());
+}
+
+TEST(ExtestSession, CountingNeedsFewerClocksThanWalking) {
+  BoardNets b1(16), b2(16);
+  ExtestInterconnectSession s1(b1), s2(b2);
+  const auto walk = s1.run(Algorithm::WalkingOnes);
+  const auto count = s2.run(Algorithm::CountingSequence);
+  EXPECT_LT(count.total_tcks, walk.total_tcks);
+  EXPECT_LT(count.patterns_applied, walk.patterns_applied);
+}
+
+TEST(ExtestSession, ClockCostMatchesPipelinedFlow) {
+  // reset (6) + IR scan (8 bits + 6) + (k+1) DR scans of 2n+5 TCKs.
+  const std::size_t n = 8;
+  BoardNets board(n);
+  ExtestInterconnectSession session(board);
+  const auto r = session.run(Algorithm::CountingSequence);
+  const std::uint64_t k = r.patterns_applied;
+  const std::uint64_t expected = 6 + (8 + 6) + (k + 1) * (2 * n + 5);
+  EXPECT_EQ(r.total_tcks, expected);
+}
+
+TEST(ExtestSession, ChainHoldsTwoDevices) {
+  BoardNets board(4);
+  ExtestInterconnectSession session(board);
+  EXPECT_EQ(session.chain().size(), 2u);
+  EXPECT_EQ(session.driver_chip().ir_width(), 4u);
+  EXPECT_EQ(session.receiver_chip().ir_width(), 4u);
+}
+
+TEST(ExtestSession, RepeatedRunsAreDeterministic) {
+  BoardNets board(6);
+  board.inject_short({1, 2}, false);
+  ExtestInterconnectSession session(board);
+  const auto a = session.run(Algorithm::TrueComplementCounting);
+  const auto b = session.run(Algorithm::TrueComplementCounting);
+  EXPECT_EQ(a.total_tcks, b.total_tcks);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.verdicts[i].verdict, b.verdicts[i].verdict);
+  }
+}
+
+}  // namespace
+}  // namespace jsi::ict

@@ -1,0 +1,114 @@
+#include "ict/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jsi::ict {
+namespace {
+
+using util::BitVec;
+
+TEST(Patterns, WalkingOnesShape) {
+  const auto p = walking_ones(5);
+  ASSERT_EQ(p.size(), 5u);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(p[t].is_one_hot());
+    EXPECT_TRUE(p[t][t]);
+  }
+}
+
+TEST(Patterns, WalkingZerosComplementsWalkingOnes) {
+  const auto ones = walking_ones(4);
+  const auto zeros = walking_zeros(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(~ones[t], zeros[t]);
+  }
+}
+
+TEST(Patterns, CountingLengthIsCeilLog2NPlus2) {
+  EXPECT_EQ(counting_length(1), 2u);   // codes 1..1, reserve 00 and 11
+  EXPECT_EQ(counting_length(2), 2u);   // 2^2 = 4 >= 4
+  EXPECT_EQ(counting_length(3), 3u);   // 2^2 = 4 < 5
+  EXPECT_EQ(counting_length(6), 3u);
+  EXPECT_EQ(counting_length(7), 4u);
+  EXPECT_EQ(counting_length(14), 4u);
+  EXPECT_EQ(counting_length(15), 5u);
+  EXPECT_EQ(counting_length(30), 5u);
+}
+
+TEST(Patterns, CountingCodesAreUniqueAndNonTrivial) {
+  const std::size_t n = 12;
+  const auto codes = net_codes(counting_sequence(n), n);
+  std::set<std::string> seen;
+  for (const auto& c : codes) {
+    EXPECT_GT(c.popcount(), 0u);          // never the all-0 word
+    EXPECT_LT(c.popcount(), c.size());    // never the all-1 word
+    EXPECT_TRUE(seen.insert(c.to_string()).second) << "duplicate code";
+  }
+}
+
+TEST(Patterns, CountingCodeOfNetIIsIPlus1) {
+  const std::size_t n = 6;
+  const auto codes = net_codes(counting_sequence(n), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(codes[i].to_u64(), i + 1);
+  }
+}
+
+TEST(Patterns, TrueComplementDoublesLength) {
+  const std::size_t n = 9;
+  const auto tc = true_complement_counting(n);
+  const auto c = counting_sequence(n);
+  ASSERT_EQ(tc.size(), 2 * c.size());
+  for (std::size_t t = 0; t < c.size(); ++t) {
+    EXPECT_EQ(tc[t], c[t]);
+    EXPECT_EQ(tc[c.size() + t], ~c[t]);
+  }
+}
+
+TEST(Patterns, TrueComplementCodesContainBothValues) {
+  // The property that makes stuck-ats unambiguous.
+  const std::size_t n = 20;
+  const auto codes = net_codes(true_complement_counting(n), n);
+  for (const auto& c : codes) {
+    EXPECT_GT(c.popcount(), 0u);
+    EXPECT_LT(c.popcount(), c.size());
+    // And exactly half the bits are 1 (code + complement).
+    EXPECT_EQ(c.popcount(), c.size() / 2);
+  }
+}
+
+TEST(Patterns, NetCodesTransposeRoundTrip) {
+  const std::size_t n = 5;
+  const auto pats = counting_sequence(n);
+  const auto codes = net_codes(pats, n);
+  for (std::size_t t = 0; t < pats.size(); ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(pats[t][i], codes[i][t]);
+    }
+  }
+  EXPECT_THROW(net_codes({BitVec::zeros(3)}, 4), std::invalid_argument);
+}
+
+TEST(Patterns, ZeroNetsRejected) {
+  EXPECT_THROW(counting_sequence(0), std::invalid_argument);
+}
+
+class LogGrowth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LogGrowth, CountingBeatsWalkingBeyondSmallN) {
+  const std::size_t n = GetParam();
+  const auto walk = walking_ones(n).size();
+  const auto count = counting_sequence(n).size();
+  if (n > 4) {
+    EXPECT_LT(count, walk);
+  }
+  EXPECT_LE(count, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LogGrowth,
+                         ::testing::Values(2, 5, 8, 16, 32, 64, 200));
+
+}  // namespace
+}  // namespace jsi::ict

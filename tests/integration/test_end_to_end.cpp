@@ -1,0 +1,192 @@
+// Whole-stack integration tests: TAP protocol -> PGBSC pattern generation
+// -> coupled-RC bus -> ND/SD sensors -> O-SITEST scan-out -> diagnosis.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/time_model.hpp"
+#include "core/session.hpp"
+#include "util/prng.hpp"
+
+namespace jsi {
+namespace {
+
+using core::IntegrityReport;
+using core::ObservationMethod;
+using core::SiSocDevice;
+using core::SiTestSession;
+using core::SocConfig;
+
+SocConfig cfg_n(std::size_t n) {
+  SocConfig cfg;
+  cfg.n_wires = n;
+  return cfg;
+}
+
+TEST(EndToEnd, RandomDefectsAreAllDetectedAndLocalized) {
+  // Fuzz: inject 1-2 random strong defects, run the full session, check
+  // every defective wire is flagged and no distant healthy wire is.
+  util::Prng rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + rng.next_below(8);  // 4..11 wires
+    SiSocDevice soc(cfg_n(n));
+    std::set<std::size_t> noisy, skewed;
+
+    const std::size_t w1 = rng.next_below(n);
+    if (rng.next_bool()) {
+      soc.bus().inject_crosstalk_defect(w1, 6.0 + rng.next_double() * 3.0);
+      noisy.insert(w1);
+    } else {
+      soc.bus().add_series_resistance(w1, 800.0 + rng.next_double() * 400.0);
+      skewed.insert(w1);
+    }
+
+    SiTestSession session(soc);
+    const IntegrityReport r = session.run(ObservationMethod::OnceAtEnd);
+
+    for (auto w : noisy) {
+      EXPECT_TRUE(r.nd_final[w])
+          << "trial " << trial << " noisy wire " << w << " undetected\n"
+          << format_report(r);
+    }
+    for (auto w : skewed) {
+      EXPECT_TRUE(r.sd_final[w])
+          << "trial " << trial << " skewed wire " << w << " undetected\n"
+          << format_report(r);
+    }
+    // Wires at distance >= 2 from any defect must stay clean.
+    for (std::size_t w = 0; w < n; ++w) {
+      const auto dist = w > w1 ? w - w1 : w1 - w;
+      if (dist >= 2) {
+        EXPECT_FALSE(r.nd_final[w]) << "trial " << trial << " wire " << w;
+        EXPECT_FALSE(r.sd_final[w]) << "trial " << trial << " wire " << w;
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, AllThreeMethodsAgreeOnFinalFlags) {
+  for (const auto method :
+       {ObservationMethod::OnceAtEnd, ObservationMethod::PerInitValue,
+        ObservationMethod::PerPattern}) {
+    SiSocDevice soc(cfg_n(6));
+    soc.bus().inject_crosstalk_defect(2, 6.0);
+    SiTestSession session(soc);
+    const IntegrityReport r = session.run(method);
+    EXPECT_TRUE(r.nd_final[2]) << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(EndToEnd, Method3CostsMoreButTellsMore) {
+  SiSocDevice soc1(cfg_n(6));
+  soc1.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession s1(soc1);
+  const auto r1 = s1.run(ObservationMethod::OnceAtEnd);
+
+  SiSocDevice soc3(cfg_n(6));
+  soc3.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession s3(soc3);
+  const auto r3 = s3.run(ObservationMethod::PerPattern);
+
+  EXPECT_GT(r3.total_tcks, r1.total_tcks);
+  // Method 3 pins down the first failing pattern; method 1 cannot.
+  const auto a1 = diagnose(r1);
+  const auto a3 = diagnose(r3);
+  const bool m1_names_fault =
+      std::any_of(a1.begin(), a1.end(),
+                  [](const auto& a) { return a.fault.has_value(); });
+  const bool m3_names_fault =
+      std::any_of(a3.begin(), a3.end(),
+                  [](const auto& a) { return a.fault.has_value(); });
+  EXPECT_FALSE(m1_names_fault);
+  EXPECT_TRUE(m3_names_fault);
+}
+
+TEST(EndToEnd, EnhancedSessionDominatesConventionalAtEveryN) {
+  for (std::size_t n : {4u, 8u, 16u}) {
+    SiSocDevice enhanced(cfg_n(n));
+    SiTestSession es(enhanced);
+    const auto er = es.run(ObservationMethod::OnceAtEnd);
+
+    SocConfig ccfg = cfg_n(n);
+    ccfg.enhanced = false;
+    SiSocDevice conventional(ccfg);
+    core::ConventionalSession cs(conventional);
+    const auto cr = cs.run(ObservationMethod::OnceAtEnd);
+
+    EXPECT_LT(er.generation_tcks, cr.generation_tcks) << "n=" << n;
+    EXPECT_EQ(er.observation_tcks, cr.observation_tcks) << "n=" << n;
+  }
+}
+
+TEST(EndToEnd, SessionWorksAcrossChainWidths) {
+  for (std::size_t m : {0u, 1u, 5u, 16u}) {
+    SocConfig cfg = cfg_n(5);
+    cfg.m_extra_cells = m;
+    SiSocDevice soc(cfg);
+    soc.bus().inject_crosstalk_defect(2, 6.0);
+    SiTestSession session(soc);
+    const auto r = session.run(ObservationMethod::OnceAtEnd);
+    EXPECT_TRUE(r.nd_final[2]) << "m=" << m;
+    analysis::TimeModel model{5, m, cfg.ir_width};
+    EXPECT_EQ(r.total_tcks,
+              model.enhanced_total(ObservationMethod::OnceAtEnd));
+  }
+}
+
+TEST(EndToEnd, WideBusThirtyTwoWires) {
+  // The Table 5/6/7 operating point: n=32, m=1.
+  SiSocDevice soc(cfg_n(32));
+  soc.bus().inject_crosstalk_defect(17, 7.0);
+  SiTestSession session(soc);
+  const auto r = session.run(ObservationMethod::PerInitValue);
+  EXPECT_TRUE(r.nd_final[17]);
+  EXPECT_EQ(r.patterns.size(), 2u * (4 * 32 + 1));
+  analysis::TimeModel model{32, 1, 4};
+  EXPECT_EQ(r.generation_tcks, model.pgbsc_generation());
+}
+
+TEST(EndToEnd, DetectionSurvivesExtraIdleClocks) {
+  // Sensors are level/sticky, not timing-coupled to the master's pace.
+  SiSocDevice soc(cfg_n(5));
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  SiTestSession session(soc);
+  session.master().reset_to_idle();
+  session.master().run_idle(1000);
+  const auto r = session.run(ObservationMethod::OnceAtEnd);
+  EXPECT_TRUE(r.nd_final[2]);
+}
+
+TEST(EndToEnd, SeverityGradient) {
+  // Detection must be monotone in defect severity: once a severity
+  // triggers, all larger severities trigger too.
+  bool seen_detect = false;
+  for (double sev : {1.0, 2.0, 3.5, 5.0, 7.0, 10.0}) {
+    SiSocDevice soc(cfg_n(5));
+    if (sev > 1.0) soc.bus().inject_crosstalk_defect(2, sev);
+    SiTestSession session(soc);
+    const auto r = session.run(ObservationMethod::OnceAtEnd);
+    const bool detected = r.nd_final[2];
+    if (seen_detect) {
+      EXPECT_TRUE(detected) << "severity " << sev;
+    }
+    seen_detect = seen_detect || detected;
+  }
+  EXPECT_TRUE(seen_detect) << "even severity 10 undetected";
+}
+
+TEST(EndToEnd, AnalysisAndMeasurementAgreeAtPaperOperatingPoints) {
+  for (std::size_t n : {8u, 16u, 32u}) {
+    analysis::TimeModel model{n, 1, 4};
+    SiSocDevice soc(cfg_n(n));
+    SiTestSession session(soc);
+    const auto r = session.run(ObservationMethod::OnceAtEnd);
+    EXPECT_EQ(r.total_tcks, model.enhanced_total(ObservationMethod::OnceAtEnd))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace jsi

@@ -1,0 +1,104 @@
+#include "jtag/bsdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bsdl.hpp"
+
+namespace jsi::jtag {
+namespace {
+
+BsdlDescription tiny() {
+  BsdlDescription d;
+  d.entity = "tiny";
+  d.ir_length = 2;
+  d.instructions = {{"EXTEST", 0b00}, {"BYPASS", 0b11}};
+  d.cells = {{"P0", "OUTPUT2", "BC_1", 'X'}, {"P1", "INPUT", "BC_1", 'X'}};
+  return d;
+}
+
+TEST(Bsdl, ContainsEntityAndStandardAttributes) {
+  const std::string s = to_bsdl(tiny());
+  EXPECT_NE(s.find("entity tiny is"), std::string::npos);
+  EXPECT_NE(s.find("end tiny;"), std::string::npos);
+  EXPECT_NE(s.find("INSTRUCTION_LENGTH of tiny : entity is 2"),
+            std::string::npos);
+  EXPECT_NE(s.find("BOUNDARY_LENGTH of tiny : entity is 2"),
+            std::string::npos);
+}
+
+TEST(Bsdl, OpcodesRenderedMsbFirst) {
+  const std::string s = to_bsdl(tiny());
+  EXPECT_NE(s.find("\"EXTEST (00)\""), std::string::npos);
+  EXPECT_NE(s.find("\"BYPASS (11)\""), std::string::npos);
+}
+
+TEST(Bsdl, IdcodeRendered32Bits) {
+  BsdlDescription d = tiny();
+  d.has_idcode = true;
+  d.idcode = 0x80000001u;
+  const std::string s = to_bsdl(d);
+  EXPECT_NE(s.find("1000000000000000"
+                   "0000000000000001"),
+            std::string::npos);
+}
+
+TEST(Bsdl, CellsIndexedFromZero) {
+  const std::string s = to_bsdl(tiny());
+  EXPECT_NE(s.find("\"0 (BC_1, P0, OUTPUT2, X)\""), std::string::npos);
+  EXPECT_NE(s.find("\"1 (BC_1, P1, INPUT, X)\";"), std::string::npos);
+}
+
+TEST(Bsdl, PortDirectionsFollowFunction) {
+  const std::string s = to_bsdl(tiny());
+  EXPECT_NE(s.find("P0 : out bit;"), std::string::npos);
+  EXPECT_NE(s.find("P1 : in bit;"), std::string::npos);
+  EXPECT_NE(s.find("TDO : out bit"), std::string::npos);
+}
+
+TEST(Bsdl, SocDescriptionMatchesConfig) {
+  core::SocConfig cfg;
+  cfg.n_wires = 6;
+  cfg.m_extra_cells = 2;
+  core::SiSocDevice soc(cfg);
+  const auto d = core::bsdl_for(soc);
+  EXPECT_EQ(d.cells.size(), soc.chain_length());
+  EXPECT_EQ(d.ir_length, cfg.ir_width);
+  EXPECT_TRUE(d.has_idcode);
+  EXPECT_EQ(d.idcode & 1u, 1u);
+  // Opcodes in the description must match the live TAP's registry.
+  for (const auto& inst : d.instructions) {
+    const std::string name =
+        inst.name == "SAMPLE" ? core::SiSocDevice::kSample
+        : inst.name == "G_SITEST" ? core::SiSocDevice::kGSitest
+        : inst.name == "O_SITEST" ? core::SiSocDevice::kOSitest
+                                  : inst.name;
+    EXPECT_EQ(inst.opcode, soc.tap().opcode(name)) << inst.name;
+  }
+}
+
+TEST(Bsdl, SocTextMentionsEnhancedCellTypes) {
+  core::SocConfig cfg;
+  cfg.n_wires = 4;
+  core::SiSocDevice soc(cfg);
+  const std::string s = core::bsdl_text_for(soc);
+  EXPECT_NE(s.find("(PG_BSC,"), std::string::npos);
+  EXPECT_NE(s.find("(OB_SC,"), std::string::npos);
+  EXPECT_NE(s.find("G_SITEST (1000)"), std::string::npos);
+  EXPECT_NE(s.find("O_SITEST (1001)"), std::string::npos);
+}
+
+TEST(Bsdl, ConventionalSocUsesStandardCells) {
+  core::SocConfig cfg;
+  cfg.n_wires = 4;
+  cfg.enhanced = false;
+  core::SiSocDevice soc(cfg);
+  const std::string s = core::bsdl_text_for(soc);
+  // No boundary-register entry may use the PGBSC type (the header comment
+  // mentioning the private types is fine).
+  EXPECT_EQ(s.find("(PG_BSC,"), std::string::npos);
+  EXPECT_NE(s.find("(BC_1, BUS_OUT0"), std::string::npos);
+  EXPECT_NE(s.find("jsi_conventional_soc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsi::jtag

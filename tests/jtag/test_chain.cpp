@@ -1,0 +1,97 @@
+#include "jtag/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jtag/master.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::jtag {
+namespace {
+
+using util::BitVec;
+
+std::shared_ptr<TapDevice> make_dev(const std::string& name,
+                                    std::uint32_t idcode) {
+  auto d = std::make_shared<TapDevice>(name, 4);
+  d->add_idcode(idcode, 0b0010);
+  return d;
+}
+
+TEST(Chain, EmptyChainRejectsTick) {
+  Chain c;
+  EXPECT_THROW(c.tick(false, false), std::logic_error);
+}
+
+TEST(Chain, TotalIrWidthSums) {
+  Chain c;
+  c.add_device(make_dev("a", 0x11111111));
+  c.add_device(make_dev("b", 0x22222222));
+  EXPECT_EQ(c.total_ir_width(), 8u);
+  EXPECT_THROW(c.add_device(nullptr), std::invalid_argument);
+}
+
+TEST(Chain, BypassChainDelaysOnePerDevice) {
+  Chain c;
+  for (int i = 0; i < 3; ++i) c.add_device(make_dev("d", 0x1));
+  TapMaster m(c);
+  m.reset_to_idle();
+  // Load BYPASS everywhere: 3 devices x 4-bit IR = 12 ones.
+  m.scan_ir(BitVec::ones(12));
+  // Chain DR length is 3 bypass bits; shifting 1 followed by zeros gets
+  // the 1 out after 3 more clocks.
+  const BitVec out = m.scan_dr(BitVec::from_string("0001"));
+  EXPECT_EQ(out.to_string(), "1000");
+}
+
+TEST(Chain, IdcodesReadBackInChainOrder) {
+  Chain c;
+  c.add_device(make_dev("near_tdi", 0xAAAA5550));
+  c.add_device(make_dev("near_tdo", 0x12345670));
+  TapMaster m(c);
+  m.reset_to_idle();
+  // Reset instruction is IDCODE in both; 64-bit DR scan returns both ids,
+  // the device nearest TDO delivering its bits first.
+  const BitVec out = m.scan_dr(BitVec::zeros(64));
+  EXPECT_EQ(out.slice(0, 32).to_u64(), 0x12345670u | 1u);
+  EXPECT_EQ(out.slice(32, 32).to_u64(), 0xAAAA5550u | 1u);
+}
+
+TEST(Chain, AsyncResetPropagates) {
+  Chain c;
+  auto a = make_dev("a", 0x2);
+  auto b = make_dev("b", 0x4);
+  c.add_device(a);
+  c.add_device(b);
+  TapMaster m(c);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::ones(8));
+  EXPECT_EQ(a->current_instruction(), "BYPASS");
+  c.async_reset();
+  EXPECT_EQ(a->current_instruction(), "IDCODE");
+  EXPECT_EQ(b->current_instruction(), "IDCODE");
+}
+
+TEST(Chain, DevicesShareTmsLockstep) {
+  Chain c;
+  auto a = make_dev("a", 0x2);
+  auto b = make_dev("b", 0x4);
+  c.add_device(a);
+  c.add_device(b);
+  TapMaster m(c);
+  m.reset_to_idle();
+  m.goto_state(TapState::PauseDr);
+  EXPECT_EQ(a->state(), TapState::PauseDr);
+  EXPECT_EQ(b->state(), TapState::PauseDr);
+}
+
+TEST(Chain, TckCountMatchesMaster) {
+  Chain c;
+  c.add_device(make_dev("a", 0x2));
+  TapMaster m(c);
+  m.reset_to_idle();
+  m.run_idle(10);
+  EXPECT_EQ(c.tck_count(), m.tck());
+}
+
+}  // namespace
+}  // namespace jsi::jtag

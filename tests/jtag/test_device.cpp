@@ -1,0 +1,157 @@
+#include "jtag/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jtag/master.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::jtag {
+namespace {
+
+using util::BitVec;
+using util::Logic;
+
+TEST(TapDevice, ConstructionValidatesIrWidth) {
+  EXPECT_THROW(TapDevice("d", 1), std::invalid_argument);
+  EXPECT_THROW(TapDevice("d", 65), std::invalid_argument);
+  TapDevice ok("d", 2);
+  EXPECT_EQ(ok.ir_width(), 2u);
+}
+
+TEST(TapDevice, BypassIsBuiltInWithAllOnesOpcode) {
+  TapDevice d("d", 4);
+  EXPECT_EQ(d.opcode("BYPASS"), 0b1111u);
+  EXPECT_EQ(d.current_instruction(), "BYPASS");
+}
+
+TEST(TapDevice, DuplicateOpcodeRejected) {
+  TapDevice d("d", 4);
+  d.add_data_register("R", std::make_shared<BypassRegister>());
+  d.add_instruction("A", 0b0001, "R");
+  EXPECT_THROW(d.add_instruction("B", 0b0001, "R"), std::invalid_argument);
+  EXPECT_THROW(d.add_instruction("C", 0b10000, "R"), std::invalid_argument);
+  EXPECT_THROW(d.add_instruction("D", 0b0010, "NOPE"), std::invalid_argument);
+}
+
+TEST(TapDevice, IdcodeBecomesResetInstruction) {
+  TapDevice d("d", 4);
+  d.add_idcode(0xABCD0123u, 0b0010);
+  EXPECT_EQ(d.current_instruction(), "IDCODE");
+  d.async_reset();
+  EXPECT_EQ(d.current_instruction(), "IDCODE");
+}
+
+TEST(TapDevice, IrScanLoadsInstruction) {
+  TapDevice d("d", 4);
+  d.add_data_register("R", std::make_shared<ShiftUpdateRegister>(3));
+  d.add_instruction("MYINST", 0b0101, "R");
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::from_u64(0b0101, 4));
+  EXPECT_EQ(d.current_instruction(), "MYINST");
+}
+
+TEST(TapDevice, IrCapturePatternIs01) {
+  TapDevice d("d", 4);
+  TapMaster m(d);
+  m.reset_to_idle();
+  const BitVec out = m.scan_ir(BitVec::ones(4));
+  // 1149.1: the two LSBs captured in Capture-IR are 01.
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(TapDevice, UnknownOpcodeSelectsBypass) {
+  TapDevice d("d", 4);
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::from_u64(0b0110, 4));  // never registered
+  EXPECT_EQ(d.current_instruction(), "BYPASS");
+}
+
+TEST(TapDevice, InstructionListenerFiresOnEveryUpdateIr) {
+  TapDevice d("d", 4);
+  int fires = 0;
+  std::string last;
+  d.on_instruction([&](const std::string& n) {
+    ++fires;
+    last = n;
+  });
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::ones(4));
+  m.scan_ir(BitVec::ones(4));  // reloading the same instruction also fires
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(last, "BYPASS");
+}
+
+TEST(TapDevice, UpdateDrListenerFires) {
+  TapDevice d("d", 4);
+  d.add_data_register("R", std::make_shared<ShiftUpdateRegister>(4));
+  d.add_instruction("I", 0b0001, "R");
+  int updates = 0;
+  d.on_update_dr([&] { ++updates; });
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::from_u64(0b0001, 4));
+  m.scan_dr(BitVec::from_string("1010"));
+  m.pulse_update_dr();
+  EXPECT_EQ(updates, 2);
+}
+
+TEST(TapDevice, DrScanRoundTripThroughShiftUpdateRegister) {
+  TapDevice d("d", 4);
+  auto reg = std::make_shared<ShiftUpdateRegister>(8);
+  d.add_data_register("R", reg);
+  d.add_instruction("I", 0b0001, "R");
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::from_u64(0b0001, 4));
+  m.scan_dr(BitVec::from_string("11001010"));
+  // held() is scan-order-reversed: the first-scanned bit (LSB of the
+  // input vector) sits at the register's MSB end.
+  EXPECT_EQ(reg->held().to_string(), "01010011");
+  // Round trip: a second scan reads back exactly what was scanned in.
+  const BitVec out = m.scan_dr(BitVec::zeros(8));
+  EXPECT_EQ(out.to_string(), "11001010");
+}
+
+TEST(TapDevice, TdoIsHighZOutsideShiftStates) {
+  TapDevice d("d", 4);
+  EXPECT_EQ(d.tick(false, false), Logic::Z);  // Test-Logic-Reset
+  EXPECT_EQ(d.tick(false, false), Logic::Z);  // Run-Test/Idle
+}
+
+TEST(TapDevice, TmsResetFromMidScanClearsState) {
+  TapDevice d("d", 4);
+  auto reg = std::make_shared<ShiftUpdateRegister>(4);
+  d.add_data_register("R", reg);
+  d.add_instruction("I", 0b0001, "R");
+  TapMaster m(d);
+  m.reset_to_idle();
+  m.scan_ir(BitVec::from_u64(0b0001, 4));
+  m.scan_dr(BitVec::ones(4));
+  EXPECT_EQ(reg->held().popcount(), 4u);
+  m.reset_to_idle();  // 5x TMS=1 resets the test logic
+  EXPECT_EQ(reg->held().popcount(), 0u);
+  EXPECT_EQ(d.current_instruction(), "BYPASS");
+}
+
+TEST(TapDevice, ResetListenerFires) {
+  TapDevice d("d", 4);
+  int resets = 0;
+  d.on_reset([&] { ++resets; });
+  d.async_reset();
+  EXPECT_EQ(resets, 1);
+}
+
+TEST(TapDevice, TckCounterCounts) {
+  TapDevice d("d", 4);
+  TapMaster m(d);
+  m.reset_to_idle();
+  EXPECT_EQ(d.tck_count(), 6u);
+  EXPECT_EQ(m.tck(), 6u);
+}
+
+}  // namespace
+}  // namespace jsi::jtag

@@ -1,0 +1,136 @@
+#include "jtag/master.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jtag/device.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::jtag {
+namespace {
+
+using util::BitVec;
+
+class MasterTest : public ::testing::Test {
+ protected:
+  MasterTest() : dev_("d", 4), master_(dev_) {
+    dev_.add_data_register("R", std::make_shared<ShiftUpdateRegister>(8));
+    dev_.add_instruction("I", 0b0001, "R");
+  }
+  TapDevice dev_;
+  TapMaster master_;
+};
+
+TEST_F(MasterTest, ResetToIdleTakesSixClocks) {
+  master_.reset_to_idle();
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+  EXPECT_EQ(master_.tck(), 6u);
+}
+
+TEST_F(MasterTest, ScanDrCostsLengthPlusFive) {
+  master_.reset_to_idle();
+  const auto before = master_.tck();
+  master_.scan_dr(BitVec::zeros(8));
+  EXPECT_EQ(master_.tck() - before, 8u + 5);
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+}
+
+TEST_F(MasterTest, ScanIrCostsLengthPlusSix) {
+  master_.reset_to_idle();
+  const auto before = master_.tck();
+  master_.scan_ir(BitVec::zeros(4));
+  EXPECT_EQ(master_.tck() - before, 4u + 6);
+}
+
+TEST_F(MasterTest, PulseUpdateDrCostsFive) {
+  master_.reset_to_idle();
+  const auto before = master_.tck();
+  master_.pulse_update_dr();
+  EXPECT_EQ(master_.tck() - before, 5u);
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+}
+
+TEST_F(MasterTest, SingleBitScanWorks) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b1111, 4));  // BYPASS
+  const BitVec out = master_.scan_dr(BitVec::from_string("1"));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0]);  // bypass captured 0
+}
+
+TEST_F(MasterTest, EmptyScansRejected) {
+  master_.reset_to_idle();
+  EXPECT_THROW(master_.scan_dr(BitVec()), std::invalid_argument);
+  EXPECT_THROW(master_.scan_ir(BitVec()), std::invalid_argument);
+}
+
+TEST_F(MasterTest, ScansRequireRunTestIdle) {
+  // Freshly constructed master mirrors Test-Logic-Reset.
+  EXPECT_THROW(master_.scan_dr(BitVec::zeros(4)), std::logic_error);
+  EXPECT_THROW(master_.scan_ir(BitVec::zeros(4)), std::logic_error);
+  EXPECT_THROW(master_.pulse_update_dr(), std::logic_error);
+  EXPECT_THROW(master_.run_idle(3), std::logic_error);
+}
+
+TEST_F(MasterTest, GotoStateNavigates) {
+  master_.reset_to_idle();
+  master_.goto_state(TapState::PauseDr);
+  EXPECT_EQ(master_.state(), TapState::PauseDr);
+  EXPECT_EQ(dev_.state(), TapState::PauseDr);
+  master_.goto_state(TapState::RunTestIdle);
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+}
+
+TEST_F(MasterTest, RunIdleSpendsExactClocks) {
+  master_.reset_to_idle();
+  const auto before = master_.tck();
+  master_.run_idle(17);
+  EXPECT_EQ(master_.tck() - before, 17u);
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+}
+
+TEST_F(MasterTest, CounterResetForPhaseMetering) {
+  master_.reset_to_idle();
+  master_.reset_tck_counter();
+  master_.pulse_update_dr();
+  EXPECT_EQ(master_.tck(), 5u);
+}
+
+TEST_F(MasterTest, PausedScanShiftsTheSameBits) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr(BitVec::from_string("11010010"));
+  // Read back with pauses every 3 bits: identical data, more clocks.
+  const auto before = master_.tck();
+  const BitVec out = master_.scan_dr_paused(
+      BitVec::from_string("11010010"), /*pause_every=*/3,
+      /*pause_clocks=*/2);
+  EXPECT_EQ(out.to_string(), "11010010");
+  // 8+5 base clocks plus 2 pauses x (1 exit + 2 park + 1 exit2 + 1 back).
+  EXPECT_EQ(master_.tck() - before, (8u + 5) + 2 * 5);
+  EXPECT_EQ(master_.state(), TapState::RunTestIdle);
+}
+
+TEST_F(MasterTest, PausedScanRoundTripsThroughRegister) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr_paused(BitVec::from_string("10011101"), 2, 5);
+  const BitVec out = master_.scan_dr(BitVec::zeros(8));
+  EXPECT_EQ(out.to_string(), "10011101");
+}
+
+TEST_F(MasterTest, PausedScanValidatesArguments) {
+  master_.reset_to_idle();
+  EXPECT_THROW(master_.scan_dr_paused(BitVec(), 3), std::invalid_argument);
+  EXPECT_THROW(master_.scan_dr_paused(BitVec::zeros(4), 0),
+               std::invalid_argument);
+}
+
+TEST_F(MasterTest, MirroredStateTracksDevice) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr(BitVec::zeros(8));
+  EXPECT_EQ(master_.state(), dev_.state());
+}
+
+}  // namespace
+}  // namespace jsi::jtag

@@ -1,0 +1,116 @@
+#include "jtag/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bist.hpp"
+#include "jtag/master.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::jtag {
+namespace {
+
+using util::BitVec;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : dev_("d", 4), mon_(dev_), master_(mon_) {
+    dev_.add_data_register("R", std::make_shared<ShiftUpdateRegister>(8));
+    dev_.add_instruction("I", 0b0001, "R");
+  }
+  TapDevice dev_;
+  ProtocolMonitor mon_;
+  TapMaster master_;
+};
+
+TEST_F(MonitorTest, CleanScansProduceNoViolations) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr(BitVec::from_string("10110100"));
+  EXPECT_TRUE(mon_.clean()) << mon_.violations().front();
+}
+
+TEST_F(MonitorTest, ShiftBurstLengthsRecorded) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr(BitVec::zeros(8));
+  master_.scan_dr(BitVec::zeros(8));
+  ASSERT_EQ(mon_.ir_shift_lengths().size(), 1u);
+  EXPECT_EQ(mon_.ir_shift_lengths()[0], 4u);
+  ASSERT_EQ(mon_.dr_shift_lengths().size(), 2u);
+  EXPECT_EQ(mon_.dr_shift_lengths()[0], 8u);
+  EXPECT_EQ(mon_.dr_shift_lengths()[1], 8u);
+}
+
+TEST_F(MonitorTest, UpdateCountsTracked) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  master_.scan_dr(BitVec::zeros(8));
+  master_.pulse_update_dr();
+  EXPECT_EQ(mon_.ir_updates(), 1u);
+  EXPECT_EQ(mon_.dr_updates(), 2u);
+}
+
+TEST_F(MonitorTest, VisitCountsAndCoverage) {
+  master_.reset_to_idle();
+  master_.scan_dr(BitVec::zeros(4));  // IDCODE-less: selects BYPASS reg? R not loaded -> BYPASS
+  EXPECT_GT(mon_.visits(TapState::ShiftDr), 0u);
+  EXPECT_EQ(mon_.visits(TapState::PauseIr), 0u);
+  const auto holes = mon_.unvisited_states();
+  EXPECT_FALSE(holes.empty());  // pause states never visited by scans
+  master_.goto_state(TapState::PauseDr);
+  master_.goto_state(TapState::PauseIr);
+  master_.goto_state(TapState::RunTestIdle);
+  for (TapState s : mon_.unvisited_states()) {
+    EXPECT_NE(s, TapState::PauseDr);
+    EXPECT_NE(s, TapState::PauseIr);
+  }
+}
+
+TEST_F(MonitorTest, TckCountForwarded) {
+  master_.reset_to_idle();
+  EXPECT_EQ(mon_.tck_count(), 6u);
+  EXPECT_EQ(dev_.tck_count(), 6u);
+}
+
+TEST_F(MonitorTest, AsyncResetForwarded) {
+  master_.reset_to_idle();
+  master_.scan_ir(BitVec::from_u64(0b0001, 4));
+  mon_.async_reset();
+  EXPECT_EQ(dev_.state(), TapState::TestLogicReset);
+}
+
+TEST(MonitorSession, FullBistSessionIsProtocolClean) {
+  // Replay the complete autonomous session through the monitor: zero
+  // violations, and the scan structure matches the protocol design.
+  core::SocConfig cfg;
+  cfg.n_wires = 6;
+  core::SiSocDevice soc(cfg);
+  soc.bus().inject_crosstalk_defect(2, 6.0);
+  ProtocolMonitor mon(soc.tap());
+
+  const auto program = core::BistProgram::compile(cfg);
+  for (const auto& s : program.steps()) mon.tick(s.tms, s.tdi);
+
+  EXPECT_TRUE(mon.clean()) << mon.violations().front();
+  // Per block: preload scan (L), victim-select (n), n rotate scans (1).
+  // Plus two read-out scans of L at the end.
+  const std::size_t L = soc.chain_length();
+  const auto& dr = mon.dr_shift_lengths();
+  std::size_t count_L = 0, count_n = 0, count_1 = 0;
+  for (auto len : dr) {
+    count_L += len == L;
+    count_n += len == cfg.n_wires;
+    count_1 += len == 1;
+  }
+  EXPECT_EQ(count_L, 2u + 2u);           // 2 preloads + ND/SD read-outs
+  EXPECT_EQ(count_n, 2u);                // victim-select per block
+  EXPECT_EQ(count_1, 2u * cfg.n_wires);  // rotate scans
+  EXPECT_EQ(mon.ir_shift_lengths().size(), 2u * 2 + 1);  // 4 loads + O-SITEST
+  // Update-DR events: per block 1 preload + 1 select + n*(3 pulses + 1
+  // rotate), plus 2 read-out scans.
+  EXPECT_EQ(mon.dr_updates(),
+            2u * (2 + 4 * cfg.n_wires) + 2u);
+}
+
+}  // namespace
+}  // namespace jsi::jtag

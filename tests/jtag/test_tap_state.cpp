@@ -1,0 +1,124 @@
+#include "jtag/tap_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jsi::jtag {
+namespace {
+
+constexpr TapState kAllStates[] = {
+    TapState::TestLogicReset, TapState::RunTestIdle, TapState::SelectDrScan,
+    TapState::CaptureDr, TapState::ShiftDr, TapState::Exit1Dr,
+    TapState::PauseDr, TapState::Exit2Dr, TapState::UpdateDr,
+    TapState::SelectIrScan, TapState::CaptureIr, TapState::ShiftIr,
+    TapState::Exit1Ir, TapState::PauseIr, TapState::Exit2Ir,
+    TapState::UpdateIr,
+};
+
+TEST(TapFsm, FiveOnesResetFromAnywhere) {
+  // The defining property of the 1149.1 FSM.
+  for (TapState s : kAllStates) {
+    TapState cur = s;
+    for (int i = 0; i < 5; ++i) cur = next_state(cur, true);
+    EXPECT_EQ(cur, TapState::TestLogicReset) << tap_state_name(s);
+  }
+}
+
+TEST(TapFsm, CanonicalDrScanPath) {
+  TapState s = TapState::RunTestIdle;
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::SelectDrScan);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::CaptureDr);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::ShiftDr);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::ShiftDr);  // self-loop while shifting
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::Exit1Dr);
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::UpdateDr);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::RunTestIdle);
+}
+
+TEST(TapFsm, CanonicalIrScanPath) {
+  TapState s = TapState::RunTestIdle;
+  s = next_state(s, true);
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::SelectIrScan);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::CaptureIr);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::ShiftIr);
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::Exit1Ir);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::PauseIr);
+  s = next_state(s, true);
+  EXPECT_EQ(s, TapState::Exit2Ir);
+  s = next_state(s, false);
+  EXPECT_EQ(s, TapState::ShiftIr);  // re-enter shifting from pause
+}
+
+TEST(TapFsm, EveryStateHasTwoSuccessors) {
+  for (TapState s : kAllStates) {
+    // Both TMS values lead somewhere in the 16-state set (totality).
+    const TapState a = next_state(s, false);
+    const TapState b = next_state(s, true);
+    (void)a;
+    (void)b;
+  }
+  SUCCEED();
+}
+
+TEST(TapFsm, StronglyConnected) {
+  for (TapState from : kAllStates) {
+    for (TapState to : kAllStates) {
+      if (from == to) continue;
+      EXPECT_FALSE(tms_path(from, to).empty())
+          << tap_state_name(from) << " -> " << tap_state_name(to);
+    }
+  }
+}
+
+TEST(TapFsm, TmsPathActuallyArrives) {
+  for (TapState from : kAllStates) {
+    for (TapState to : kAllStates) {
+      TapState cur = from;
+      for (bool tms : tms_path(from, to)) cur = next_state(cur, tms);
+      EXPECT_EQ(cur, to);
+    }
+  }
+}
+
+TEST(TapFsm, TmsPathIsShortestForKnownCases) {
+  EXPECT_EQ(tms_path(TapState::RunTestIdle, TapState::ShiftDr).size(), 3u);
+  EXPECT_EQ(tms_path(TapState::RunTestIdle, TapState::ShiftIr).size(), 4u);
+  EXPECT_EQ(tms_path(TapState::ShiftDr, TapState::UpdateDr).size(), 2u);
+  EXPECT_TRUE(tms_path(TapState::ShiftDr, TapState::ShiftDr).empty());
+}
+
+TEST(TapFsm, PauseStatesSelfLoopOnZero) {
+  EXPECT_EQ(next_state(TapState::PauseDr, false), TapState::PauseDr);
+  EXPECT_EQ(next_state(TapState::PauseIr, false), TapState::PauseIr);
+}
+
+TEST(TapFsm, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (TapState s : kAllStates) names.insert(tap_state_name(s));
+  EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(TapFsm, ShiftAndDrPredicates) {
+  EXPECT_TRUE(is_shift_state(TapState::ShiftDr));
+  EXPECT_TRUE(is_shift_state(TapState::ShiftIr));
+  EXPECT_FALSE(is_shift_state(TapState::CaptureDr));
+  EXPECT_TRUE(is_dr_state(TapState::UpdateDr));
+  EXPECT_FALSE(is_dr_state(TapState::UpdateIr));
+  EXPECT_FALSE(is_dr_state(TapState::RunTestIdle));
+}
+
+}  // namespace
+}  // namespace jsi::jtag

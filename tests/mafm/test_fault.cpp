@@ -1,0 +1,99 @@
+#include "mafm/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hpp"
+
+namespace jsi::mafm {
+namespace {
+
+using util::BitVec;
+
+TEST(MaFault, NamesAreDistinct) {
+  for (auto a : kAllFaults) {
+    for (auto b : kAllFaults) {
+      if (a != b) {
+        EXPECT_NE(fault_name(a), fault_name(b));
+      }
+    }
+  }
+}
+
+TEST(MaFault, NoiseVsSkewSplit) {
+  EXPECT_TRUE(is_noise_fault(MaFault::Pg));
+  EXPECT_TRUE(is_noise_fault(MaFault::PgBar));
+  EXPECT_TRUE(is_noise_fault(MaFault::Ng));
+  EXPECT_TRUE(is_noise_fault(MaFault::NgBar));
+  EXPECT_FALSE(is_noise_fault(MaFault::Rs));
+  EXPECT_FALSE(is_noise_fault(MaFault::Fs));
+}
+
+TEST(MaFault, VectorsForPgOnFiveWireBus) {
+  // Paper Fig 3: victim wire 2 of 5, positive glitch needs 00000 -> 11011.
+  const VectorPair p = vectors_for(MaFault::Pg, 5, 2);
+  EXPECT_EQ(p.v1.to_string(), "00000");
+  EXPECT_EQ(p.v2.to_string(), "11011");
+}
+
+TEST(MaFault, VectorsForRisingSkew) {
+  const VectorPair p = vectors_for(MaFault::Rs, 5, 2);
+  EXPECT_EQ(p.v1.to_string(), "11011");
+  EXPECT_EQ(p.v2.to_string(), "00100");
+}
+
+TEST(MaFault, VectorsForFallingSkew) {
+  const VectorPair p = vectors_for(MaFault::Fs, 5, 2);
+  EXPECT_EQ(p.v1.to_string(), "00100");
+  EXPECT_EQ(p.v2.to_string(), "11011");
+}
+
+TEST(MaFault, VectorsThrowOnBadVictim) {
+  EXPECT_THROW(vectors_for(MaFault::Pg, 4, 4), std::out_of_range);
+}
+
+class VectorsRoundTrip : public ::testing::TestWithParam<
+                             std::tuple<MaFault, std::size_t, std::size_t>> {};
+
+TEST_P(VectorsRoundTrip, ClassifyRecoversTheFault) {
+  const auto [f, n, victim] = GetParam();
+  if (victim >= n) GTEST_SKIP();
+  const VectorPair p = vectors_for(f, n, victim);
+  const auto got = classify(p.v1, p.v2, victim);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultsAllVictims, VectorsRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kAllFaults),
+                       ::testing::Values<std::size_t>(2, 3, 5, 8, 16),
+                       ::testing::Values<std::size_t>(0, 1, 4, 7, 15)));
+
+TEST(MaClassify, RejectsNonUniformAggressors) {
+  // Aggressors moving in different directions is not an MA pattern.
+  const BitVec a = BitVec::from_string("01010");
+  const BitVec b = BitVec::from_string("10100");
+  EXPECT_FALSE(classify(a, b, 2).has_value());
+}
+
+TEST(MaClassify, RejectsQuietAggressors) {
+  const BitVec a = BitVec::from_string("00000");
+  const BitVec b = BitVec::from_string("00100");
+  EXPECT_FALSE(classify(a, b, 2).has_value());
+}
+
+TEST(MaClassify, RejectsAllTogglingSameDirection) {
+  // The generator's "reset" transition: victim moves with the aggressors.
+  const BitVec a = BitVec::from_string("11111");
+  const BitVec b = BitVec::from_string("00000");
+  EXPECT_FALSE(classify(a, b, 2).has_value());
+}
+
+TEST(MaClassify, WidthMismatchThrows) {
+  EXPECT_THROW(
+      classify(BitVec::zeros(4), BitVec::zeros(5), 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsi::mafm

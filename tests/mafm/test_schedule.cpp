@@ -1,0 +1,127 @@
+#include "mafm/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace jsi::mafm {
+namespace {
+
+TEST(ConventionalSchedule, TwelveVectorsPerVictim) {
+  const auto seq = conventional_victim_sequence(8, 3);
+  EXPECT_EQ(seq.size(), 12u);
+  const auto all = conventional_session(8);
+  EXPECT_EQ(all.size(), 12u * 8);
+}
+
+TEST(ConventionalSchedule, PairsExciteTheirFaults) {
+  const std::size_t n = 6, victim = 2;
+  const auto seq = conventional_victim_sequence(n, victim);
+  for (std::size_t i = 0; i < seq.size(); i += 2) {
+    const auto f = classify(seq[i], seq[i + 1], victim);
+    ASSERT_TRUE(f.has_value()) << "pair " << i / 2;
+    EXPECT_EQ(*f, kAllFaults[i / 2]);
+  }
+}
+
+TEST(PgbscReference, SequenceLengthIs4nPlus1) {
+  for (std::size_t n : {2u, 3u, 5u, 8u, 16u, 32u}) {
+    EXPECT_EQ(pgbsc_reference_sequence(n, false).size(), 4 * n + 1);
+    EXPECT_EQ(pgbsc_reference_sequence(n, true).size(), 4 * n + 1);
+  }
+}
+
+TEST(PgbscReference, InitZeroCoversPgRsPgBarForEveryVictim) {
+  const std::size_t n = 5;
+  const auto seq = pgbsc_reference_sequence(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto faults = faults_covered(seq, v);
+    const std::set<MaFault> got(faults.begin(), faults.end());
+    EXPECT_EQ(got, (std::set<MaFault>{MaFault::Pg, MaFault::Rs,
+                                      MaFault::PgBar}))
+        << "victim " << v;
+  }
+}
+
+TEST(PgbscReference, InitOneCoversNgFsNgBarForEveryVictim) {
+  const std::size_t n = 5;
+  const auto seq = pgbsc_reference_sequence(n, true);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto faults = faults_covered(seq, v);
+    const std::set<MaFault> got(faults.begin(), faults.end());
+    EXPECT_EQ(got, (std::set<MaFault>{MaFault::Ng, MaFault::Fs,
+                                      MaFault::NgBar}))
+        << "victim " << v;
+  }
+}
+
+TEST(PgbscReference, BothInitValuesCoverAllSixFaults) {
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::set<MaFault> got;
+      for (bool init : {false, true}) {
+        for (auto f : faults_covered(pgbsc_reference_sequence(n, init), v)) {
+          got.insert(f);
+        }
+      }
+      EXPECT_EQ(got.size(), 6u) << "n=" << n << " victim=" << v;
+    }
+  }
+}
+
+TEST(PgbscReference, FirstPatternIsVictimZeroGlitch) {
+  const auto seq0 = pgbsc_reference_sequence(8, false);
+  ASSERT_TRUE(seq0[0].fault.has_value());
+  EXPECT_EQ(*seq0[0].fault, MaFault::Pg);
+  EXPECT_EQ(seq0[0].victim, 0u);
+
+  const auto seq1 = pgbsc_reference_sequence(8, true);
+  ASSERT_TRUE(seq1[0].fault.has_value());
+  EXPECT_EQ(*seq1[0].fault, MaFault::Ng);
+}
+
+TEST(PgbscReference, AggressorTogglesEveryUpdateVictimEveryOther) {
+  // Paper Fig 5/7: aggressor frequency is twice the victim frequency.
+  const std::size_t n = 5;
+  const auto seq = pgbsc_reference_sequence(n, false);
+  // While victim 0 is selected (steps 0..3), wire 4 (aggressor) must
+  // toggle at every step and wire 0 at every other step.
+  for (int s = 1; s <= 3; ++s) {
+    EXPECT_NE(seq[s].vector[4], seq[s - 1].vector[4]) << "step " << s;
+  }
+  EXPECT_EQ(seq[1].vector[0], !seq[0].vector[0]);  // victim toggles at u1
+  EXPECT_EQ(seq[2].vector[0], seq[1].vector[0]);   // holds at u2
+}
+
+TEST(PgbscReference, RotateStepsAreHarmlessResets) {
+  const auto seq = pgbsc_reference_sequence(6, false);
+  for (const auto& s : seq) {
+    if (s.from_rotate_scan && s.victim < 6) {
+      // A rotate-scan update excites the *new* victim's glitch fault.
+      ASSERT_TRUE(s.fault.has_value());
+      EXPECT_TRUE(is_noise_fault(*s.fault));
+    }
+  }
+}
+
+TEST(SingleInitAblation, NeverCoversTheSecondFaultGroup) {
+  // Paper §3.1: one initial value cannot cover Ng/Fs/Ng' because the
+  // victim transition frequency stops being half the aggressors'.
+  const auto seq = single_init_extended_sequence(5, 200);
+  std::set<MaFault> got;
+  for (const auto& s : seq) {
+    if (s.fault.has_value()) got.insert(*s.fault);
+  }
+  EXPECT_EQ(got.count(MaFault::Ng), 0u);
+  EXPECT_EQ(got.count(MaFault::Fs), 0u);
+  EXPECT_EQ(got.count(MaFault::NgBar), 0u);
+}
+
+TEST(Schedule, RejectsDegenerateBuses) {
+  EXPECT_THROW(pgbsc_reference_sequence(1, false), std::invalid_argument);
+  EXPECT_THROW(single_init_extended_sequence(0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsi::mafm

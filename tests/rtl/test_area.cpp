@@ -1,0 +1,56 @@
+#include "rtl/area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::rtl {
+namespace {
+
+TEST(Area, NandIsTheUnit) {
+  EXPECT_DOUBLE_EQ(nand_equiv(GateKind::Nand2), 1.0);
+  EXPECT_DOUBLE_EQ(nand_equiv(GateKind::Nor2), 1.0);
+}
+
+TEST(Area, TiesAreFree) {
+  EXPECT_DOUBLE_EQ(nand_equiv(GateKind::Const0), 0.0);
+  EXPECT_DOUBLE_EQ(nand_equiv(GateKind::Const1), 0.0);
+}
+
+TEST(Area, RelativeOrderingMatchesTransistorCounts) {
+  EXPECT_LT(nand_equiv(GateKind::Inv), nand_equiv(GateKind::Nand2));
+  EXPECT_LT(nand_equiv(GateKind::Nand2), nand_equiv(GateKind::And2));
+  EXPECT_LT(nand_equiv(GateKind::And2), nand_equiv(GateKind::Xor2));
+  EXPECT_LT(nand_equiv(GateKind::LatchH), nand_equiv(GateKind::Dff));
+}
+
+TEST(Area, NetlistTotalSumsGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_gate(GateKind::Nand2, {a, b});
+  nl.add_gate(GateKind::Inv, {a});
+  nl.add_gate(GateKind::Dff, {a, b});
+  EXPECT_DOUBLE_EQ(nand_equiv(nl), 1.0 + 0.5 + 6.0);
+}
+
+TEST(Area, BreakdownCountsPerKind) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_gate(GateKind::Inv, {a});
+  nl.add_gate(GateKind::Inv, {a});
+  const auto b = area_breakdown(nl);
+  EXPECT_EQ(b.at(GateKind::Inv).count, 2u);
+  EXPECT_DOUBLE_EQ(b.at(GateKind::Inv).nand_eq, 1.0);
+}
+
+TEST(Area, ReportMentionsTotal) {
+  Netlist nl("cell");
+  const NetId a = nl.add_input("a");
+  nl.add_gate(GateKind::Nand2, {a, a});
+  const std::string rpt = format_area_report(nl);
+  EXPECT_NE(rpt.find("cell"), std::string::npos);
+  EXPECT_NE(rpt.find("TOTAL"), std::string::npos);
+  EXPECT_NE(rpt.find("NAND2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsi::rtl

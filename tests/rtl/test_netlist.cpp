@@ -1,0 +1,115 @@
+#include "rtl/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::rtl {
+namespace {
+
+TEST(Gate, ArityTable) {
+  EXPECT_EQ(gate_arity(GateKind::Const1), 0);
+  EXPECT_EQ(gate_arity(GateKind::Inv), 1);
+  EXPECT_EQ(gate_arity(GateKind::Nand2), 2);
+  EXPECT_EQ(gate_arity(GateKind::Mux2), 3);
+  EXPECT_EQ(gate_arity(GateKind::Dff), 2);
+}
+
+TEST(Gate, SequentialPredicate) {
+  EXPECT_TRUE(is_sequential(GateKind::Dff));
+  EXPECT_TRUE(is_sequential(GateKind::LatchH));
+  EXPECT_FALSE(is_sequential(GateKind::Nand2));
+}
+
+TEST(Netlist, BuildsAndCounts) {
+  Netlist nl("t");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_gate(GateKind::And2, {a, b}, "y");
+  nl.set_output(y, "y");
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.net_count(), 3u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.find_net("y"), y);
+  EXPECT_EQ(nl.driver_of(a), -1);
+  EXPECT_EQ(nl.driver_of(y), 0);
+  nl.validate();
+}
+
+TEST(Netlist, WrongArityThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateKind::And2, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateKind::Inv, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, UnknownNetThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_gate(GateKind::Inv, {99}), std::out_of_range);
+  EXPECT_THROW(nl.set_output(99, "x"), std::out_of_range);
+  EXPECT_THROW(nl.find_net("nope"), std::out_of_range);
+}
+
+TEST(Netlist, DoubleDriverThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  nl.add_gate_driving(y, GateKind::Inv, {a});
+  EXPECT_THROW(nl.add_gate_driving(y, GateKind::Buf, {a}), std::logic_error);
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId loop = nl.add_net("loop");
+  const NetId x = nl.add_gate(GateKind::And2, {a, loop}, "x");
+  nl.add_gate_driving(loop, GateKind::Inv, {x});
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(Netlist, FeedbackThroughDffIsLegal) {
+  Netlist nl;
+  const NetId clk = nl.add_input("clk");
+  const NetId q = nl.add_net("q");
+  const NetId nq = nl.add_gate(GateKind::Inv, {q}, "nq");
+  nl.add_gate_driving(q, GateKind::Dff, {nq, clk});
+  nl.validate();  // toggle FF: no combinational cycle
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_gate(GateKind::Inv, {a}, "x");
+  const NetId y = nl.add_gate(GateKind::Inv, {x}, "y");
+  nl.add_gate(GateKind::And2, {x, y}, "z");
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  // x (gate 0) before y (gate 1) before z (gate 2).
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+}
+
+TEST(Netlist, KindHistogram) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_gate(GateKind::Inv, {a});
+  nl.add_gate(GateKind::Inv, {a});
+  nl.add_gate(GateKind::Buf, {a});
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h.at(GateKind::Inv), 2u);
+  EXPECT_EQ(h.at(GateKind::Buf), 1u);
+}
+
+TEST(Netlist, UnconnectedInputCaught) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)a;
+  // Construct a gate with kNoNet via the struct path is not possible from
+  // the public API; validate() remains callable on empty netlists.
+  Netlist empty;
+  empty.validate();
+}
+
+}  // namespace
+}  // namespace jsi::rtl

@@ -1,0 +1,123 @@
+#include "si/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jsi::si {
+namespace {
+
+constexpr double kVdd = 1.8;
+
+Waveform step_at(std::size_t at, double from, double to,
+                 std::size_t n = 2048) {
+  Waveform w(n, sim::kPs, from);
+  for (std::size_t i = at; i < n; ++i) w[i] = to;
+  return w;
+}
+
+/// Slow exponential droop from vdd toward `floor_v` with time constant
+/// tau_ps — a slowly developing level error (IR-drop-like).
+Waveform slow_droop(double floor_v, double tau_ps, std::size_t n = 8192) {
+  Waveform w(n, sim::kPs, kVdd);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = floor_v + (kVdd - floor_v) *
+                         std::exp(-static_cast<double>(i) / tau_ps);
+  }
+  return w;
+}
+
+TEST(AcCoupling, DcLevelIsBlocked) {
+  const AcCouplingParams p;
+  const Waveform flat(1024, sim::kPs, kVdd);  // constant high
+  const Waveform post = ac_couple(flat, p);
+  EXPECT_NEAR(post.final_value(), p.bias, 1e-6);
+  EXPECT_NEAR(post.max_value(), p.bias, 1e-6);
+}
+
+TEST(AcCoupling, FastEdgePassesThenDecays) {
+  const AcCouplingParams p;
+  const Waveform post = ac_couple(step_at(100, 0.0, kVdd), p);
+  // The edge appears nearly full-swing on top of the bias...
+  EXPECT_GT(post.max_value(), p.bias + 0.8 * kVdd);
+  // ...and decays back to the bias (DC blocked).
+  EXPECT_NEAR(post.final_value(), p.bias, 0.05);
+}
+
+TEST(AcCoupling, SlowRampIsAttenuated) {
+  const AcCouplingParams p;  // tau = 200 ps
+  // A 4 ns-slow droop barely couples through a 200 ps high-pass.
+  const Waveform post = ac_couple(slow_droop(0.0, 4000.0), p);
+  const double excursion =
+      std::max(post.max_value() - p.bias, p.bias - post.min_value());
+  EXPECT_LT(excursion, 0.15 * kVdd);
+}
+
+TEST(AcCoupling, OutputRidesOnBias) {
+  AcCouplingParams p;
+  p.bias = 1.2;
+  const Waveform post = ac_couple(step_at(10, 0.0, kVdd, 256), p);
+  EXPECT_NEAR(post[0], 1.2, 1e-9);
+}
+
+TEST(AcTestReceiver, SeesFastEdges) {
+  const AcCouplingParams p;
+  AcTestReceiver rx(p, 0.4);
+  EXPECT_TRUE(rx.sees_activity(step_at(100, 0.0, kVdd)));
+}
+
+TEST(AcTestReceiver, BlindToStaticLevels) {
+  const AcCouplingParams p;
+  AcTestReceiver rx(p, 0.4);
+  EXPECT_FALSE(rx.sees_activity(Waveform(1024, sim::kPs, kVdd)));
+  EXPECT_FALSE(rx.sees_activity(Waveform(1024, sim::kPs, 0.0)));
+}
+
+TEST(AcTestReceiver, BlindToSlowDroopThatNdCatches) {
+  // The paper's §1.1 argument in one test: a slowly developing droop into
+  // the vulnerable region is a real integrity loss (the DC-coupled ND
+  // flags it) but survives the 49.6-style channel as nothing.
+  const Waveform droop = slow_droop(0.2, 4000.0);
+
+  NdCell nd;  // DC-coupled, deviation thresholds
+  EXPECT_TRUE(nd.violates(droop, util::Logic::L1, util::Logic::L1));
+
+  const AcCouplingParams p;
+  AcTestReceiver rx(p, 0.4);
+  EXPECT_FALSE(rx.sees_activity(droop));
+}
+
+TEST(AcTestReceiver, StickyFlagSemantics) {
+  const AcCouplingParams p;
+  AcTestReceiver rx(p, 0.4);
+  rx.observe(Waveform(256, sim::kPs, kVdd));
+  EXPECT_FALSE(rx.flag());
+  rx.observe(step_at(10, 0.0, kVdd, 256));
+  EXPECT_TRUE(rx.flag());
+  rx.observe(Waveform(256, sim::kPs, kVdd));
+  EXPECT_TRUE(rx.flag());  // sticky
+  rx.clear();
+  EXPECT_FALSE(rx.flag());
+}
+
+class HighPassTau : public ::testing::TestWithParam<double> {};
+
+TEST_P(HighPassTau, CutoffScalesWithTau) {
+  // Property: a droop with time constant k*tau_channel couples with
+  // magnitude that decreases in k.
+  AcCouplingParams p;
+  p.tau = GetParam() * 1e-12;
+  double prev = 1e9;
+  for (double k : {0.5, 2.0, 8.0, 32.0}) {
+    const Waveform post =
+        ac_couple(slow_droop(0.0, k * GetParam()), p);
+    const double excursion = p.bias - post.min_value();
+    EXPECT_LT(excursion, prev + 1e-9) << "k=" << k;
+    prev = excursion;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, HighPassTau, ::testing::Values(50.0, 200.0));
+
+}  // namespace
+}  // namespace jsi::si

@@ -1,0 +1,162 @@
+#include "si/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jsi::si {
+namespace {
+
+using util::BitVec;
+using util::Logic;
+
+BusParams params_n(std::size_t n) {
+  BusParams p;
+  p.n_wires = n;
+  return p;
+}
+
+TEST(CoupledBus, RejectsBadConfig) {
+  BusParams p;
+  p.n_wires = 0;
+  EXPECT_THROW(CoupledBus b(p), std::invalid_argument);
+  p.n_wires = 2;
+  p.samples = 1;
+  EXPECT_THROW(CoupledBus b(p), std::invalid_argument);
+}
+
+TEST(CoupledBus, TotalCapIncludesNeighborCouplings) {
+  CoupledBus bus(params_n(4));
+  const auto& p = bus.params();
+  // Edge wire: one coupling; inner wire: two.
+  EXPECT_DOUBLE_EQ(bus.total_cap(0), p.c_ground + p.c_couple);
+  EXPECT_DOUBLE_EQ(bus.total_cap(1), p.c_ground + 2 * p.c_couple);
+  EXPECT_THROW(bus.total_cap(4), std::out_of_range);
+}
+
+TEST(CoupledBus, NominalDelayIsTauLn2) {
+  CoupledBus bus(params_n(4));
+  const auto& p = bus.params();
+  const double tau = (p.r_driver + p.r_wire) * (p.c_ground + 2 * p.c_couple);
+  const auto expect = static_cast<sim::Time>(tau * std::log(2.0) / 1e-12 + 0.5);
+  EXPECT_EQ(bus.nominal_delay(1), expect);
+}
+
+TEST(CoupledBus, SwitchingWireSettlesToDrivenRail) {
+  CoupledBus bus(params_n(3));
+  const BitVec a = BitVec::from_string("000");
+  const BitVec b = BitVec::from_string("111");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Waveform w = bus.wire_response(i, a, b);
+    EXPECT_NEAR(w.final_value(), bus.params().vdd, 1e-3);
+    EXPECT_EQ(bus.settled_logic(w), Logic::L1);
+  }
+}
+
+TEST(CoupledBus, QuietWireStaysNearItsRail) {
+  CoupledBus bus(params_n(3));
+  const BitVec a = BitVec::from_string("000");
+  const BitVec b = BitVec::from_string("101");  // wire 1 quiet low
+  const Waveform w = bus.wire_response(1, a, b);
+  EXPECT_NEAR(w.final_value(), 0.0, 1e-2);
+  // Healthy coupling: glitch well below half rail.
+  EXPECT_LT(w.max_value(), 0.5 * bus.params().vdd);
+  EXPECT_GT(w.max_value(), 0.01);  // but a real, nonzero glitch
+}
+
+TEST(CoupledBus, GlitchPolarityFollowsAggressors) {
+  CoupledBus bus(params_n(3));
+  const Waveform up = bus.wire_response(1, BitVec::from_string("000"),
+                                        BitVec::from_string("101"));
+  EXPECT_GT(up.max_value(), 0.0);
+  EXPECT_GE(up.min_value(), -1e-9);
+  const Waveform down = bus.wire_response(1, BitVec::from_string("111"),
+                                          BitVec::from_string("010"));
+  // Quiet-high wire with falling aggressors: negative glitch below Vdd.
+  EXPECT_LT(down.min_value(), bus.params().vdd);
+  EXPECT_LE(down.max_value(), bus.params().vdd + 1e-9);
+}
+
+TEST(CoupledBus, BiggerCouplingBiggerGlitch) {
+  const BitVec a = BitVec::from_string("000");
+  const BitVec b = BitVec::from_string("101");
+  CoupledBus healthy(params_n(3));
+  CoupledBus sick(params_n(3));
+  sick.scale_coupling(0, 4.0);
+  sick.scale_coupling(1, 4.0);
+  EXPECT_GT(sick.wire_response(1, a, b).max_value(),
+            healthy.wire_response(1, a, b).max_value());
+}
+
+TEST(CoupledBus, MillerEffectSlowsOppositeSwitching) {
+  CoupledBus bus(params_n(3));
+  const double vth = bus.params().vdd / 2;
+  // Wire 1 rising alone (quiet neighbors).
+  const Waveform alone = bus.wire_response(1, BitVec::from_string("000"),
+                                           BitVec::from_string("010"));
+  // Wire 1 rising while neighbors fall (Rs pattern, Miller doubled).
+  const Waveform rs = bus.wire_response(1, BitVec::from_string("101"),
+                                        BitVec::from_string("010"));
+  // Wire 1 rising with neighbors (same phase: coupling disappears).
+  const Waveform same = bus.wire_response(1, BitVec::from_string("000"),
+                                          BitVec::from_string("111"));
+  const auto t_alone = alone.first_above(vth);
+  const auto t_rs = rs.first_above(vth);
+  const auto t_same = same.first_above(vth);
+  ASSERT_TRUE(t_alone && t_rs && t_same);
+  EXPECT_LT(*t_same, *t_alone);
+  EXPECT_LT(*t_alone, *t_rs);
+}
+
+TEST(CoupledBus, SeriesResistanceDelaysTheWire) {
+  CoupledBus fast(params_n(2));
+  CoupledBus slow(params_n(2));
+  slow.add_series_resistance(0, 1000.0);
+  const BitVec a = BitVec::from_string("00");
+  const BitVec b = BitVec::from_string("01");
+  const double vth = fast.params().vdd / 2;
+  EXPECT_LT(*fast.wire_response(0, a, b).first_above(vth),
+            *slow.wire_response(0, a, b).first_above(vth));
+}
+
+TEST(CoupledBus, DefectsClearable) {
+  CoupledBus bus(params_n(3));
+  bus.inject_crosstalk_defect(1, 5.0);
+  EXPECT_GT(bus.coupling(0), bus.params().c_couple);
+  EXPECT_GT(bus.resistance(1), bus.params().r_driver + bus.params().r_wire);
+  bus.clear_defects();
+  EXPECT_DOUBLE_EQ(bus.coupling(0), bus.params().c_couple);
+  EXPECT_DOUBLE_EQ(bus.resistance(1),
+                   bus.params().r_driver + bus.params().r_wire);
+  EXPECT_THROW(bus.inject_crosstalk_defect(1, 0.5), std::invalid_argument);
+}
+
+TEST(CoupledBus, TransitionReturnsAllWires) {
+  CoupledBus bus(params_n(5));
+  const auto ws = bus.transition(BitVec::zeros(5), BitVec::ones(5));
+  EXPECT_EQ(ws.size(), 5u);
+  EXPECT_THROW(bus.transition(BitVec::zeros(4), BitVec::ones(5)),
+               std::invalid_argument);
+}
+
+TEST(CoupledBus, InductanceCausesOvershoot) {
+  BusParams p = params_n(2);
+  // Underdamped needs L > C*R^2/4 ~ 7.7 nH with the default 350 Ohm /
+  // 250 fF edge wire; 20 nH gives zeta ~ 0.62 and ~8% overshoot.
+  p.l_wire = 20e-9;
+  CoupledBus bus(p);
+  const Waveform w = bus.wire_response(0, BitVec::from_string("00"),
+                                       BitVec::from_string("01"));
+  EXPECT_GT(w.max_value(), p.vdd * 1.01);  // rings above the rail
+  EXPECT_NEAR(w.final_value(), p.vdd, 0.05);
+}
+
+TEST(CoupledBus, NoInductanceNoOvershoot) {
+  CoupledBus bus(params_n(2));
+  const Waveform w = bus.wire_response(0, BitVec::from_string("00"),
+                                       BitVec::from_string("01"));
+  EXPECT_LE(w.max_value(), bus.params().vdd + 1e-9);
+}
+
+}  // namespace
+}  // namespace jsi::si

@@ -1,0 +1,154 @@
+// Physics property tests for the coupled-bus solver: linearity, symmetry
+// and monotonicity checks that hold for any parameter choice.
+
+#include <gtest/gtest.h>
+
+#include "si/bus.hpp"
+#include "util/prng.hpp"
+
+namespace jsi::si {
+namespace {
+
+using util::BitVec;
+
+BusParams params_n(std::size_t n) {
+  BusParams p;
+  p.n_wires = n;
+  return p;
+}
+
+BitVec mirror(const BitVec& v) {
+  BitVec out = v;
+  out.reverse();
+  return out;
+}
+
+TEST(BusProperties, MirrorSymmetry) {
+  // A uniform bus has no preferred direction: wire i's response to
+  // (prev, next) equals wire n-1-i's response to the mirrored vectors.
+  const std::size_t n = 6;
+  CoupledBus bus(params_n(n));
+  util::Prng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BitVec a = BitVec::from_u64(rng.next_u64(), n);
+    const BitVec b = BitVec::from_u64(rng.next_u64(), n);
+    const std::size_t i = rng.next_below(n);
+    const Waveform w1 = bus.wire_response(i, a, b);
+    const Waveform w2 = bus.wire_response(n - 1 - i, mirror(a), mirror(b));
+    for (std::size_t s = 0; s < w1.samples(); s += 64) {
+      ASSERT_NEAR(w1[s], w2[s], 1e-12) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BusProperties, GlitchSuperposition) {
+  // The quiet-victim model is linear: the two-aggressor glitch equals the
+  // sum of the single-aggressor glitches (relative to the rail).
+  CoupledBus bus(params_n(3));
+  const BitVec q = BitVec::from_string("000");
+  const Waveform both =
+      bus.wire_response(1, q, BitVec::from_string("101"));
+  const Waveform left =
+      bus.wire_response(1, q, BitVec::from_string("001"));
+  const Waveform right =
+      bus.wire_response(1, q, BitVec::from_string("100"));
+  for (std::size_t s = 0; s < both.samples(); s += 32) {
+    ASSERT_NEAR(both[s], left[s] + right[s], 1e-9);
+  }
+}
+
+TEST(BusProperties, OppositeAggressorsCancelOnSymmetricVictim) {
+  // One neighbour rising, the other falling, equal couplings: the
+  // injected charges cancel exactly on the middle wire.
+  CoupledBus bus(params_n(3));
+  const Waveform w = bus.wire_response(1, BitVec::from_string("100"),
+                                       BitVec::from_string("001"));
+  EXPECT_NEAR(w.max_value(), 0.0, 1e-9);
+  EXPECT_NEAR(w.min_value(), 0.0, 1e-9);
+}
+
+TEST(BusProperties, GlitchMonotoneInCoupling) {
+  const BitVec a = BitVec::from_string("000");
+  const BitVec b = BitVec::from_string("101");
+  double prev = 0.0;
+  for (double scale : {1.0, 1.5, 2.5, 4.0, 7.0}) {
+    CoupledBus bus(params_n(3));
+    if (scale > 1.0) {
+      bus.scale_coupling(0, scale);
+      bus.scale_coupling(1, scale);
+    }
+    const double peak = bus.wire_response(1, a, b).max_value();
+    EXPECT_GT(peak, prev) << "scale " << scale;
+    prev = peak;
+  }
+}
+
+TEST(BusProperties, DelayMonotoneInResistance) {
+  const BitVec a = BitVec::from_string("00");
+  const BitVec b = BitVec::from_string("01");
+  sim::Time prev = 0;
+  for (double extra : {0.0, 100.0, 300.0, 700.0, 1500.0}) {
+    CoupledBus bus(params_n(2));
+    if (extra > 0) bus.add_series_resistance(0, extra);
+    const auto t = bus.wire_response(0, a, b).first_above(0.9);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GT(*t, prev) << "extra " << extra;
+    prev = *t;
+  }
+}
+
+TEST(BusProperties, SettledLogicAlwaysMatchesDrivenValue) {
+  // RC model without defects: every wire ends at its driven rail, for any
+  // random transition on any healthy bus width.
+  util::Prng rng(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.next_below(10);
+    CoupledBus bus(params_n(n));
+    const BitVec a = BitVec::from_u64(rng.next_u64(), n);
+    const BitVec b = BitVec::from_u64(rng.next_u64(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bus.settled_logic(bus.wire_response(i, a, b)),
+                util::to_logic(b[i]))
+          << "trial " << trial << " wire " << i;
+    }
+  }
+}
+
+TEST(BusProperties, WaveformsBoundedWithoutInductance) {
+  // Pure RC: no wire can exceed the rail by more than the total injected
+  // swing; 2*Vdd is a safe envelope for any healthy or defective bus.
+  util::Prng rng(9);
+  CoupledBus bus(params_n(5));
+  bus.inject_crosstalk_defect(2, 8.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec a = BitVec::from_u64(rng.next_u64(), 5);
+    const BitVec b = BitVec::from_u64(rng.next_u64(), 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const Waveform w = bus.wire_response(i, a, b);
+      EXPECT_LT(w.max_value(), 2 * bus.params().vdd);
+      EXPECT_GT(w.min_value(), -bus.params().vdd);
+    }
+  }
+}
+
+TEST(BusProperties, EdgeWiresSufferLessCrosstalk) {
+  // An edge wire has one neighbour; its worst glitch is smaller than an
+  // inner wire's under the same all-aggressor stress.
+  const std::size_t n = 5;
+  CoupledBus bus(params_n(n));
+  const auto pg_edge = bus.wire_response(0, BitVec::zeros(n),
+                                         ~BitVec::one_hot(n, 0));
+  const auto pg_inner = bus.wire_response(2, BitVec::zeros(n),
+                                          ~BitVec::one_hot(n, 2));
+  EXPECT_LT(pg_edge.max_value(), pg_inner.max_value());
+}
+
+TEST(BusProperties, NoSelfGlitchWithoutSwitchingNeighbors) {
+  CoupledBus bus(params_n(4));
+  const Waveform w = bus.wire_response(1, BitVec::from_string("1010"),
+                                       BitVec::from_string("1010"));
+  EXPECT_NEAR(w.max_value(), w.min_value(), 1e-12);  // perfectly flat
+}
+
+}  // namespace
+}  // namespace jsi::si

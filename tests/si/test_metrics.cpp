@@ -1,0 +1,122 @@
+#include "si/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "si/bus.hpp"
+
+namespace jsi::si {
+namespace {
+
+constexpr double kVdd = 1.8;
+
+Waveform rising_exp(double tau_ps, std::size_t n = 4096) {
+  Waveform w(n, sim::kPs, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = kVdd * (1.0 - std::exp(-static_cast<double>(i) / tau_ps));
+  }
+  return w;
+}
+
+TEST(Metrics, QuietWaveReportsGlitchPeak) {
+  Waveform w(256, sim::kPs, 0.0);
+  for (std::size_t i = 50; i < 80; ++i) w[i] = 0.6;
+  const auto m = measure(w, kVdd);
+  EXPECT_FALSE(m.is_transition());
+  EXPECT_DOUBLE_EQ(m.glitch_peak, 0.6);
+  EXPECT_FALSE(m.delay_50.has_value());
+}
+
+TEST(Metrics, QuietHighWaveNegativeGlitch) {
+  Waveform w(256, sim::kPs, kVdd);
+  for (std::size_t i = 10; i < 20; ++i) w[i] = kVdd - 0.7;
+  const auto m = measure(w, kVdd);
+  EXPECT_FALSE(m.is_transition());
+  EXPECT_NEAR(m.glitch_peak, 0.7, 1e-9);
+}
+
+TEST(Metrics, ExponentialRiseTimesMatchTheory) {
+  const double tau = 100.0;
+  const auto m = measure(rising_exp(tau), kVdd);
+  ASSERT_TRUE(m.is_transition());
+  // 50% delay = tau*ln2 ~ 69 ps; 10-90% = tau*ln9 ~ 220 ps.
+  ASSERT_TRUE(m.delay_50.has_value());
+  EXPECT_NEAR(static_cast<double>(*m.delay_50), tau * std::log(2.0), 2.0);
+  ASSERT_TRUE(m.transition_time.has_value());
+  EXPECT_NEAR(static_cast<double>(*m.transition_time), tau * std::log(9.0),
+              3.0);
+  EXPECT_DOUBLE_EQ(m.overshoot_frac, 0.0);
+}
+
+TEST(Metrics, FallingTransitionMeasured) {
+  Waveform w(2048, sim::kPs, kVdd);
+  for (std::size_t i = 0; i < w.samples(); ++i) {
+    w[i] = kVdd * std::exp(-static_cast<double>(i) / 150.0);
+  }
+  const auto m = measure(w, kVdd);
+  ASSERT_TRUE(m.is_transition());
+  EXPECT_LT(m.v_final, 0.1);
+  EXPECT_NEAR(static_cast<double>(*m.delay_50), 150.0 * std::log(2.0), 2.0);
+}
+
+TEST(Metrics, OvershootMeasured) {
+  Waveform w = rising_exp(50.0, 2048);
+  for (std::size_t i = 400; i < 450; ++i) w[i] = kVdd * 1.2;
+  const auto m = measure(w, kVdd);
+  EXPECT_NEAR(m.overshoot_frac, 0.2, 1e-6);
+}
+
+TEST(Metrics, SettleAfterRinging) {
+  Waveform w = rising_exp(30.0, 2048);
+  for (std::size_t i = 900; i < 950; ++i) w[i] = 0.3;  // dips below 50%
+  const auto m = measure(w, kVdd);
+  ASSERT_TRUE(m.settle_time.has_value());
+  EXPECT_GE(*m.settle_time, 950u);
+}
+
+TEST(Metrics, EmptyWaveformSafe) {
+  const auto m = measure(Waveform{}, kVdd);
+  EXPECT_FALSE(m.is_transition());
+  EXPECT_DOUBLE_EQ(m.glitch_peak, 0.0);
+}
+
+TEST(Metrics, FormatMentionsTheRightKind) {
+  const auto t = measure(rising_exp(100.0), kVdd);
+  EXPECT_NE(format_metrics(t).find("transition"), std::string::npos);
+  EXPECT_NE(format_metrics(t).find("50% delay"), std::string::npos);
+  Waveform q(64, sim::kPs, 0.0);
+  const auto qm = measure(q, kVdd);
+  EXPECT_NE(format_metrics(qm).find("quiet"), std::string::npos);
+}
+
+TEST(Metrics, AgreesWithBusModelNominalDelay) {
+  BusParams bp;
+  bp.n_wires = 3;
+  CoupledBus bus(bp);
+  const auto w = bus.wire_response(1, util::BitVec::from_string("000"),
+                                   util::BitVec::from_string("010"));
+  const auto m = measure(w, bp.vdd);
+  ASSERT_TRUE(m.delay_50.has_value());
+  // Quiet neighbours: tau = R*(cg+2cc), delay = tau*ln2 = nominal_delay.
+  EXPECT_NEAR(static_cast<double>(*m.delay_50),
+              static_cast<double>(bus.nominal_delay(1)), 3.0);
+}
+
+TEST(Metrics, MillerDelayVisibleInMetrics) {
+  BusParams bp;
+  bp.n_wires = 3;
+  CoupledBus bus(bp);
+  const auto alone = measure(
+      bus.wire_response(1, util::BitVec::from_string("000"),
+                        util::BitVec::from_string("010")),
+      bp.vdd);
+  const auto rs = measure(
+      bus.wire_response(1, util::BitVec::from_string("101"),
+                        util::BitVec::from_string("010")),
+      bp.vdd);
+  EXPECT_GT(*rs.delay_50, *alone.delay_50);
+}
+
+}  // namespace
+}  // namespace jsi::si

@@ -1,0 +1,90 @@
+#include "si/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::si {
+namespace {
+
+Waveform ramp(std::size_t n, double v0, double v1) {
+  Waveform w(n, sim::kPs, v0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = v0 + (v1 - v0) * static_cast<double>(i) / (n - 1);
+  }
+  return w;
+}
+
+TEST(Waveform, BasicsAndBounds) {
+  Waveform w(100, 2 * sim::kPs, 0.5);
+  EXPECT_EQ(w.samples(), 100u);
+  EXPECT_EQ(w.dt(), 2u);
+  EXPECT_EQ(w.duration(), 200u);
+  EXPECT_DOUBLE_EQ(w.final_value(), 0.5);
+  EXPECT_DOUBLE_EQ(w.max_value(), 0.5);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.5);
+}
+
+TEST(Waveform, AtInterpolatesLinearly) {
+  Waveform w(3, 10 * sim::kPs, 0.0);
+  w[0] = 0.0;
+  w[1] = 1.0;
+  w[2] = 2.0;
+  EXPECT_DOUBLE_EQ(w.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(5), 0.5);
+  EXPECT_DOUBLE_EQ(w.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(15), 1.5);
+  EXPECT_DOUBLE_EQ(w.at(1000), 2.0);  // clamped to the end
+}
+
+TEST(Waveform, FirstAboveAndBelow) {
+  const Waveform w = ramp(101, 0.0, 1.0);
+  auto t = w.first_above(0.5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 50u);
+  EXPECT_FALSE(w.first_above(2.0).has_value());
+  auto tb = w.first_below(0.25);
+  ASSERT_TRUE(tb.has_value());
+  EXPECT_EQ(*tb, 0u);  // starts below
+  EXPECT_TRUE(w.first_above(0.9, 80).has_value());
+  EXPECT_EQ(*w.first_above(0.9, 80), 90u);
+}
+
+TEST(Waveform, LastCrossingFindsTheFinalSettleInstant) {
+  // A glitchy wave crossing 0.5 three times: up at 10, down at 20, up at 60.
+  Waveform w(100, sim::kPs, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) w[i] = 1.0;
+  for (std::size_t i = 60; i < 100; ++i) w[i] = 1.0;
+  const auto t = w.last_crossing(0.5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 60u);
+}
+
+TEST(Waveform, LastCrossingNulloptWhenNeverCrossing) {
+  Waveform w(50, sim::kPs, 0.1);
+  EXPECT_FALSE(w.last_crossing(0.5).has_value());
+}
+
+TEST(Waveform, PlusEqualsSuperposes) {
+  Waveform a(10, sim::kPs, 1.0);
+  Waveform b(5, sim::kPs, 0.25);
+  a += b;  // b extended by its final value
+  EXPECT_DOUBLE_EQ(a[0], 1.25);
+  EXPECT_DOUBLE_EQ(a[9], 1.25);
+  Waveform c(10, 2 * sim::kPs, 0.0);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Waveform, OffsetShiftsAllSamples) {
+  Waveform w(4, sim::kPs, 0.5);
+  w.offset(1.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), 1.5);
+}
+
+TEST(Waveform, CsvHasOneLinePerSample) {
+  Waveform w(5, sim::kPs, 0.0);
+  const std::string csv = w.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_EQ(csv.rfind("0,0", 0), 0u);
+}
+
+}  // namespace
+}  // namespace jsi::si

@@ -1,0 +1,101 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jsi::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameTimeEventsRunInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, CallbacksMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule(10, chain);
+  };
+  s.schedule(10, chain);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule(10, [&] { ++ran; });
+  s.schedule(20, [&] { ++ran; });
+  s.schedule(30, [&] { ++ran; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), 20u);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(s.now(), 100u);  // horizon advances time even when idle
+}
+
+TEST(Scheduler, EventAtExactHorizonRuns) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule(50, [&] { ran = true; });
+  s.run_until(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, PastScheduleClampsToNow) {
+  Scheduler s;
+  s.schedule(100, [] {});
+  s.run_all();
+  bool ran = false;
+  s.schedule_at(10, [&] { ran = true; });  // 10 < now=100
+  s.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, ResetDropsPendingEvents) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule(10, [&] { ++ran; });
+  s.reset();
+  s.run_all();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(s.now(), 0u);
+}
+
+TEST(Scheduler, ExecutedCounterAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+}  // namespace
+}  // namespace jsi::sim

@@ -1,0 +1,78 @@
+#include "sim/signal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::sim {
+namespace {
+
+using util::Logic;
+
+TEST(DSignal, InitialValueAndName) {
+  Scheduler s;
+  DSignal sig(s, "clk", Logic::L0);
+  EXPECT_EQ(sig.name(), "clk");
+  EXPECT_EQ(sig.value(), Logic::L0);
+}
+
+TEST(DSignal, SetAppliesAfterDelay) {
+  Scheduler s;
+  DSignal sig(s, "d", Logic::L0);
+  sig.set(Logic::L1, 100);
+  EXPECT_EQ(sig.value(), Logic::L0);  // not yet
+  s.run_until(99);
+  EXPECT_EQ(sig.value(), Logic::L0);
+  s.run_until(100);
+  EXPECT_EQ(sig.value(), Logic::L1);
+}
+
+TEST(DSignal, ObserverSeesOldAndNew) {
+  Scheduler s;
+  DSignal sig(s, "d", Logic::L0);
+  Logic seen_old = Logic::Z, seen_new = Logic::Z;
+  Time seen_at = 0;
+  sig.on_change([&](Logic o, Logic n, Time at) {
+    seen_old = o;
+    seen_new = n;
+    seen_at = at;
+  });
+  sig.set(Logic::L1, 42);
+  s.run_all();
+  EXPECT_EQ(seen_old, Logic::L0);
+  EXPECT_EQ(seen_new, Logic::L1);
+  EXPECT_EQ(seen_at, 42u);
+}
+
+TEST(DSignal, NoEventOnSameValue) {
+  Scheduler s;
+  DSignal sig(s, "d", Logic::L0);
+  int changes = 0;
+  sig.on_change([&](Logic, Logic, Time) { ++changes; });
+  sig.set(Logic::L0, 10);
+  s.run_all();
+  EXPECT_EQ(changes, 0);
+  EXPECT_EQ(sig.toggles(), 0u);
+}
+
+TEST(DSignal, OnRiseFiltersEdges) {
+  Scheduler s;
+  DSignal clk(s, "clk", Logic::L0);
+  int rises = 0;
+  clk.on_rise([&](Time) { ++rises; });
+  for (int i = 0; i < 3; ++i) {
+    clk.set(Logic::L1, 10 + 20 * i);
+    clk.set(Logic::L0, 20 + 20 * i);
+  }
+  s.run_all();
+  EXPECT_EQ(rises, 3);
+  EXPECT_EQ(clk.toggles(), 6u);
+}
+
+TEST(DSignal, ForceBypassesScheduler) {
+  Scheduler s;
+  DSignal sig(s, "d", Logic::X);
+  sig.force(Logic::L1);
+  EXPECT_EQ(sig.value(), Logic::L1);
+}
+
+}  // namespace
+}  // namespace jsi::sim

@@ -1,0 +1,99 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace jsi::sim {
+namespace {
+
+using util::Logic;
+
+class VcdTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "jsi_vcd_test.vcd";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string slurp() const {
+    std::ifstream in(path_);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+};
+
+TEST_F(VcdTest, HeaderContainsScopesAndVars) {
+  {
+    VcdWriter vcd(path_);
+    vcd.add_signal("tap.tck");
+    vcd.add_signal("tap.tms");
+    vcd.add_signal("bus.w0");
+    vcd.begin();
+  }
+  const std::string s = slurp();
+  EXPECT_NE(s.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(s.find("$scope module tap $end"), std::string::npos);
+  EXPECT_NE(s.find("$scope module bus $end"), std::string::npos);
+  EXPECT_NE(s.find("tck"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions"), std::string::npos);
+}
+
+TEST_F(VcdTest, ChangesAreTimestamped) {
+  {
+    VcdWriter vcd(path_);
+    const auto id = vcd.add_signal("clk");
+    vcd.begin();
+    vcd.change(id, Logic::L0, 0);
+    vcd.change(id, Logic::L1, 500);
+    vcd.change(id, Logic::L0, 1000);
+  }
+  const std::string s = slurp();
+  EXPECT_NE(s.find("#500"), std::string::npos);
+  EXPECT_NE(s.find("#1000"), std::string::npos);
+}
+
+TEST_F(VcdTest, DuplicateValueSuppressed) {
+  VcdWriter vcd(path_);
+  const auto id = vcd.add_signal("d");
+  vcd.begin();
+  vcd.change(id, Logic::L1, 10);
+  vcd.change(id, Logic::L1, 20);
+  EXPECT_EQ(vcd.changes_written(), 1u);
+}
+
+TEST_F(VcdTest, TimeMustNotGoBackwards) {
+  VcdWriter vcd(path_);
+  const auto id = vcd.add_signal("d");
+  vcd.begin();
+  vcd.change(id, Logic::L1, 100);
+  EXPECT_THROW(vcd.change(id, Logic::L0, 50), std::logic_error);
+}
+
+TEST_F(VcdTest, ApiMisuseThrows) {
+  VcdWriter vcd(path_);
+  const auto id = vcd.add_signal("d");
+  EXPECT_THROW(vcd.change(id, Logic::L1, 0), std::logic_error);  // before begin
+  vcd.begin();
+  EXPECT_THROW(vcd.add_signal("late"), std::logic_error);
+  EXPECT_THROW(vcd.change(id + 100, Logic::L1, 0), std::out_of_range);
+}
+
+TEST_F(VcdTest, XAndZLowercased) {
+  {
+    VcdWriter vcd(path_);
+    const auto id = vcd.add_signal("d");
+    vcd.begin();
+    vcd.change(id, Logic::Z, 10);
+  }
+  const std::string s = slurp();
+  EXPECT_NE(s.find("z!"), std::string::npos) << s;
+}
+
+TEST(Vcd, UnwritablePathThrows) {
+  EXPECT_THROW(VcdWriter("/nonexistent-dir/x.vcd"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jsi::sim

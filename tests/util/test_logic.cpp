@@ -1,0 +1,95 @@
+#include "util/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jsi::util {
+namespace {
+
+constexpr Logic kAll[] = {Logic::L0, Logic::L1, Logic::X, Logic::Z};
+
+TEST(Logic, KnownPredicate) {
+  EXPECT_TRUE(is_known(Logic::L0));
+  EXPECT_TRUE(is_known(Logic::L1));
+  EXPECT_FALSE(is_known(Logic::X));
+  EXPECT_FALSE(is_known(Logic::Z));
+}
+
+TEST(Logic, BoolRoundTrip) {
+  EXPECT_EQ(to_logic(true), Logic::L1);
+  EXPECT_EQ(to_logic(false), Logic::L0);
+  EXPECT_TRUE(to_bool(Logic::L1));
+  EXPECT_FALSE(to_bool(Logic::L0));
+  EXPECT_FALSE(to_bool(Logic::X));
+}
+
+TEST(Logic, NotTruthTable) {
+  EXPECT_EQ(l_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(l_not(Logic::L1), Logic::L0);
+  EXPECT_EQ(l_not(Logic::X), Logic::X);
+  EXPECT_EQ(l_not(Logic::Z), Logic::X);
+}
+
+TEST(Logic, AndDominatedByZero) {
+  for (Logic v : kAll) {
+    EXPECT_EQ(l_and(Logic::L0, v), Logic::L0);
+    EXPECT_EQ(l_and(v, Logic::L0), Logic::L0);
+  }
+  EXPECT_EQ(l_and(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(l_and(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(l_and(Logic::Z, Logic::L1), Logic::X);
+}
+
+TEST(Logic, OrDominatedByOne) {
+  for (Logic v : kAll) {
+    EXPECT_EQ(l_or(Logic::L1, v), Logic::L1);
+    EXPECT_EQ(l_or(v, Logic::L1), Logic::L1);
+  }
+  EXPECT_EQ(l_or(Logic::L0, Logic::L0), Logic::L0);
+  EXPECT_EQ(l_or(Logic::L0, Logic::X), Logic::X);
+}
+
+TEST(Logic, XorPropagatesUnknown) {
+  EXPECT_EQ(l_xor(Logic::L0, Logic::L1), Logic::L1);
+  EXPECT_EQ(l_xor(Logic::L1, Logic::L1), Logic::L0);
+  EXPECT_EQ(l_xor(Logic::X, Logic::L1), Logic::X);
+  EXPECT_EQ(l_xor(Logic::L0, Logic::Z), Logic::X);
+}
+
+TEST(Logic, MuxSelectsBySel) {
+  EXPECT_EQ(l_mux(Logic::L0, Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(l_mux(Logic::L1, Logic::L1, Logic::L0), Logic::L0);
+}
+
+TEST(Logic, MuxUnknownSelectAgreesWhenInputsEqual) {
+  EXPECT_EQ(l_mux(Logic::X, Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(l_mux(Logic::X, Logic::L1, Logic::L0), Logic::X);
+}
+
+TEST(Logic, DeMorganHoldsOnKnownValues) {
+  for (Logic a : {Logic::L0, Logic::L1}) {
+    for (Logic b : {Logic::L0, Logic::L1}) {
+      EXPECT_EQ(l_not(l_and(a, b)), l_or(l_not(a), l_not(b)));
+      EXPECT_EQ(l_not(l_or(a, b)), l_and(l_not(a), l_not(b)));
+    }
+  }
+}
+
+TEST(Logic, CharRoundTrip) {
+  for (Logic v : kAll) {
+    EXPECT_EQ(logic_from_char(to_char(v)), v);
+  }
+  EXPECT_EQ(logic_from_char('x'), Logic::X);
+  EXPECT_EQ(logic_from_char('z'), Logic::Z);
+  EXPECT_THROW(logic_from_char('q'), std::invalid_argument);
+}
+
+TEST(Logic, StreamOperator) {
+  std::ostringstream os;
+  os << Logic::L0 << Logic::L1 << Logic::X << Logic::Z;
+  EXPECT_EQ(os.str(), "01XZ");
+}
+
+}  // namespace
+}  // namespace jsi::util

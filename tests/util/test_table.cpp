@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jsi::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"n", "clocks"});
+  t.add_row({"8", "123"});
+  t.add_row({"32", "4"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("| n  | clocks |"), std::string::npos) << s;
+  EXPECT_NE(s.find("| 32 | 4      |"), std::string::npos) << s;
+}
+
+TEST(Table, TitlePrintedWhenSet) {
+  Table t({"a"});
+  t.set_title("Table 5");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("Table 5\n", 0), 0u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Formatting, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(fmt_percent(0.943, 1), "94.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace jsi::util
