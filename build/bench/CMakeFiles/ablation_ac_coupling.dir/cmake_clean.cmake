@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ac_coupling.dir/ablation_ac_coupling.cpp.o"
+  "CMakeFiles/ablation_ac_coupling.dir/ablation_ac_coupling.cpp.o.d"
+  "ablation_ac_coupling"
+  "ablation_ac_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ac_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bist.dir/ablation_bist.cpp.o"
+  "CMakeFiles/ablation_bist.dir/ablation_bist.cpp.o.d"
+  "ablation_bist"
+  "ablation_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_method_diagnosis.cpp" "bench/CMakeFiles/ablation_method_diagnosis.dir/ablation_method_diagnosis.cpp.o" "gcc" "bench/CMakeFiles/ablation_method_diagnosis.dir/ablation_method_diagnosis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jsi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsc/CMakeFiles/jsi_bsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mafm/CMakeFiles/jsi_mafm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ict/CMakeFiles/jsi_ict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jtag/CMakeFiles/jsi_jtag.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/jsi_si.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/jsi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

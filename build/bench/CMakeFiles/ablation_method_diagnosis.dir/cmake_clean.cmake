@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_method_diagnosis.dir/ablation_method_diagnosis.cpp.o"
+  "CMakeFiles/ablation_method_diagnosis.dir/ablation_method_diagnosis.cpp.o.d"
+  "ablation_method_diagnosis"
+  "ablation_method_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_method_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

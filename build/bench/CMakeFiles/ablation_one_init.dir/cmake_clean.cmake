@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_one_init.dir/ablation_one_init.cpp.o"
+  "CMakeFiles/ablation_one_init.dir/ablation_one_init.cpp.o.d"
+  "ablation_one_init"
+  "ablation_one_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_one_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_buses.dir/ablation_parallel_buses.cpp.o"
+  "CMakeFiles/ablation_parallel_buses.dir/ablation_parallel_buses.cpp.o.d"
+  "ablation_parallel_buses"
+  "ablation_parallel_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_victims.dir/ablation_parallel_victims.cpp.o"
+  "CMakeFiles/ablation_parallel_victims.dir/ablation_parallel_victims.cpp.o.d"
+  "ablation_parallel_victims"
+  "ablation_parallel_victims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

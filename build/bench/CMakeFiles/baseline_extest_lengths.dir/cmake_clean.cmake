@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_extest_lengths.dir/baseline_extest_lengths.cpp.o"
+  "CMakeFiles/baseline_extest_lengths.dir/baseline_extest_lengths.cpp.o.d"
+  "baseline_extest_lengths"
+  "baseline_extest_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_extest_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

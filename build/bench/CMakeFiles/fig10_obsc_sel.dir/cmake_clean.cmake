@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_obsc_sel.dir/fig10_obsc_sel.cpp.o"
+  "CMakeFiles/fig10_obsc_sel.dir/fig10_obsc_sel.cpp.o.d"
+  "fig10_obsc_sel"
+  "fig10_obsc_sel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_obsc_sel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

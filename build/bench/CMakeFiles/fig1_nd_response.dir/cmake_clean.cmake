@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_nd_response.dir/fig1_nd_response.cpp.o"
+  "CMakeFiles/fig1_nd_response.dir/fig1_nd_response.cpp.o.d"
+  "fig1_nd_response"
+  "fig1_nd_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_nd_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sd_response.dir/fig2_sd_response.cpp.o"
+  "CMakeFiles/fig2_sd_response.dir/fig2_sd_response.cpp.o.d"
+  "fig2_sd_response"
+  "fig2_sd_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sd_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

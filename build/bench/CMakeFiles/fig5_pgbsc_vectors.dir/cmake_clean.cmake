@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pgbsc_vectors.dir/fig5_pgbsc_vectors.cpp.o"
+  "CMakeFiles/fig5_pgbsc_vectors.dir/fig5_pgbsc_vectors.cpp.o.d"
+  "fig5_pgbsc_vectors"
+  "fig5_pgbsc_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pgbsc_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

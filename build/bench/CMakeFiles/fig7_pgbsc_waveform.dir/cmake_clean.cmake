@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pgbsc_waveform.dir/fig7_pgbsc_waveform.cpp.o"
+  "CMakeFiles/fig7_pgbsc_waveform.dir/fig7_pgbsc_waveform.cpp.o.d"
+  "fig7_pgbsc_waveform"
+  "fig7_pgbsc_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pgbsc_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

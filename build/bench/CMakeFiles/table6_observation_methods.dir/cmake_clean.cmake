@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_observation_methods.dir/table6_observation_methods.cpp.o"
+  "CMakeFiles/table6_observation_methods.dir/table6_observation_methods.cpp.o.d"
+  "table6_observation_methods"
+  "table6_observation_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_observation_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_extest.dir/board_extest.cpp.o"
+  "CMakeFiles/board_extest.dir/board_extest.cpp.o.d"
+  "board_extest"
+  "board_extest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_extest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_diagnosis.dir/crosstalk_diagnosis.cpp.o"
+  "CMakeFiles/crosstalk_diagnosis.dir/crosstalk_diagnosis.cpp.o.d"
+  "crosstalk_diagnosis"
+  "crosstalk_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_algorithms.dir/interconnect_algorithms.cpp.o"
+  "CMakeFiles/interconnect_algorithms.dir/interconnect_algorithms.cpp.o.d"
+  "interconnect_algorithms"
+  "interconnect_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibus_soc.dir/multibus_soc.cpp.o"
+  "CMakeFiles/multibus_soc.dir/multibus_soc.cpp.o.d"
+  "multibus_soc"
+  "multibus_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibus_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_on_self_test.dir/power_on_self_test.cpp.o"
+  "CMakeFiles/power_on_self_test.dir/power_on_self_test.cpp.o.d"
+  "power_on_self_test"
+  "power_on_self_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_on_self_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_budget_sweep.dir/skew_budget_sweep.cpp.o"
+  "CMakeFiles/skew_budget_sweep.dir/skew_budget_sweep.cpp.o.d"
+  "skew_budget_sweep"
+  "skew_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcd_trace.dir/vcd_trace.cpp.o"
+  "CMakeFiles/vcd_trace.dir/vcd_trace.cpp.o.d"
+  "vcd_trace"
+  "vcd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

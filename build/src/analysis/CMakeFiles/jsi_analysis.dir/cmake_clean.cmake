@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_analysis.dir/cost_model.cpp.o"
+  "CMakeFiles/jsi_analysis.dir/cost_model.cpp.o.d"
+  "CMakeFiles/jsi_analysis.dir/time_model.cpp.o"
+  "CMakeFiles/jsi_analysis.dir/time_model.cpp.o.d"
+  "CMakeFiles/jsi_analysis.dir/yield.cpp.o"
+  "CMakeFiles/jsi_analysis.dir/yield.cpp.o.d"
+  "libjsi_analysis.a"
+  "libjsi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

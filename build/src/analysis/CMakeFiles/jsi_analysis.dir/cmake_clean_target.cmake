@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsi_analysis.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsc/netlists.cpp" "src/bsc/CMakeFiles/jsi_bsc.dir/netlists.cpp.o" "gcc" "src/bsc/CMakeFiles/jsi_bsc.dir/netlists.cpp.o.d"
+  "/root/repo/src/bsc/obsc.cpp" "src/bsc/CMakeFiles/jsi_bsc.dir/obsc.cpp.o" "gcc" "src/bsc/CMakeFiles/jsi_bsc.dir/obsc.cpp.o.d"
+  "/root/repo/src/bsc/pgbsc.cpp" "src/bsc/CMakeFiles/jsi_bsc.dir/pgbsc.cpp.o" "gcc" "src/bsc/CMakeFiles/jsi_bsc.dir/pgbsc.cpp.o.d"
+  "/root/repo/src/bsc/standard.cpp" "src/bsc/CMakeFiles/jsi_bsc.dir/standard.cpp.o" "gcc" "src/bsc/CMakeFiles/jsi_bsc.dir/standard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/jtag/CMakeFiles/jsi_jtag.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/jsi_si.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/jsi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_bsc.dir/netlists.cpp.o"
+  "CMakeFiles/jsi_bsc.dir/netlists.cpp.o.d"
+  "CMakeFiles/jsi_bsc.dir/obsc.cpp.o"
+  "CMakeFiles/jsi_bsc.dir/obsc.cpp.o.d"
+  "CMakeFiles/jsi_bsc.dir/pgbsc.cpp.o"
+  "CMakeFiles/jsi_bsc.dir/pgbsc.cpp.o.d"
+  "CMakeFiles/jsi_bsc.dir/standard.cpp.o"
+  "CMakeFiles/jsi_bsc.dir/standard.cpp.o.d"
+  "libjsi_bsc.a"
+  "libjsi_bsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_bsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jsi_bsc.
+# This may be replaced when dependencies are built.

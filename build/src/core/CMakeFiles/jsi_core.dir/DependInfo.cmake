@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bist.cpp" "src/core/CMakeFiles/jsi_core.dir/bist.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/bist.cpp.o.d"
+  "/root/repo/src/core/bsdl.cpp" "src/core/CMakeFiles/jsi_core.dir/bsdl.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/bsdl.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/jsi_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/multibus.cpp" "src/core/CMakeFiles/jsi_core.dir/multibus.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/multibus.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/jsi_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/jsi_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/soc.cpp" "src/core/CMakeFiles/jsi_core.dir/soc.cpp.o" "gcc" "src/core/CMakeFiles/jsi_core.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bsc/CMakeFiles/jsi_bsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/jtag/CMakeFiles/jsi_jtag.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/jsi_si.dir/DependInfo.cmake"
+  "/root/repo/build/src/mafm/CMakeFiles/jsi_mafm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/jsi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

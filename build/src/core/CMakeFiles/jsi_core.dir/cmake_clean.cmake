@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_core.dir/bist.cpp.o"
+  "CMakeFiles/jsi_core.dir/bist.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/bsdl.cpp.o"
+  "CMakeFiles/jsi_core.dir/bsdl.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/export.cpp.o"
+  "CMakeFiles/jsi_core.dir/export.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/multibus.cpp.o"
+  "CMakeFiles/jsi_core.dir/multibus.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/report.cpp.o"
+  "CMakeFiles/jsi_core.dir/report.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/session.cpp.o"
+  "CMakeFiles/jsi_core.dir/session.cpp.o.d"
+  "CMakeFiles/jsi_core.dir/soc.cpp.o"
+  "CMakeFiles/jsi_core.dir/soc.cpp.o.d"
+  "libjsi_core.a"
+  "libjsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ict/board.cpp" "src/ict/CMakeFiles/jsi_ict.dir/board.cpp.o" "gcc" "src/ict/CMakeFiles/jsi_ict.dir/board.cpp.o.d"
+  "/root/repo/src/ict/diagnosis.cpp" "src/ict/CMakeFiles/jsi_ict.dir/diagnosis.cpp.o" "gcc" "src/ict/CMakeFiles/jsi_ict.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/ict/extest_session.cpp" "src/ict/CMakeFiles/jsi_ict.dir/extest_session.cpp.o" "gcc" "src/ict/CMakeFiles/jsi_ict.dir/extest_session.cpp.o.d"
+  "/root/repo/src/ict/patterns.cpp" "src/ict/CMakeFiles/jsi_ict.dir/patterns.cpp.o" "gcc" "src/ict/CMakeFiles/jsi_ict.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/jtag/CMakeFiles/jsi_jtag.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsc/CMakeFiles/jsi_bsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/jsi_si.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/jsi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

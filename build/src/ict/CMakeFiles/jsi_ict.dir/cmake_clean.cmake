@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_ict.dir/board.cpp.o"
+  "CMakeFiles/jsi_ict.dir/board.cpp.o.d"
+  "CMakeFiles/jsi_ict.dir/diagnosis.cpp.o"
+  "CMakeFiles/jsi_ict.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/jsi_ict.dir/extest_session.cpp.o"
+  "CMakeFiles/jsi_ict.dir/extest_session.cpp.o.d"
+  "CMakeFiles/jsi_ict.dir/patterns.cpp.o"
+  "CMakeFiles/jsi_ict.dir/patterns.cpp.o.d"
+  "libjsi_ict.a"
+  "libjsi_ict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_ict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

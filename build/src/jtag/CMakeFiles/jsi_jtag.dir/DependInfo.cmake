@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jtag/bsdl.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/bsdl.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/bsdl.cpp.o.d"
+  "/root/repo/src/jtag/chain.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/chain.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/chain.cpp.o.d"
+  "/root/repo/src/jtag/device.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/device.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/device.cpp.o.d"
+  "/root/repo/src/jtag/master.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/master.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/master.cpp.o.d"
+  "/root/repo/src/jtag/monitor.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/monitor.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/monitor.cpp.o.d"
+  "/root/repo/src/jtag/registers.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/registers.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/registers.cpp.o.d"
+  "/root/repo/src/jtag/tap_state.cpp" "src/jtag/CMakeFiles/jsi_jtag.dir/tap_state.cpp.o" "gcc" "src/jtag/CMakeFiles/jsi_jtag.dir/tap_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_jtag.dir/bsdl.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/bsdl.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/chain.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/chain.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/device.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/device.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/master.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/master.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/monitor.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/monitor.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/registers.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/registers.cpp.o.d"
+  "CMakeFiles/jsi_jtag.dir/tap_state.cpp.o"
+  "CMakeFiles/jsi_jtag.dir/tap_state.cpp.o.d"
+  "libjsi_jtag.a"
+  "libjsi_jtag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_jtag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

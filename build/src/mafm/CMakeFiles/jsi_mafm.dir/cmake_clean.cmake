@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_mafm.dir/fault.cpp.o"
+  "CMakeFiles/jsi_mafm.dir/fault.cpp.o.d"
+  "CMakeFiles/jsi_mafm.dir/schedule.cpp.o"
+  "CMakeFiles/jsi_mafm.dir/schedule.cpp.o.d"
+  "libjsi_mafm.a"
+  "libjsi_mafm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_mafm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

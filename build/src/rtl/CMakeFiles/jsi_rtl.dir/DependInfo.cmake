@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/area.cpp" "src/rtl/CMakeFiles/jsi_rtl.dir/area.cpp.o" "gcc" "src/rtl/CMakeFiles/jsi_rtl.dir/area.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/jsi_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/jsi_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/netlist_sim.cpp" "src/rtl/CMakeFiles/jsi_rtl.dir/netlist_sim.cpp.o" "gcc" "src/rtl/CMakeFiles/jsi_rtl.dir/netlist_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

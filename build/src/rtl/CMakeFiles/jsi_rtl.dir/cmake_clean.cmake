@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_rtl.dir/area.cpp.o"
+  "CMakeFiles/jsi_rtl.dir/area.cpp.o.d"
+  "CMakeFiles/jsi_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/jsi_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/jsi_rtl.dir/netlist_sim.cpp.o"
+  "CMakeFiles/jsi_rtl.dir/netlist_sim.cpp.o.d"
+  "libjsi_rtl.a"
+  "libjsi_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

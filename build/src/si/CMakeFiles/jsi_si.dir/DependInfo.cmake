@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/si/ac.cpp" "src/si/CMakeFiles/jsi_si.dir/ac.cpp.o" "gcc" "src/si/CMakeFiles/jsi_si.dir/ac.cpp.o.d"
+  "/root/repo/src/si/bus.cpp" "src/si/CMakeFiles/jsi_si.dir/bus.cpp.o" "gcc" "src/si/CMakeFiles/jsi_si.dir/bus.cpp.o.d"
+  "/root/repo/src/si/detectors.cpp" "src/si/CMakeFiles/jsi_si.dir/detectors.cpp.o" "gcc" "src/si/CMakeFiles/jsi_si.dir/detectors.cpp.o.d"
+  "/root/repo/src/si/metrics.cpp" "src/si/CMakeFiles/jsi_si.dir/metrics.cpp.o" "gcc" "src/si/CMakeFiles/jsi_si.dir/metrics.cpp.o.d"
+  "/root/repo/src/si/waveform.cpp" "src/si/CMakeFiles/jsi_si.dir/waveform.cpp.o" "gcc" "src/si/CMakeFiles/jsi_si.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_si.dir/ac.cpp.o"
+  "CMakeFiles/jsi_si.dir/ac.cpp.o.d"
+  "CMakeFiles/jsi_si.dir/bus.cpp.o"
+  "CMakeFiles/jsi_si.dir/bus.cpp.o.d"
+  "CMakeFiles/jsi_si.dir/detectors.cpp.o"
+  "CMakeFiles/jsi_si.dir/detectors.cpp.o.d"
+  "CMakeFiles/jsi_si.dir/metrics.cpp.o"
+  "CMakeFiles/jsi_si.dir/metrics.cpp.o.d"
+  "CMakeFiles/jsi_si.dir/waveform.cpp.o"
+  "CMakeFiles/jsi_si.dir/waveform.cpp.o.d"
+  "libjsi_si.a"
+  "libjsi_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

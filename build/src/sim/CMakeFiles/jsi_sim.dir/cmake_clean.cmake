@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/jsi_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/jsi_sim.dir/vcd.cpp.o"
+  "CMakeFiles/jsi_sim.dir/vcd.cpp.o.d"
+  "libjsi_sim.a"
+  "libjsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsi_util.dir/bitvec.cpp.o"
+  "CMakeFiles/jsi_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/jsi_util.dir/logic.cpp.o"
+  "CMakeFiles/jsi_util.dir/logic.cpp.o.d"
+  "CMakeFiles/jsi_util.dir/table.cpp.o"
+  "CMakeFiles/jsi_util.dir/table.cpp.o.d"
+  "libjsi_util.a"
+  "libjsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

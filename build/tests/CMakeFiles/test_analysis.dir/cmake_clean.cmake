@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_cost_model.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_time_model.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_time_model.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_yield.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_yield.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsc.dir/bsc/test_netlist_equiv.cpp.o"
+  "CMakeFiles/test_bsc.dir/bsc/test_netlist_equiv.cpp.o.d"
+  "CMakeFiles/test_bsc.dir/bsc/test_obsc.cpp.o"
+  "CMakeFiles/test_bsc.dir/bsc/test_obsc.cpp.o.d"
+  "CMakeFiles/test_bsc.dir/bsc/test_pgbsc.cpp.o"
+  "CMakeFiles/test_bsc.dir/bsc/test_pgbsc.cpp.o.d"
+  "CMakeFiles/test_bsc.dir/bsc/test_standard.cpp.o"
+  "CMakeFiles/test_bsc.dir/bsc/test_standard.cpp.o.d"
+  "test_bsc"
+  "test_bsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bsc.
+# This may be replaced when dependencies are built.

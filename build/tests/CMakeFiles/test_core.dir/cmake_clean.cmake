@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_bist.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_bist.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_diagnosis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_diagnosis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_export.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_export.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multibus.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multibus.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_parallel_victims.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_parallel_victims.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_soc.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_soc.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

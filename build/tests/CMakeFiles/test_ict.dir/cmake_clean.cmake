@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ict.dir/ict/test_board.cpp.o"
+  "CMakeFiles/test_ict.dir/ict/test_board.cpp.o.d"
+  "CMakeFiles/test_ict.dir/ict/test_diagnosis.cpp.o"
+  "CMakeFiles/test_ict.dir/ict/test_diagnosis.cpp.o.d"
+  "CMakeFiles/test_ict.dir/ict/test_extest_session.cpp.o"
+  "CMakeFiles/test_ict.dir/ict/test_extest_session.cpp.o.d"
+  "CMakeFiles/test_ict.dir/ict/test_patterns.cpp.o"
+  "CMakeFiles/test_ict.dir/ict/test_patterns.cpp.o.d"
+  "test_ict"
+  "test_ict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

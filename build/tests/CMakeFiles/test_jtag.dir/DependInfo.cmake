@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jtag/test_bsdl.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_bsdl.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_bsdl.cpp.o.d"
+  "/root/repo/tests/jtag/test_chain.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_chain.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_chain.cpp.o.d"
+  "/root/repo/tests/jtag/test_device.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_device.cpp.o.d"
+  "/root/repo/tests/jtag/test_fuzz.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_fuzz.cpp.o.d"
+  "/root/repo/tests/jtag/test_master.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_master.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_master.cpp.o.d"
+  "/root/repo/tests/jtag/test_monitor.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_monitor.cpp.o.d"
+  "/root/repo/tests/jtag/test_registers.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_registers.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_registers.cpp.o.d"
+  "/root/repo/tests/jtag/test_tap_state.cpp" "tests/CMakeFiles/test_jtag.dir/jtag/test_tap_state.cpp.o" "gcc" "tests/CMakeFiles/test_jtag.dir/jtag/test_tap_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jsi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsc/CMakeFiles/jsi_bsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mafm/CMakeFiles/jsi_mafm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ict/CMakeFiles/jsi_ict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jtag/CMakeFiles/jsi_jtag.dir/DependInfo.cmake"
+  "/root/repo/build/src/si/CMakeFiles/jsi_si.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/jsi_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jtag.dir/jtag/test_bsdl.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_bsdl.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_chain.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_chain.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_device.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_device.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_fuzz.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_master.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_master.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_monitor.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_monitor.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_registers.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_registers.cpp.o.d"
+  "CMakeFiles/test_jtag.dir/jtag/test_tap_state.cpp.o"
+  "CMakeFiles/test_jtag.dir/jtag/test_tap_state.cpp.o.d"
+  "test_jtag"
+  "test_jtag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jtag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mafm.dir/mafm/test_fault.cpp.o"
+  "CMakeFiles/test_mafm.dir/mafm/test_fault.cpp.o.d"
+  "CMakeFiles/test_mafm.dir/mafm/test_schedule.cpp.o"
+  "CMakeFiles/test_mafm.dir/mafm/test_schedule.cpp.o.d"
+  "test_mafm"
+  "test_mafm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mafm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

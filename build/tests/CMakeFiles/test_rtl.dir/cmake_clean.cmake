@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_area.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_area.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist_sim.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_netlist_sim.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_random_equiv.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_random_equiv.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_si.dir/si/test_ac.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_ac.cpp.o.d"
+  "CMakeFiles/test_si.dir/si/test_bus.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_bus.cpp.o.d"
+  "CMakeFiles/test_si.dir/si/test_bus_properties.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_bus_properties.cpp.o.d"
+  "CMakeFiles/test_si.dir/si/test_detectors.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_detectors.cpp.o.d"
+  "CMakeFiles/test_si.dir/si/test_metrics.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_metrics.cpp.o.d"
+  "CMakeFiles/test_si.dir/si/test_waveform.cpp.o"
+  "CMakeFiles/test_si.dir/si/test_waveform.cpp.o.d"
+  "test_si"
+  "test_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_bitvec.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_bitvec.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_logic.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_logic.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_prng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_prng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rtl "/root/repo/build/tests/test_rtl")
+set_tests_properties(test_rtl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_si "/root/repo/build/tests/test_si")
+set_tests_properties(test_si PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;26;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_jtag "/root/repo/build/tests/test_jtag")
+set_tests_properties(test_jtag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;34;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bsc "/root/repo/build/tests/test_bsc")
+set_tests_properties(test_bsc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;44;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mafm "/root/repo/build/tests/test_mafm")
+set_tests_properties(test_mafm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;50;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;54;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;63;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;68;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ict "/root/repo/build/tests/test_ict")
+set_tests_properties(test_ict PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;72;jsi_add_test;/root/repo/tests/CMakeLists.txt;0;")
