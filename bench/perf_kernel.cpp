@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "bsc/netlists.hpp"
 #include "core/bist.hpp"
 #include "core/multibus.hpp"
@@ -69,8 +71,28 @@ void BM_BusTransition(benchmark::State& state) {
     benchmark::DoNotOptimize(bus.transition(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["hit_rate"] = bus.cache_hit_rate();
 }
 BENCHMARK(BM_BusTransition)->Arg(8)->Arg(32);
+
+void BM_BusTransitionUncached(benchmark::State& state) {
+  // Baseline for the memoized transition cache: the same workload as
+  // BM_BusTransition with the cache disabled, so the raw analytic solver
+  // is metered on every call.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  si::BusParams p;
+  p.n_wires = n;
+  si::CoupledBus bus(p);
+  bus.set_cache_enabled(false);
+  const auto a = util::BitVec::zeros(n);
+  auto b = util::BitVec::ones(n);
+  b.set(n / 2, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.transition(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BusTransitionUncached)->Arg(8)->Arg(32);
 
 void BM_NetlistSimPgbsc(benchmark::State& state) {
   for (auto _ : state) {
@@ -92,17 +114,33 @@ BENCHMARK(BM_NetlistSimPgbsc);
 
 void BM_FullSiSession(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
   for (auto _ : state) {
     core::SocConfig cfg;
     cfg.n_wires = n;
     core::SiSocDevice soc(cfg);
     soc.bus().inject_crosstalk_defect(n / 2, 6.0);
+    soc.bus().set_cache_enabled(cached);
     core::SiTestSession session(soc);
     benchmark::DoNotOptimize(
         session.run(core::ObservationMethod::OnceAtEnd));
+    hits += soc.bus().cache_hits();
+    misses += soc.bus().cache_misses();
+  }
+  if (hits + misses > 0) {
+    state.counters["hit_rate"] =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
   }
 }
-BENCHMARK(BM_FullSiSession)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSiSession)
+    ->ArgNames({"n", "cache"})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({32, 1})
+    ->Args({32, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelVictimSession(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -20,18 +20,31 @@ using namespace jsi;
 
 namespace {
 
-std::uint64_t measured_generation(std::size_t n, bool enhanced) {
+struct MeasuredRun {
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+MeasuredRun measured_generation(std::size_t n, bool enhanced) {
   core::SocConfig cfg;
   cfg.n_wires = n;
   cfg.m_extra_cells = 1;
   cfg.enhanced = enhanced;
   core::SiSocDevice soc(cfg);
+  MeasuredRun out;
   if (enhanced) {
     core::SiTestSession session(soc);
-    return session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
+    out.generation_tcks =
+        session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
+  } else {
+    core::ConventionalSession session(soc);
+    out.generation_tcks =
+        session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
   }
-  core::ConventionalSession session(soc);
-  return session.run(core::ObservationMethod::OnceAtEnd).generation_tcks;
+  out.cache_hits = soc.bus().cache_hits();
+  out.cache_misses = soc.bus().cache_misses();
+  return out;
 }
 
 }  // namespace
@@ -50,16 +63,21 @@ int main() {
   std::vector<std::string> pg_model{"PGBSC (model)"};
   std::vector<std::string> imp_row{"T% improvement"};
 
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
   for (std::size_t n : ns) {
     analysis::TimeModel model{n, 1, 4};
     const auto conv = measured_generation(n, /*enhanced=*/false);
     const auto enh = measured_generation(n, /*enhanced=*/true);
-    conv_row.push_back(std::to_string(conv));
+    hits += conv.cache_hits + enh.cache_hits;
+    misses += conv.cache_misses + enh.cache_misses;
+    conv_row.push_back(std::to_string(conv.generation_tcks));
     conv_model.push_back(std::to_string(model.conventional_generation()));
-    pg_row.push_back(std::to_string(enh));
+    pg_row.push_back(std::to_string(enh.generation_tcks));
     pg_model.push_back(std::to_string(model.pgbsc_generation()));
     imp_row.push_back(util::fmt_percent(
-        1.0 - static_cast<double>(enh) / static_cast<double>(conv)));
+        1.0 - static_cast<double>(enh.generation_tcks) /
+                  static_cast<double>(conv.generation_tcks)));
   }
   t.add_row(conv_row);
   t.add_row(conv_model);
@@ -71,5 +89,13 @@ int main() {
   std::cout << "Shape check (paper claim): conventional grows O(n^2), PGBSC "
                "O(n);\nthe improvement increases with n and exceeds 90% by "
                "n=32.\n";
+  const std::uint64_t lookups = hits + misses;
+  std::cout << "\nBus transition cache over all runs: " << hits << "/"
+            << lookups << " waveform lookups served from cache ("
+            << util::fmt_percent(lookups == 0
+                                     ? 0.0
+                                     : static_cast<double>(hits) /
+                                           static_cast<double>(lookups))
+            << " hit rate).\n";
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/report.hpp"
+#include "jtag/master.hpp"
 
 namespace jsi::analysis {
 
@@ -29,10 +30,16 @@ struct TimeModel {
   /// Boundary chain length 2n+m.
   std::uint64_t chain() const { return 2 * n + m; }
 
-  static std::uint64_t reset_clocks() { return 6; }
-  std::uint64_t ir_scan() const { return ir_w + 6; }
-  static std::uint64_t dr_scan(std::uint64_t bits) { return bits + 5; }
-  static std::uint64_t update_pulse() { return 5; }
+  static std::uint64_t reset_clocks() { return jtag::TapMaster::kResetToIdleTcks; }
+  std::uint64_t ir_scan() const {
+    return ir_w + jtag::TapMaster::kIrScanOverhead;
+  }
+  static std::uint64_t dr_scan(std::uint64_t bits) {
+    return bits + jtag::TapMaster::kDrScanOverhead;
+  }
+  static std::uint64_t update_pulse() {
+    return jtag::TapMaster::kUpdatePulseTcks;
+  }
 
   /// Pattern-generation clocks of the enhanced (PGBSC) flow: reset, then
   /// per initial-value block a SAMPLE preload, the G-SITEST load, the

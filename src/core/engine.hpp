@@ -1,0 +1,105 @@
+#ifndef JSI_CORE_ENGINE_HPP
+#define JSI_CORE_ENGINE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/report.hpp"
+#include "jtag/master.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::core {
+
+class SiSocDevice;
+class MultiBusSoc;
+
+/// The model-side view a plan execution needs: instruction opcodes for
+/// LoadIr ops and the driven bus state for pattern recording. Plans that
+/// contain neither (e.g. the board-level EXTEST flow, which scans raw IR
+/// bits and captures scan-outs) run with no target at all.
+class EngineTarget {
+ public:
+  virtual ~EngineTarget() = default;
+
+  /// Opcode of instruction `name` (LoadIr resolution).
+  virtual std::uint64_t opcode(const std::string& name) const = 0;
+
+  /// Bus state currently driven on `bus` (record snapshots).
+  virtual util::BitVec driven_pins(std::size_t bus) const = 0;
+
+  /// Sticky sensor flags of `bus` (report finalization).
+  virtual util::BitVec nd_flags(std::size_t bus) const = 0;
+  virtual util::BitVec sd_flags(std::size_t bus) const = 0;
+};
+
+/// EngineTarget over the two-core SoC model.
+class SingleBusTarget final : public EngineTarget {
+ public:
+  explicit SingleBusTarget(SiSocDevice& soc) : soc_(&soc) {}
+  std::uint64_t opcode(const std::string& name) const override;
+  util::BitVec driven_pins(std::size_t bus) const override;
+  util::BitVec nd_flags(std::size_t bus) const override;
+  util::BitVec sd_flags(std::size_t bus) const override;
+
+ private:
+  SiSocDevice* soc_;
+};
+
+/// EngineTarget over the B-bus SoC model.
+class MultiBusTarget final : public EngineTarget {
+ public:
+  explicit MultiBusTarget(MultiBusSoc& soc) : soc_(&soc) {}
+  std::uint64_t opcode(const std::string& name) const override;
+  util::BitVec driven_pins(std::size_t bus) const override;
+  util::BitVec nd_flags(std::size_t bus) const override;
+  util::BitVec sd_flags(std::size_t bus) const override;
+
+ private:
+  MultiBusSoc* soc_;
+};
+
+/// Everything a plan execution produced: one IntegrityReport per bus
+/// (patterns, read-outs, final flags), the scan-outs of capture-flagged
+/// ops, and the measured TCK accounting.
+struct EngineResult {
+  std::vector<IntegrityReport> reports;
+  std::vector<util::BitVec> captures;
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t observation_tcks = 0;
+};
+
+/// Executes a TestPlan against any jtag::TapPort through a TapMaster —
+/// the single implementation of the paper's Fig 12 drive loop that the
+/// session planners share. Every TCK is issued through the master, so the
+/// result's clock counts are measured, not modeled (and are asserted
+/// equal to `dry_run_cost` in tests).
+class TestPlanEngine {
+ public:
+  /// Target-less engine: only Reset/ScanIr/ScanDr/UpdateDr ops without
+  /// `record` annotations are executable.
+  explicit TestPlanEngine(jtag::TapMaster& master)
+      : master_(&master), target_(nullptr) {}
+
+  TestPlanEngine(jtag::TapMaster& master, EngineTarget& target)
+      : master_(&master), target_(&target) {}
+
+  EngineResult execute(const TestPlan& plan);
+
+ private:
+  void load_instruction(const TestPlan& plan, const char* name);
+  void record_patterns(const TestPlan& plan, EngineResult& r,
+                       const std::vector<util::BitVec>& before,
+                       const TapOp& op) const;
+  void run_readout(const TestPlan& plan, EngineResult& r, const TapOp& op);
+  EngineTarget& target(const char* what) const;
+
+  jtag::TapMaster* master_;
+  EngineTarget* target_;
+};
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_ENGINE_HPP

@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/engine.hpp"
 #include "core/soc.hpp"
-#include "mafm/fault.hpp"
 
 namespace jsi::core {
 
@@ -179,116 +179,22 @@ bool MultiBusReport::any_violation() const {
 MultiBusSession::MultiBusSession(MultiBusSoc& soc)
     : soc_(&soc), master_(soc.tap()) {}
 
-void MultiBusSession::load_instruction(const char* name) {
-  const std::uint64_t code = soc_->tap().opcode(name);
-  master_.scan_ir(BitVec::from_u64(code, soc_->config().ir_width));
-}
-
-void MultiBusSession::record_patterns(MultiBusReport& r,
-                                      const std::vector<BitVec>& before,
-                                      std::size_t victim, int block,
-                                      bool rotate) const {
-  const std::size_t n = soc_->wires_per_bus();
-  for (std::size_t b = 0; b < soc_->n_buses(); ++b) {
-    AppliedPattern p;
-    p.before = before[b];
-    p.after = soc_->driven_pins(b);
-    p.victim = victim;
-    p.init_block = block;
-    p.from_rotate_scan = rotate;
-    if (victim < n) p.fault = mafm::classify(p.before, p.after, victim);
-    r.buses[b].patterns.push_back(std::move(p));
-  }
-}
-
-void MultiBusSession::read_flags(MultiBusReport& r, int block) {
-  const std::uint64_t t0 = master_.tck();
-  const std::size_t n = soc_->wires_per_bus();
-  const std::size_t nb = soc_->n_buses();
-  const std::size_t len = soc_->chain_length();
-
-  load_instruction(SiSocDevice::kOSitest);
-  const BitVec out_nd = master_.scan_dr(BitVec(len, false));
-  const BitVec out_sd = master_.scan_dr(BitVec(len, false));
-
-  for (std::size_t b = 0; b < nb; ++b) {
-    ReadoutRecord rec;
-    rec.nd = BitVec(n, false);
-    rec.sd = BitVec(n, false);
-    for (std::size_t w = 0; w < n; ++w) {
-      const std::size_t cell = nb * n + b * n + w;  // OBSC global index
-      rec.nd.set(w, out_nd[len - 1 - cell]);
-      rec.sd.set(w, out_sd[len - 1 - cell]);
-    }
-    rec.pattern_index = r.buses[b].patterns.size();
-    rec.init_block = block;
-    r.buses[b].readouts.push_back(rec);
-  }
-  r.observation_tcks += master_.tck() - t0;
+TestPlan MultiBusSession::plan(ObservationMethod method) const {
+  const MultiBusConfig& cfg = soc_->config();
+  return plan_multibus_session(cfg.n_buses, cfg.wires_per_bus,
+                               cfg.m_extra_cells, cfg.ir_width, method);
 }
 
 MultiBusReport MultiBusSession::run(ObservationMethod method) {
-  if (method == ObservationMethod::PerPattern) {
-    throw std::invalid_argument(
-        "per-pattern read-out is provided by the single-bus SiTestSession; "
-        "the parallel session supports methods 1 and 2");
-  }
-  const std::size_t n = soc_->wires_per_bus();
-  const std::size_t nb = soc_->n_buses();
+  MultiBusTarget target(*soc_);
+  TestPlanEngine engine(master_, target);
+  EngineResult res = engine.execute(plan(method));
 
   MultiBusReport r;
-  r.buses.resize(nb);
-  for (std::size_t b = 0; b < nb; ++b) {
-    r.buses[b].n = n;
-    r.buses[b].method = method;
-    r.buses[b].nd_final = BitVec(n, false);
-    r.buses[b].sd_final = BitVec(n, false);
-  }
-
-  const std::uint64_t t_start = master_.tck();
-  master_.reset_to_idle();
-
-  for (int block = 0; block < 2; ++block) {
-    load_instruction(SiSocDevice::kSample);
-    master_.scan_dr(BitVec(soc_->chain_length(), block != 0));
-    load_instruction(SiSocDevice::kGSitest);
-
-    // Victim-select scan over the PGBSC region: one hot bit per bus block
-    // at block-relative position 0.
-    BitVec select(nb * n, false);
-    for (std::size_t b = 0; b < nb; ++b) {
-      select.set(nb * n - 1 - b * n, true);
-    }
-    auto before = [&] {
-      std::vector<BitVec> v;
-      for (std::size_t b = 0; b < nb; ++b) v.push_back(soc_->driven_pins(b));
-      return v;
-    };
-    auto snap = before();
-    master_.scan_dr(select);
-    record_patterns(r, snap, 0, block, false);
-
-    for (std::size_t v = 0; v < n; ++v) {
-      for (int i = 0; i < 3; ++i) {
-        snap = before();
-        master_.pulse_update_dr();
-        record_patterns(r, snap, v, block, false);
-      }
-      const std::size_t next_victim = v + 1 < n ? v + 1 : n;
-      snap = before();
-      master_.scan_dr(BitVec(1, false));
-      record_patterns(r, snap, next_victim, block, true);
-    }
-    if (method == ObservationMethod::PerInitValue) read_flags(r, block);
-  }
-  if (method == ObservationMethod::OnceAtEnd) read_flags(r, 1);
-
-  for (std::size_t b = 0; b < nb; ++b) {
-    r.buses[b].nd_final = soc_->nd_flags(b);
-    r.buses[b].sd_final = soc_->sd_flags(b);
-  }
-  r.total_tcks = master_.tck() - t_start;
-  r.generation_tcks = r.total_tcks - r.observation_tcks;
+  r.buses = std::move(res.reports);
+  r.total_tcks = res.total_tcks;
+  r.generation_tcks = res.generation_tcks;
+  r.observation_tcks = res.observation_tcks;
   return r;
 }
 

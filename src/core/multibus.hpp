@@ -8,6 +8,7 @@
 #include "bsc/obsc.hpp"
 #include "bsc/pgbsc.hpp"
 #include "bsc/standard.hpp"
+#include "core/plan.hpp"
 #include "core/report.hpp"
 #include "jtag/device.hpp"
 #include "jtag/master.hpp"
@@ -97,22 +98,20 @@ struct MultiBusReport {
 /// PGBSC block, then the shared 3-updates-plus-rotate loop. Pattern
 /// application cost is that of a *single* bus; only the scans grow with
 /// the chain. Read-out is a single O-SITEST pass pair covering every
-/// OBSC.
+/// OBSC. A thin planner over the shared TestPlanEngine (see
+/// core::plan_multibus_session).
 class MultiBusSession {
  public:
   explicit MultiBusSession(MultiBusSoc& soc);
 
   MultiBusReport run(ObservationMethod method);
 
+  /// The plan `run(method)` executes.
+  TestPlan plan(ObservationMethod method) const;
+
   jtag::TapMaster& master() { return master_; }
 
  private:
-  void load_instruction(const char* name);
-  void record_patterns(MultiBusReport& r,
-                       const std::vector<util::BitVec>& before,
-                       std::size_t victim, int block, bool rotate) const;
-  void read_flags(MultiBusReport& r, int block);
-
   MultiBusSoc* soc_;
   jtag::TapMaster master_;
 };

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "mafm/schedule.hpp"
+#include "core/engine.hpp"
 
 namespace jsi::core {
 
@@ -23,173 +23,37 @@ SiTestSession::SiTestSession(SiSocDevice& soc, jtag::TapPort& port)
   }
 }
 
-void SiTestSession::load_instruction(const char* name) {
-  const std::uint64_t code = soc_->tap().opcode(name);
-  master_.scan_ir(BitVec::from_u64(code, soc_->config().ir_width));
+TestPlan SiTestSession::plan(ObservationMethod method) const {
+  const SocConfig& cfg = soc_->config();
+  return plan_enhanced_session(cfg.n_wires, cfg.m_extra_cells, cfg.ir_width,
+                               method);
 }
 
-void SiTestSession::preload(bool init_value) {
-  load_instruction(SiSocDevice::kSample);
-  master_.scan_dr(BitVec(soc_->chain_length(), init_value));
+TestPlan SiTestSession::plan_parallel(ObservationMethod method,
+                                      std::size_t guard) const {
+  const SocConfig& cfg = soc_->config();
+  return plan_parallel_victims(cfg.n_wires, cfg.m_extra_cells, cfg.ir_width,
+                               method, guard);
 }
 
-void SiTestSession::record_pattern(IntegrityReport& r, const BitVec& before,
-                                   std::size_t victim, int block,
-                                   bool rotate) const {
-  AppliedPattern p;
-  p.before = before;
-  p.after = soc_->driven_pins();
-  p.victim = victim;
-  p.init_block = block;
-  p.from_rotate_scan = rotate;
-  if (victim < r.n) p.fault = mafm::classify(p.before, p.after, victim);
-  r.patterns.push_back(std::move(p));
-}
-
-ReadoutRecord SiTestSession::read_flags(IntegrityReport& r, int block,
-                                        std::size_t restore_victim,
-                                        bool resume_gen) {
-  const std::uint64_t t0 = master_.tck();
-  const std::size_t n = soc_->config().n_wires;
-  const std::size_t m = soc_->config().m_extra_cells;
-  const std::size_t len = soc_->chain_length();
-
-  load_instruction(SiSocDevice::kOSitest);
-  // Pass 1: ND flip-flops (ND/SD select initializes to ND on decode).
-  const BitVec out_nd = master_.scan_dr(BitVec(len, false));
-  // Pass 2: SD flip-flops (select complemented by pass 1's Update-DR).
-  // The bits shifted in restore the victim-select one-hot so generation
-  // can resume exactly where it stopped (observation Method 3).
-  BitVec restore(len, false);
-  if (restore_victim < n) restore.set(len - 1 - restore_victim, true);
-  const BitVec out_sd = master_.scan_dr(restore);
-
-  ReadoutRecord rec;
-  rec.nd = BitVec(n, false);
-  rec.sd = BitVec(n, false);
-  // Cell n+j (OBSC of wire j) appears at scan-out index len-1-(n+j).
-  for (std::size_t j = 0; j < n; ++j) {
-    rec.nd.set(j, out_nd[n + m - 1 - j]);
-    rec.sd.set(j, out_sd[n + m - 1 - j]);
-  }
-  rec.pattern_index = r.patterns.size();
-  rec.init_block = block;
-  r.readouts.push_back(rec);
-
-  if (resume_gen) load_instruction(SiSocDevice::kGSitest);
-  r.observation_tcks += master_.tck() - t0;
-  return rec;
+IntegrityReport SiTestSession::execute(const TestPlan& p) {
+  SingleBusTarget target(*soc_);
+  TestPlanEngine engine(master_, target);
+  EngineResult res = engine.execute(p);
+  IntegrityReport r = std::move(res.reports.front());
+  r.total_tcks = res.total_tcks;
+  r.generation_tcks = res.generation_tcks;
+  r.observation_tcks = res.observation_tcks;
+  return r;
 }
 
 IntegrityReport SiTestSession::run(ObservationMethod method) {
-  const std::size_t n = soc_->config().n_wires;
-  IntegrityReport r;
-  r.n = n;
-  r.method = method;
-  r.nd_final = BitVec(n, false);
-  r.sd_final = BitVec(n, false);
-
-  const std::uint64_t t_start = master_.tck();
-  master_.reset_to_idle();
-
-  const bool per_pattern = method == ObservationMethod::PerPattern;
-
-  for (int block = 0; block < 2; ++block) {
-    preload(block != 0);
-    load_instruction(SiSocDevice::kGSitest);
-
-    // Victim-select scan: lands the one-hot on wire 0 and its trailing
-    // Update-DR fires the first pattern.
-    BitVec before = soc_->driven_pins();
-    master_.scan_dr(BitVec::one_hot(n, n - 1));
-    record_pattern(r, before, 0, block, false);
-    if (per_pattern) read_flags(r, block, 0, /*resume_gen=*/true);
-
-    for (std::size_t v = 0; v < n; ++v) {
-      for (int i = 0; i < 3; ++i) {
-        before = soc_->driven_pins();
-        master_.pulse_update_dr();
-        record_pattern(r, before, v, block, false);
-        if (per_pattern) read_flags(r, block, v, /*resume_gen=*/true);
-      }
-      // Rotate the victim: a one-bit scan; its Update-DR fires the next
-      // victim's first pattern (or the block's closing transition).
-      const std::size_t next_victim = v + 1 < n ? v + 1 : n;
-      before = soc_->driven_pins();
-      master_.scan_dr(BitVec(1, false));
-      record_pattern(r, before, next_victim, block, true);
-      if (per_pattern) {
-        const bool last = v + 1 == n;
-        read_flags(r, block, next_victim, /*resume_gen=*/!last);
-      }
-    }
-    if (method == ObservationMethod::PerInitValue) {
-      read_flags(r, block, n, /*resume_gen=*/false);
-    }
-  }
-  if (method == ObservationMethod::OnceAtEnd) {
-    read_flags(r, 1, n, /*resume_gen=*/false);
-  }
-
-  r.nd_final = soc_->nd_flags();
-  r.sd_final = soc_->sd_flags();
-  r.total_tcks = master_.tck() - t_start;
-  r.generation_tcks = r.total_tcks - r.observation_tcks;
-  return r;
+  return execute(plan(method));
 }
 
 IntegrityReport SiTestSession::run_parallel(ObservationMethod method,
                                             std::size_t guard) {
-  if (method == ObservationMethod::PerPattern) {
-    throw std::invalid_argument(
-        "per-pattern read-out needs the single-victim flow");
-  }
-  const std::size_t n = soc_->config().n_wires;
-  const auto rounds = mafm::parallel_victim_rounds(n, guard);
-
-  IntegrityReport r;
-  r.n = n;
-  r.method = method;
-  r.nd_final = BitVec(n, false);
-  r.sd_final = BitVec(n, false);
-
-  const std::uint64_t t_start = master_.tck();
-  master_.reset_to_idle();
-
-  for (int block = 0; block < 2; ++block) {
-    preload(block != 0);
-    load_instruction(SiSocDevice::kGSitest);
-
-    // Multi-hot victim-select scan: round-0 victims all selected at once.
-    BitVec select(n, false);
-    for (std::size_t v : rounds.front()) select.set(n - 1 - v, true);
-    BitVec before = soc_->driven_pins();
-    master_.scan_dr(select);
-    record_pattern(r, before, n, block, false);
-
-    for (std::size_t round = 0; round < rounds.size(); ++round) {
-      for (int i = 0; i < 3; ++i) {
-        before = soc_->driven_pins();
-        master_.pulse_update_dr();
-        record_pattern(r, before, n, block, false);
-      }
-      before = soc_->driven_pins();
-      master_.scan_dr(BitVec(1, false));
-      record_pattern(r, before, n, block, true);
-    }
-    if (method == ObservationMethod::PerInitValue) {
-      read_flags(r, block, n, /*resume_gen=*/false);
-    }
-  }
-  if (method == ObservationMethod::OnceAtEnd) {
-    read_flags(r, 1, n, /*resume_gen=*/false);
-  }
-
-  r.nd_final = soc_->nd_flags();
-  r.sd_final = soc_->sd_flags();
-  r.total_tcks = master_.tck() - t_start;
-  r.generation_tcks = r.total_tcks - r.observation_tcks;
-  return r;
+  return execute(plan_parallel(method, guard));
 }
 
 // ---------------------------------------------------------------------------
@@ -204,94 +68,20 @@ ConventionalSession::ConventionalSession(SiSocDevice& soc)
   }
 }
 
-void ConventionalSession::load_instruction(const char* name) {
-  const std::uint64_t code = soc_->tap().opcode(name);
-  master_.scan_ir(BitVec::from_u64(code, soc_->config().ir_width));
-}
-
-void ConventionalSession::apply_vector(IntegrityReport& r, const BitVec& vec,
-                                       std::size_t victim, int block) {
-  const std::size_t n = soc_->config().n_wires;
-  const std::size_t len = soc_->chain_length();
-  BitVec bits(len, false);
-  for (std::size_t j = 0; j < n; ++j) {
-    bits.set(len - 1 - j, vec[j]);  // lands on sending cell j after the scan
-  }
-  AppliedPattern p;
-  p.before = soc_->driven_pins();
-  p.victim = victim;
-  p.init_block = block;
-  master_.scan_dr(bits);
-  p.after = soc_->driven_pins();
-  if (victim < n) p.fault = mafm::classify(p.before, p.after, victim);
-  r.patterns.push_back(std::move(p));
-}
-
-ReadoutRecord ConventionalSession::read_flags(IntegrityReport& r, int block,
-                                              bool resume_gen) {
-  const std::uint64_t t0 = master_.tck();
-  const std::size_t n = soc_->config().n_wires;
-  const std::size_t m = soc_->config().m_extra_cells;
-  const std::size_t len = soc_->chain_length();
-
-  load_instruction(SiSocDevice::kOSitest);
-  const BitVec out_nd = master_.scan_dr(BitVec(len, false));
-  const BitVec out_sd = master_.scan_dr(BitVec(len, false));
-
-  ReadoutRecord rec;
-  rec.nd = BitVec(n, false);
-  rec.sd = BitVec(n, false);
-  for (std::size_t j = 0; j < n; ++j) {
-    rec.nd.set(j, out_nd[n + m - 1 - j]);
-    rec.sd.set(j, out_sd[n + m - 1 - j]);
-  }
-  rec.pattern_index = r.patterns.size();
-  rec.init_block = block;
-  r.readouts.push_back(rec);
-
-  if (resume_gen) load_instruction(SiSocDevice::kGSitest);
-  r.observation_tcks += master_.tck() - t0;
-  return rec;
+TestPlan ConventionalSession::plan(ObservationMethod method) const {
+  const SocConfig& cfg = soc_->config();
+  return plan_conventional_session(cfg.n_wires, cfg.m_extra_cells,
+                                   cfg.ir_width, method);
 }
 
 IntegrityReport ConventionalSession::run(ObservationMethod method) {
-  const std::size_t n = soc_->config().n_wires;
-  IntegrityReport r;
-  r.n = n;
-  r.method = method;
-  r.nd_final = BitVec(n, false);
-  r.sd_final = BitVec(n, false);
-
-  const std::uint64_t t_start = master_.tck();
-  master_.reset_to_idle();
-  // G-SITEST supplies Mode=1 + CE=1; with standard sending cells the
-  // pattern machinery is absent, so this acts as a "sensor-enabled EXTEST".
-  load_instruction(SiSocDevice::kGSitest);
-
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto seq = mafm::conventional_victim_sequence(n, v);
-    for (std::size_t i = 0; i < seq.size(); ++i) {
-      apply_vector(r, seq[i], v, 0);
-      if (method == ObservationMethod::PerPattern) {
-        const bool last = v + 1 == n && i + 1 == seq.size();
-        read_flags(r, 0, /*resume_gen=*/!last);
-      }
-    }
-    if (method == ObservationMethod::PerInitValue) {
-      // Conventional flow has no initial-value blocks; the closest
-      // equivalent granularity is one read-out per victim.
-      const bool last = v + 1 == n;
-      read_flags(r, 0, /*resume_gen=*/!last);
-    }
-  }
-  if (method == ObservationMethod::OnceAtEnd) {
-    read_flags(r, 0, /*resume_gen=*/false);
-  }
-
-  r.nd_final = soc_->nd_flags();
-  r.sd_final = soc_->sd_flags();
-  r.total_tcks = master_.tck() - t_start;
-  r.generation_tcks = r.total_tcks - r.observation_tcks;
+  SingleBusTarget target(*soc_);
+  TestPlanEngine engine(master_, target);
+  EngineResult res = engine.execute(plan(method));
+  IntegrityReport r = std::move(res.reports.front());
+  r.total_tcks = res.total_tcks;
+  r.generation_tcks = res.generation_tcks;
+  r.observation_tcks = res.observation_tcks;
   return r;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/plan.hpp"
 #include "core/report.hpp"
 #include "core/soc.hpp"
 #include "jtag/master.hpp"
@@ -23,8 +24,11 @@ namespace jsi::core {
 ///   load O-SITEST and read the ND then SD flags out      (method-dependent:
 ///       once, per block, or after every pattern with a G-SITEST resume)
 ///
-/// Every TCK is issued through a TapMaster, so the report's clock counts
-/// are measured, not modeled.
+/// Since the engine refactor this class is a thin *planner*: it emits the
+/// op sequence above as a core::TestPlan (see `plan`) and delegates the
+/// TAP drive loop to the shared TestPlanEngine. Every TCK is issued
+/// through a TapMaster, so the report's clock counts are measured, not
+/// modeled.
 class SiTestSession {
  public:
   explicit SiTestSession(SiSocDevice& soc);
@@ -49,16 +53,18 @@ class SiTestSession {
   /// before/after for per-victim analysis).
   IntegrityReport run_parallel(ObservationMethod method, std::size_t guard);
 
+  /// The plan `run(method)` executes (dry-run it with core::dry_run_cost
+  /// for the exact TCK budget without touching the simulator).
+  TestPlan plan(ObservationMethod method) const;
+
+  /// The plan `run_parallel(method, guard)` executes.
+  TestPlan plan_parallel(ObservationMethod method, std::size_t guard) const;
+
   /// The TCK-counting master (exposed for tests).
   jtag::TapMaster& master() { return master_; }
 
  private:
-  void preload(bool init_value);
-  void load_instruction(const char* name);
-  void record_pattern(IntegrityReport& r, const util::BitVec& before,
-                      std::size_t victim, int block, bool rotate) const;
-  ReadoutRecord read_flags(IntegrityReport& r, int block,
-                           std::size_t restore_victim, bool resume_gen);
+  IntegrityReport execute(const TestPlan& p);
 
   SiSocDevice* soc_;
   jtag::TapMaster master_;
@@ -75,14 +81,12 @@ class ConventionalSession {
 
   IntegrityReport run(ObservationMethod method);
 
+  /// The plan `run(method)` executes.
+  TestPlan plan(ObservationMethod method) const;
+
   jtag::TapMaster& master() { return master_; }
 
  private:
-  void load_instruction(const char* name);
-  void apply_vector(IntegrityReport& r, const util::BitVec& vec,
-                    std::size_t victim, int block);
-  ReadoutRecord read_flags(IntegrityReport& r, int block, bool resume_gen);
-
   SiSocDevice* soc_;
   jtag::TapMaster master_;
 };

@@ -1,6 +1,8 @@
 #include "ict/extest_session.hpp"
 
 #include "bsc/standard.hpp"
+#include "core/engine.hpp"
+#include "core/plan.hpp"
 #include "ict/patterns.hpp"
 
 namespace jsi::ict {
@@ -62,26 +64,7 @@ ExtestInterconnectSession::ExtestInterconnectSession(BoardNets& board)
   });
 }
 
-BitVec ExtestInterconnectSession::apply_and_capture(const BitVec& pattern) {
-  // Chain DR = driver n cells (nearest TDI) + receiver n cells. One scan
-  // both captures the receiver's current inputs (the *previous* pattern's
-  // response) and applies the next pattern — the classic pipelined EXTEST
-  // flow.
-  const std::size_t n = board_->size();
-  const std::size_t len = 2 * n;
-  BitVec bits(len, false);
-  for (std::size_t j = 0; j < n; ++j) {
-    bits.set(len - 1 - j, pattern[j]);  // lands on driver cell j
-  }
-  const BitVec out = master_.scan_dr(bits);
-  BitVec captured(n, false);
-  for (std::size_t j = 0; j < n; ++j) {
-    captured.set(j, out[n - 1 - j]);  // receiver cell n+j
-  }
-  return captured;
-}
-
-ExtestResult ExtestInterconnectSession::run(Algorithm algorithm) {
+core::TestPlan ExtestInterconnectSession::plan(Algorithm algorithm) const {
   const std::size_t n = board_->size();
   std::vector<BitVec> patterns;
   switch (algorithm) {
@@ -92,23 +75,72 @@ ExtestResult ExtestInterconnectSession::run(Algorithm algorithm) {
       break;
   }
 
+  // Chain DR = driver n cells (nearest TDI) + receiver n cells. Each scan
+  // both captures the receiver's current inputs (the *previous* pattern's
+  // response) and applies the next pattern — the classic pipelined EXTEST
+  // flow — so the plan scans every pattern once plus a final capture pass
+  // (which re-applies the last pattern, harmlessly).
+  core::TestPlan p;
+  p.ir_width = 2 * 4;  // two 4-bit IRs in the chain
+  p.chain_length = 2 * n;
+  p.n_buses = 1;
+  p.wires_per_bus = n;
+
+  core::TapOp reset;
+  reset.kind = core::TapOpKind::Reset;
+  p.ops.push_back(std::move(reset));
+
+  core::TapOp ir;
+  ir.kind = core::TapOpKind::ScanIr;
+  ir.bits = BitVec::zeros(2 * 4);  // EXTEST (0000) in both chips
+  p.ops.push_back(std::move(ir));
+
+  auto scan_of = [&](const BitVec& pattern) {
+    const std::size_t len = 2 * n;
+    core::TapOp op;
+    op.kind = core::TapOpKind::ScanDr;
+    op.capture = true;
+    op.bits = BitVec(len, false);
+    for (std::size_t j = 0; j < n; ++j) {
+      op.bits.set(len - 1 - j, pattern[j]);  // lands on driver cell j
+    }
+    return op;
+  };
+  for (const BitVec& pattern : patterns) p.ops.push_back(scan_of(pattern));
+  p.ops.push_back(scan_of(patterns.back()));
+  return p;
+}
+
+ExtestResult ExtestInterconnectSession::run(Algorithm algorithm) {
+  const std::size_t n = board_->size();
+  const core::TestPlan p = plan(algorithm);
+
+  core::TestPlanEngine engine(master_);
+  const core::EngineResult res = engine.execute(p);
+
+  // Capture c applied pattern c and read out the response to pattern c-1;
+  // capture 0 (the priming scan) read undefined pre-test state.
+  std::vector<BitVec> patterns;
+  std::vector<BitVec> responses;
+  for (std::size_t c = 1; c < res.captures.size(); ++c) {
+    BitVec captured(n, false);
+    for (std::size_t j = 0; j < n; ++j) {
+      captured.set(j, res.captures[c][n - 1 - j]);  // receiver cell n+j
+    }
+    responses.push_back(std::move(captured));
+  }
+  for (std::size_t c = 0; c + 1 < res.captures.size(); ++c) {
+    BitVec sent(n, false);
+    const std::size_t len = 2 * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      sent.set(j, p.ops[2 + c].bits[len - 1 - j]);
+    }
+    patterns.push_back(std::move(sent));
+  }
+
   ExtestResult result;
   result.patterns_applied = patterns.size();
-  const std::uint64_t t0 = master_.tck();
-
-  master_.reset_to_idle();
-  master_.scan_ir(BitVec::zeros(2 * 4));  // EXTEST (0000) in both chips
-
-  std::vector<BitVec> responses;
-  responses.reserve(patterns.size());
-  apply_and_capture(patterns.front());
-  for (std::size_t t = 1; t < patterns.size(); ++t) {
-    responses.push_back(apply_and_capture(patterns[t]));
-  }
-  // Final capture pass (re-applies the last pattern, which is harmless).
-  responses.push_back(apply_and_capture(patterns.back()));
-
-  result.total_tcks = master_.tck() - t0;
+  result.total_tcks = res.total_tcks;
   result.sent_codes = net_codes(patterns, n);
   result.received_codes = net_codes(responses, n);
   result.verdicts = diagnose_nets(result.sent_codes, result.received_codes);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/plan.hpp"
 #include "ict/board.hpp"
 #include "ict/diagnosis.hpp"
 #include "jtag/chain.hpp"
@@ -52,13 +53,16 @@ class ExtestInterconnectSession {
 
   ExtestResult run(Algorithm algorithm);
 
+  /// The capture-annotated test plan `run(algorithm)` executes through the
+  /// shared core::TestPlanEngine (dry-run it for the exact TCK budget).
+  core::TestPlan plan(Algorithm algorithm) const;
+
   jtag::Chain& chain() { return chain_; }
   jtag::TapDevice& driver_chip() { return *driver_; }
   jtag::TapDevice& receiver_chip() { return *receiver_; }
 
  private:
   struct Chip;
-  util::BitVec apply_and_capture(const util::BitVec& pattern);
 
   BoardNets* board_;
   std::shared_ptr<jtag::TapDevice> driver_;

@@ -19,6 +19,15 @@ class TapMaster {
  public:
   explicit TapMaster(TapPort& port) : port_(&port) {}
 
+  /// Closed-form primitive costs of the operations below, emergent from
+  /// the TAP FSM walk and asserted equal to the measured counts in tests.
+  /// Shared by analysis::TimeModel and the test-plan engine's dry-run
+  /// mode so every layer prices a primitive identically.
+  static constexpr std::uint64_t kResetToIdleTcks = 6;  ///< reset_to_idle
+  static constexpr std::uint64_t kIrScanOverhead = 6;   ///< scan_ir: bits+6
+  static constexpr std::uint64_t kDrScanOverhead = 5;   ///< scan_dr: bits+5
+  static constexpr std::uint64_t kUpdatePulseTcks = 5;  ///< pulse_update_dr
+
   /// Five TMS=1 clocks: guaranteed Test-Logic-Reset from any state, then
   /// one TMS=0 clock into Run-Test/Idle.
   void reset_to_idle();

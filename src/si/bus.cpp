@@ -20,10 +20,12 @@ CoupledBus::CoupledBus(BusParams p) : p_(p) {
 
 void CoupledBus::scale_coupling(std::size_t pair, double factor) {
   couple_.at(pair) *= factor;
+  ++defect_gen_;
 }
 
 void CoupledBus::add_series_resistance(std::size_t wire, double ohms) {
   extra_r_.at(wire) += ohms;
+  ++defect_gen_;
 }
 
 void CoupledBus::inject_crosstalk_defect(std::size_t wire, double severity) {
@@ -38,6 +40,7 @@ void CoupledBus::inject_crosstalk_defect(std::size_t wire, double severity) {
 void CoupledBus::clear_defects() {
   couple_.assign(couple_.size(), p_.c_couple);
   extra_r_.assign(p_.n_wires, 0.0);
+  ++defect_gen_;
 }
 
 double CoupledBus::coupling(std::size_t pair) const { return couple_.at(pair); }
@@ -140,11 +143,64 @@ void CoupledBus::add_glitch(Waveform& w, double cc, double ctot_v,
   }
 }
 
+void CoupledBus::set_cache_enabled(bool on) {
+  cache_on_ = on;
+  if (!on) cache_.clear();
+}
+
+double CoupledBus::cache_hit_rate() const {
+  const std::uint64_t lookups = cache_hits_ + cache_misses_;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(cache_hits_) / static_cast<double>(lookups);
+}
+
+void CoupledBus::clear_cache() const { cache_.clear(); }
+
+std::uint64_t CoupledBus::cache_key(std::size_t i, const util::BitVec& prev,
+                                    const util::BitVec& next) const {
+  // 5-bit local windows [i-2, i+2]; positions beyond the bus encode as 0.
+  std::uint64_t pbits = 0;
+  std::uint64_t nbits = 0;
+  for (int off = -2; off <= 2; ++off) {
+    const long long j = static_cast<long long>(i) + off;
+    pbits <<= 1;
+    nbits <<= 1;
+    if (j >= 0 && j < static_cast<long long>(p_.n_wires)) {
+      pbits |= prev[static_cast<std::size_t>(j)] ? 1u : 0u;
+      nbits |= next[static_cast<std::size_t>(j)] ? 1u : 0u;
+    }
+  }
+  return (static_cast<std::uint64_t>(i) << 10) | (pbits << 5) | nbits;
+}
+
 Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
                                    const util::BitVec& next) const {
   if (prev.size() != p_.n_wires || next.size() != p_.n_wires) {
     throw std::invalid_argument("vector width != bus width");
   }
+  if (!cache_on_) return solve_wire_response(i, prev, next);
+
+  if (cache_gen_ != defect_gen_) {
+    cache_.clear();
+    cache_gen_ = defect_gen_;
+  }
+  const std::uint64_t key = cache_key(i, prev, next);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  Waveform w = solve_wire_response(i, prev, next);
+  if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+  cache_.emplace(key, w);
+  return w;
+}
+
+Waveform CoupledBus::solve_wire_response(std::size_t i,
+                                         const util::BitVec& prev,
+                                         const util::BitVec& next) const {
   const int di = delta(prev, next, i);
   if (di != 0) {
     const double tau = resistance(i) * miller_cap(i, prev, next);

@@ -2,6 +2,8 @@
 #define JSI_SI_BUS_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "si/waveform.hpp"
@@ -106,6 +108,50 @@ class CoupledBus {
   /// threshold on the final sample).
   util::Logic settled_logic(const Waveform& w) const;
 
+  // ---- memoized transition cache ------------------------------------------
+  //
+  // The MA pattern set re-applies identical prev->next bus transitions
+  // O(n) times per session (every victim sees the same aggressor-toggle
+  // neighbourhoods), so per-wire waveforms are memoized. The key is the
+  // wire index plus the 5-bit local neighbourhood [i-2, i+2] of (prev,
+  // next) — the exact electrical support of wire_response: a wire's
+  // waveform depends on its own transition, its neighbours' transitions
+  // (glitch injection) and *their* neighbours (the aggressors' Miller
+  // time constants), and on nothing farther away.
+  //
+  // Invalidation contract: every defect mutation (scale_coupling,
+  // add_series_resistance, inject_crosstalk_defect, clear_defects) bumps
+  // `defect_generation()`; cached entries belong to one generation and
+  // are dropped wholesale on the first lookup after a bump. Hit/miss
+  // counters survive invalidation (they meter the workload, not the
+  // cache contents).
+
+  /// Enable/disable memoization (enabled by default; disable to meter
+  /// the raw solver).
+  void set_cache_enabled(bool on);
+  bool cache_enabled() const { return cache_on_; }
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+  /// hits / (hits + misses), 0 when nothing was looked up yet.
+  double cache_hit_rate() const;
+
+  /// Entries currently held (bounded by kMaxCacheEntries).
+  std::size_t cache_entries() const { return cache_.size(); }
+
+  /// Monotone counter of defect-state mutations; cached waveforms are
+  /// only ever served within one generation.
+  std::uint64_t defect_generation() const { return defect_gen_; }
+
+  /// Drop all cached waveforms (counters are kept).
+  void clear_cache() const;
+
+  /// Cap on resident entries; the cache is flushed wholesale when full
+  /// (one entry is up to `samples` doubles, so the cap bounds memory at
+  /// ~16 MB with the 2048-sample default).
+  static constexpr std::size_t kMaxCacheEntries = 1024;
+
  private:
   int delta(const util::BitVec& prev, const util::BitVec& next,
             std::size_t i) const;
@@ -116,9 +162,25 @@ class CoupledBus {
   void add_glitch(Waveform& w, double cc, double ctot_v, double tau_v,
                   double tau_a, int direction) const;
 
+  /// The raw (uncached) solver behind wire_response.
+  Waveform solve_wire_response(std::size_t i, const util::BitVec& prev,
+                               const util::BitVec& next) const;
+
+  /// Cache key: wire index | prev[i-2..i+2] | next[i-2..i+2] (out-of-range
+  /// neighbour positions encode as 0, which the solver ignores).
+  std::uint64_t cache_key(std::size_t i, const util::BitVec& prev,
+                          const util::BitVec& next) const;
+
   BusParams p_;
   std::vector<double> couple_;   // per adjacent pair, with defects
   std::vector<double> extra_r_;  // per wire, defect series resistance
+
+  std::uint64_t defect_gen_ = 0;
+  bool cache_on_ = true;
+  mutable std::unordered_map<std::uint64_t, Waveform> cache_;
+  mutable std::uint64_t cache_gen_ = 0;  // generation cache_ belongs to
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace jsi::si

@@ -1,0 +1,236 @@
+// Tests for the CoupledBus memoized transition cache: correctness of the
+// cached waveforms against the raw solver, hit/miss metering, and the
+// defect-generation invalidation contract.
+#include <gtest/gtest.h>
+
+#include "si/bus.hpp"
+#include "util/prng.hpp"
+
+namespace jsi::si {
+namespace {
+
+util::BitVec random_vec(util::Prng& rng, std::size_t n) {
+  util::BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.next_bool());
+  return v;
+}
+
+void expect_same_waveform(const Waveform& a, const Waveform& b) {
+  ASSERT_EQ(a.samples(), b.samples());
+  for (std::size_t s = 0; s < a.samples(); ++s) {
+    ASSERT_DOUBLE_EQ(a[s], b[s]) << "sample " << s;
+  }
+}
+
+TEST(BusCache, EnabledByDefault) {
+  BusParams p;
+  CoupledBus bus(p);
+  EXPECT_TRUE(bus.cache_enabled());
+  EXPECT_EQ(bus.cache_hits(), 0u);
+  EXPECT_EQ(bus.cache_misses(), 0u);
+  EXPECT_EQ(bus.cache_entries(), 0u);
+}
+
+TEST(BusCache, RepeatedTransitionHits) {
+  BusParams p;
+  p.n_wires = 8;
+  CoupledBus bus(p);
+  util::BitVec prev(8);
+  util::BitVec next(8);
+  next.set(3, true);
+
+  bus.transition(prev, next);
+  EXPECT_EQ(bus.cache_hits(), 0u);
+  EXPECT_EQ(bus.cache_misses(), 8u);
+
+  bus.transition(prev, next);
+  EXPECT_EQ(bus.cache_hits(), 8u);
+  EXPECT_EQ(bus.cache_misses(), 8u);
+  EXPECT_DOUBLE_EQ(bus.cache_hit_rate(), 0.5);
+}
+
+TEST(BusCache, CachedWaveformsMatchRawSolver) {
+  // The cache key is the 5-bit local neighbourhood of each wire; verify
+  // on random vector pairs that cached results are sample-identical to
+  // the uncached solver, including after hits on shared neighbourhoods.
+  BusParams p;
+  p.n_wires = 10;
+  p.samples = 256;
+  CoupledBus cached(p);
+  CoupledBus raw(p);
+  raw.set_cache_enabled(false);
+  cached.inject_crosstalk_defect(4, 6.0);
+  raw.inject_crosstalk_defect(4, 6.0);
+
+  util::Prng rng(0xC0FFEEu);
+  for (int iter = 0; iter < 40; ++iter) {
+    const util::BitVec prev = random_vec(rng, p.n_wires);
+    const util::BitVec next = random_vec(rng, p.n_wires);
+    const auto got = cached.transition(prev, next);
+    const auto want = raw.transition(prev, next);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      SCOPED_TRACE(i);
+      expect_same_waveform(got[i], want[i]);
+    }
+  }
+  EXPECT_GT(cached.cache_hits(), 0u) << "40 random 10-wire transitions must "
+                                        "revisit some local neighbourhood";
+  EXPECT_EQ(raw.cache_hits(), 0u);
+  EXPECT_EQ(raw.cache_misses(), 0u);
+}
+
+TEST(BusCache, InjectDefectInvalidates) {
+  BusParams p;
+  p.n_wires = 6;
+  CoupledBus bus(p);
+  util::BitVec prev(6);
+  util::BitVec next(6);
+  next.set(2, true);
+
+  const auto clean = bus.transition(prev, next);
+  bus.transition(prev, next);  // warm: all hits
+  EXPECT_EQ(bus.cache_hits(), 6u);
+
+  const std::uint64_t gen = bus.defect_generation();
+  bus.inject_crosstalk_defect(2, 6.0);
+  EXPECT_GT(bus.defect_generation(), gen);
+
+  // Post-defect lookups are misses (stale entries dropped), and the
+  // waveforms reflect the new electrical state, not the cached one.
+  const auto defective = bus.transition(prev, next);
+  EXPECT_EQ(bus.cache_hits(), 6u);
+  EXPECT_EQ(bus.cache_misses(), 12u);
+  bool any_changed = false;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t s = 0; s < clean[i].samples(); ++s) {
+      if (clean[i][s] != defective[i][s]) any_changed = true;
+    }
+  }
+  EXPECT_TRUE(any_changed) << "a severity-6 defect must alter waveforms";
+
+  CoupledBus fresh(p);
+  fresh.inject_crosstalk_defect(2, 6.0);
+  const auto want = fresh.transition(prev, next);
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE(i);
+    expect_same_waveform(defective[i], want[i]);
+  }
+}
+
+TEST(BusCache, ClearDefectsInvalidates) {
+  BusParams p;
+  p.n_wires = 6;
+  CoupledBus bus(p);
+  util::BitVec prev(6);
+  util::BitVec next(6);
+  next.set(2, true);
+
+  const auto clean = bus.transition(prev, next);
+  bus.inject_crosstalk_defect(2, 6.0);
+  bus.transition(prev, next);
+
+  const std::uint64_t gen = bus.defect_generation();
+  bus.clear_defects();
+  EXPECT_GT(bus.defect_generation(), gen);
+
+  const auto restored = bus.transition(prev, next);
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE(i);
+    expect_same_waveform(restored[i], clean[i]);
+  }
+}
+
+TEST(BusCache, EveryMutatorBumpsGeneration) {
+  BusParams p;
+  CoupledBus bus(p);
+  std::uint64_t gen = bus.defect_generation();
+  bus.scale_coupling(0, 2.0);
+  EXPECT_GT(bus.defect_generation(), gen);
+  gen = bus.defect_generation();
+  bus.add_series_resistance(1, 100.0);
+  EXPECT_GT(bus.defect_generation(), gen);
+  gen = bus.defect_generation();
+  bus.inject_crosstalk_defect(3, 5.0);
+  EXPECT_GT(bus.defect_generation(), gen);
+  gen = bus.defect_generation();
+  bus.clear_defects();
+  EXPECT_GT(bus.defect_generation(), gen);
+}
+
+TEST(BusCache, DisableBypassesAndFlushes) {
+  BusParams p;
+  p.n_wires = 4;
+  CoupledBus bus(p);
+  util::BitVec prev(4);
+  util::BitVec next(4);
+  next.set(1, true);
+
+  bus.transition(prev, next);
+  EXPECT_GT(bus.cache_entries(), 0u);
+
+  bus.set_cache_enabled(false);
+  EXPECT_FALSE(bus.cache_enabled());
+  EXPECT_EQ(bus.cache_entries(), 0u);
+
+  const auto hits = bus.cache_hits();
+  const auto misses = bus.cache_misses();
+  bus.transition(prev, next);
+  EXPECT_EQ(bus.cache_hits(), hits) << "disabled cache must not meter";
+  EXPECT_EQ(bus.cache_misses(), misses);
+  EXPECT_EQ(bus.cache_entries(), 0u);
+}
+
+TEST(BusCache, ClearCacheKeepsCounters) {
+  BusParams p;
+  p.n_wires = 4;
+  CoupledBus bus(p);
+  util::BitVec prev(4);
+  util::BitVec next(4);
+  next.set(0, true);
+
+  bus.transition(prev, next);
+  bus.transition(prev, next);
+  const auto hits = bus.cache_hits();
+  const auto misses = bus.cache_misses();
+  EXPECT_GT(hits, 0u);
+
+  bus.clear_cache();
+  EXPECT_EQ(bus.cache_entries(), 0u);
+  EXPECT_EQ(bus.cache_hits(), hits);
+  EXPECT_EQ(bus.cache_misses(), misses);
+
+  bus.transition(prev, next);  // refill: misses again, hits unchanged
+  EXPECT_EQ(bus.cache_hits(), hits);
+  EXPECT_GT(bus.cache_misses(), misses);
+}
+
+TEST(BusCache, SettledLogicUnaffected) {
+  // End-to-end sanity: detector-facing settled values are identical with
+  // and without the cache across a victim sweep.
+  BusParams p;
+  p.n_wires = 8;
+  p.samples = 256;
+  CoupledBus cached(p);
+  CoupledBus raw(p);
+  raw.set_cache_enabled(false);
+  cached.add_series_resistance(3, 900.0);
+  raw.add_series_resistance(3, 900.0);
+
+  for (std::size_t victim = 0; victim < p.n_wires; ++victim) {
+    util::BitVec prev(p.n_wires);
+    util::BitVec next(p.n_wires);
+    for (std::size_t i = 0; i < p.n_wires; ++i) {
+      prev.set(i, i % 2 == 0);
+      next.set(i, i == victim ? prev[i] : !prev[i]);
+    }
+    const auto a = cached.transition(prev, next);
+    const auto b = raw.transition(prev, next);
+    for (std::size_t i = 0; i < p.n_wires; ++i) {
+      EXPECT_EQ(cached.settled_logic(a[i]), raw.settled_logic(b[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jsi::si
