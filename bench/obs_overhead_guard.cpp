@@ -1,0 +1,78 @@
+// Disabled-instrumentation overhead guard.
+//
+// The obs layer's contract is "zero cost when disabled": every hook is a
+// `if (sink_)` branch on a pointer that defaults to nullptr. This guard
+// measures the full G-SITEST session with (a) no sink attached and
+// (b) an obs::NullSink attached — the one-virtual-call-per-event worst
+// case of the *disabled* configuration — and fails (exit 1) if the
+// attached run is more than 2% slower than the detached run.
+//
+// Methodology: min-of-K medians. Wall-clock noise is one-sided (the OS
+// only ever steals time), so the minimum over repetitions estimates the
+// true cost; the whole comparison retries a few times before failing to
+// ride out machine-load spikes on CI boxes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/session.hpp"
+#include "obs/events.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+std::uint64_t run_session_ns(jsi::obs::Sink* sink) {
+  jsi::core::SocConfig cfg;
+  cfg.n_wires = 16;
+  jsi::core::SiSocDevice soc(cfg);
+  jsi::core::SiTestSession session(soc);
+  if (sink != nullptr) session.set_sink(sink);
+  const auto t0 = clock_type::now();
+  const auto report = session.run(jsi::core::ObservationMethod::OnceAtEnd);
+  const auto t1 = clock_type::now();
+  if (report.total_tcks == 0) std::abort();  // keep the run observable
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kMaxOverhead = 0.02;
+  constexpr int kReps = 7;
+  constexpr int kAttempts = 5;
+
+  jsi::obs::NullSink null_sink;
+  // Warm-up: fault in code and allocator pools on both paths.
+  run_session_ns(nullptr);
+  run_session_ns(&null_sink);
+
+  double best_ratio = 1e9;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    // Interleave to give both paths the same machine conditions.
+    std::uint64_t detached = UINT64_MAX;
+    std::uint64_t attached = UINT64_MAX;
+    for (int i = 0; i < kReps; ++i) {
+      detached = std::min(detached, run_session_ns(nullptr));
+      attached = std::min(attached, run_session_ns(&null_sink));
+    }
+    const double ratio = static_cast<double>(attached) /
+                         static_cast<double>(detached);
+    best_ratio = std::min(best_ratio, ratio);
+    std::cout << "attempt " << attempt << ": detached " << detached
+              << " ns, null-sink " << attached << " ns, ratio " << ratio
+              << "\n";
+    if (best_ratio <= 1.0 + kMaxOverhead) {
+      std::cout << "OK: instrumentation overhead "
+                << (best_ratio - 1.0) * 100.0 << "% <= "
+                << kMaxOverhead * 100.0 << "% budget\n";
+      return 0;
+    }
+  }
+  std::cout << "FAIL: best ratio " << best_ratio << " exceeds 1.02\n";
+  return 1;
+}

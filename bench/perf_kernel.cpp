@@ -5,12 +5,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <iostream>
 
 #include "bsc/netlists.hpp"
 #include "core/bist.hpp"
 #include "core/multibus.hpp"
 #include "core/session.hpp"
 #include "ict/extest_session.hpp"
+#include "obs/hub.hpp"
+#include "obs/metrics_sink.hpp"
+#include "obs/registry.hpp"
 #include "rtl/netlist_sim.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bitvec.hpp"
@@ -142,6 +146,33 @@ BENCHMARK(BM_FullSiSession)
     ->Args({32, 0})
     ->Unit(benchmark::kMillisecond);
 
+void BM_FullSiSessionObserved(benchmark::State& state) {
+  // BM_FullSiSession with the full obs::Hub attached (per-TCK edge
+  // tracing, metrics folding, ring buffer). Compare against the n=8/32
+  // cached rows above to price the *enabled* instrumentation; the <2%
+  // disabled-path guarantee is asserted by obs_overhead_guard.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t tcks = 0;
+  for (auto _ : state) {
+    core::SocConfig cfg;
+    cfg.n_wires = n;
+    core::SiSocDevice soc(cfg);
+    soc.bus().inject_crosstalk_defect(n / 2, 6.0);
+    core::SiTestSession session(soc);
+    obs::Hub hub;
+    session.set_sink(&hub);
+    benchmark::DoNotOptimize(
+        session.run(core::ObservationMethod::OnceAtEnd));
+    tcks += hub.registry().counter_value("tck.total");
+  }
+  state.counters["tcks_per_run"] = benchmark::Counter(
+      static_cast<double>(tcks) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FullSiSessionObserved)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParallelVictimSession(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -193,4 +224,62 @@ void BM_ExtestBoardSession(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtestBoardSession)->Arg(16)->Arg(64);
 
+// One instrumented pass of every session kind, folding TCK-phase and
+// cache metrics into the global registry for the BENCH_perf_kernel.json
+// dump (see main below).
+void collect_session_metrics() {
+  obs::MetricsSink sink(obs::global_registry());
+  {
+    core::SocConfig cfg;
+    cfg.n_wires = 16;
+    core::SiSocDevice soc(cfg);
+    core::SiTestSession session(soc);
+    session.set_sink(&sink);
+    session.run(core::ObservationMethod::OnceAtEnd);
+  }
+  {
+    core::SocConfig cfg;
+    cfg.n_wires = 16;
+    core::SiSocDevice soc(cfg);
+    core::SiTestSession session(soc);
+    session.set_sink(&sink);
+    session.run_parallel(core::ObservationMethod::OnceAtEnd, 2);
+  }
+  {
+    core::SocConfig cfg;
+    cfg.n_wires = 16;
+    cfg.enhanced = false;
+    core::SiSocDevice soc(cfg);
+    core::ConventionalSession session(soc);
+    session.set_sink(&sink);
+    session.run(core::ObservationMethod::OnceAtEnd);
+  }
+  {
+    core::MultiBusConfig cfg;
+    cfg.n_buses = 2;
+    cfg.wires_per_bus = 8;
+    core::MultiBusSoc soc(cfg);
+    core::MultiBusSession session(soc);
+    session.set_sink(&sink);
+    session.run(core::ObservationMethod::OnceAtEnd);
+  }
+  {
+    ict::BoardNets board(16);
+    ict::ExtestInterconnectSession session(board);
+    session.set_sink(&sink);
+    session.run(ict::Algorithm::CountingSequence);
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  collect_session_metrics();
+  const std::string path = obs::jsi_metrics_dump("perf_kernel");
+  if (!path.empty()) std::cout << "metrics: " << path << "\n";
+  return 0;
+}

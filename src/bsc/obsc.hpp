@@ -1,7 +1,10 @@
 #ifndef JSI_BSC_OBSC_HPP
 #define JSI_BSC_OBSC_HPP
 
+#include <cstdint>
+
 #include "jtag/cell.hpp"
+#include "obs/events.hpp"
 #include "si/detectors.hpp"
 #include "si/waveform.hpp"
 
@@ -47,12 +50,26 @@ class Obsc : public jtag::BoundaryCell {
   bool ff1() const { return ff1_; }
   bool ff2() const { return ff2_; }
 
+  /// Attach an observability sink; a DetectorFired record is reported at
+  /// the moment a sticky flag transitions 0->1 (once per latch, not per
+  /// observation). `wire`/`bus` identify this cell in the records.
+  void set_sink(obs::Sink* sink, std::int64_t wire, std::int64_t bus = -1) {
+    sink_ = sink;
+    wire_id_ = wire;
+    bus_id_ = bus;
+  }
+
  private:
+  void fire(const char* which);
+
   si::NdCell nd_;
   si::SdCell sd_;
   util::Logic pin_ = util::Logic::X;
   bool ff1_ = false;
   bool ff2_ = false;
+  obs::Sink* sink_ = nullptr;
+  std::int64_t wire_id_ = -1;
+  std::int64_t bus_id_ = -1;
 };
 
 }  // namespace jsi::bsc

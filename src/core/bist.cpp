@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "jtag/tap_trace.hpp"
+
 namespace jsi::core {
 
 using util::BitVec;
@@ -102,13 +104,29 @@ double BistProgram::controller_nand_equiv() const {
 SiBistController::SiBistController(SiSocDevice& soc)
     : soc_(&soc), program_(BistProgram::compile(soc.config())) {}
 
+void SiBistController::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  soc_->set_sink(sink);
+}
+
 SiBistController::Result SiBistController::run() {
   const std::size_t n = soc_->config().n_wires;
   Result r;
   r.nd = BitVec(n, false);
   r.sd = BitVec(n, false);
+  obs::emit_span(sink_, obs::EventKind::SessionBegin, "bist",
+                 soc_->tap().tck_count());
+  // FSM mirror for edge tracing. The program opens with five TMS=1
+  // clocks, so starting the mirror at Test-Logic-Reset is correct by the
+  // time any state-sensitive edge fires, whatever state the TAP was in.
+  jtag::TapState mirror = jtag::TapState::TestLogicReset;
   for (const auto& s : program_.steps()) {
+    if (sink_) {
+      sink_->on_event(jtag::tap_edge_event(mirror, s.tms, s.tdi,
+                                           soc_->tap().tck_count() + 1));
+    }
     const util::Logic tdo = soc_->tap().tick(s.tms, s.tdi);
+    mirror = jtag::next_state(mirror, s.tms);
     if (s.capture_wire >= 0 && util::to_bool(tdo)) {
       if (s.capture_is_nd) {
         r.nd.set(static_cast<std::size_t>(s.capture_wire), true);
@@ -119,6 +137,8 @@ SiBistController::Result SiBistController::run() {
     ++r.tcks;
   }
   r.pass = r.nd.popcount() + r.sd.popcount() == 0;
+  obs::emit_span(sink_, obs::EventKind::SessionEnd, "bist",
+                 soc_->tap().tck_count(), r.tcks);
   return r;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/soc.hpp"
+#include "obs/events.hpp"
 #include "util/bitvec.hpp"
 
 namespace jsi::core {
@@ -77,9 +78,16 @@ class SiBistController {
 
   const BistProgram& program() const { return program_; }
 
+  /// Attach an observability sink to the controller and the SoC model
+  /// (session name "bist"). The controller drives the TAP directly, so
+  /// it mirrors the FSM itself to report the same StateEdge records a
+  /// TapMaster would. nullptr detaches.
+  void set_sink(obs::Sink* sink);
+
  private:
   SiSocDevice* soc_;
   BistProgram program_;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::core

@@ -54,6 +54,19 @@ EngineTarget& TestPlanEngine::target(const char* what) const {
   return *target_;
 }
 
+void TestPlanEngine::emit(obs::EventKind kind, const char* name,
+                          std::int64_t a, std::int64_t b,
+                          std::uint64_t value) const {
+  obs::Event e;
+  e.kind = kind;
+  e.tck = master_->tck();
+  e.name = name;
+  e.a = a;
+  e.b = b;
+  e.value = value;
+  sink_->on_event(e);
+}
+
 void TestPlanEngine::load_instruction(const TestPlan& plan, const char* name) {
   const std::uint64_t code = target("LoadIr").opcode(name);
   master_->scan_ir(BitVec::from_u64(code, plan.ir_width));
@@ -124,8 +137,21 @@ EngineResult TestPlanEngine::execute(const TestPlan& plan) {
   }
 
   const std::uint64_t t_start = master_->tck();
+  if (sink_) {
+    emit(obs::EventKind::PlanBegin, "plan",
+         static_cast<std::int64_t>(plan.ops.size()),
+         static_cast<std::int64_t>(plan.n_buses), 0);
+  }
   std::vector<BitVec> before;
-  for (const TapOp& op : plan.ops) {
+  for (std::size_t oi = 0; oi < plan.ops.size(); ++oi) {
+    const TapOp& op = plan.ops[oi];
+    std::uint64_t t_op = 0;
+    if (sink_) {
+      t_op = master_->tck();
+      emit(obs::EventKind::TapOpBegin, tap_op_kind_name(op.kind),
+           static_cast<std::int64_t>(oi),
+           op.kind == TapOpKind::Readout ? 1 : 0, 0);
+    }
     switch (op.kind) {
       case TapOpKind::Reset:
         master_->reset_to_idle();
@@ -163,6 +189,11 @@ EngineResult TestPlanEngine::execute(const TestPlan& plan) {
         run_readout(plan, r, op);
         break;
     }
+    if (sink_) {
+      emit(obs::EventKind::TapOpEnd, tap_op_kind_name(op.kind),
+           static_cast<std::int64_t>(oi),
+           op.kind == TapOpKind::Readout ? 1 : 0, master_->tck() - t_op);
+    }
   }
 
   if (target_) {
@@ -173,6 +204,11 @@ EngineResult TestPlanEngine::execute(const TestPlan& plan) {
   }
   r.total_tcks = master_->tck() - t_start;
   r.generation_tcks = r.total_tcks - r.observation_tcks;
+  if (sink_) {
+    emit(obs::EventKind::PlanEnd, "plan",
+         static_cast<std::int64_t>(r.generation_tcks),
+         static_cast<std::int64_t>(r.observation_tcks), r.total_tcks);
+  }
   return r;
 }
 

@@ -8,6 +8,7 @@
 #include "core/plan.hpp"
 #include "core/report.hpp"
 #include "jtag/master.hpp"
+#include "obs/events.hpp"
 #include "util/bitvec.hpp"
 
 namespace jsi::core {
@@ -88,6 +89,14 @@ class TestPlanEngine {
 
   EngineResult execute(const TestPlan& plan);
 
+  /// Attach an observability sink; an execution then reports
+  /// PlanBegin/PlanEnd bracketing the run (PlanEnd carries the measured
+  /// total/generation/observation TCKs, so a metrics sink can cross-check
+  /// its own phase accounting against the engine's) and TapOpBegin/
+  /// TapOpEnd around every op (Begin flags Readout spans as observation;
+  /// End carries the op's measured TCK delta). nullptr disables.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
+
  private:
   void load_instruction(const TestPlan& plan, const char* name);
   void record_patterns(const TestPlan& plan, EngineResult& r,
@@ -95,9 +104,12 @@ class TestPlanEngine {
                        const TapOp& op) const;
   void run_readout(const TestPlan& plan, EngineResult& r, const TapOp& op);
   EngineTarget& target(const char* what) const;
+  void emit(obs::EventKind kind, const char* name, std::int64_t a,
+            std::int64_t b, std::uint64_t value) const;
 
   jtag::TapMaster* master_;
   EngineTarget* target_;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::core

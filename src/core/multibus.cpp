@@ -99,6 +99,17 @@ BitVec MultiBusSoc::sd_flags(std::size_t b) const {
   return v;
 }
 
+void MultiBusSoc::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
+    buses_[b]->set_sink(sink);
+    for (std::size_t w = 0; w < cfg_.wires_per_bus; ++w) {
+      obscs_[b][w]->set_sink(sink, static_cast<std::int64_t>(w),
+                             static_cast<std::int64_t>(b));
+    }
+  }
+}
+
 bool MultiBusSoc::boundary_selected() const {
   const std::string& inst = tap_->current_instruction();
   return inst == SiSocDevice::kExtest || inst == SiSocDevice::kSample ||
@@ -156,6 +167,16 @@ void MultiBusSoc::apply_buses(bool observe) {
     if (next[b] == pins_[b]) continue;
     const BitVec prev = pins_[b];
     pins_[b] = next[b];
+    ++bus_transitions_;
+    if (sink_) {
+      obs::Event e;
+      e.kind = obs::EventKind::BusTransition;
+      e.tck = tap_->tck_count();
+      e.name = "bus";
+      e.a = static_cast<std::int64_t>(b);
+      e.value = bus_transitions_;
+      sink_->on_event(e);
+    }
     for (std::size_t w = 0; w < n; ++w) {
       const si::Waveform wf = buses_[b]->wire_response(w, prev, next[b]);
       if (observe) {
@@ -185,9 +206,18 @@ TestPlan MultiBusSession::plan(ObservationMethod method) const {
                                cfg.m_extra_cells, cfg.ir_width, method);
 }
 
+void MultiBusSession::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  master_.set_sink(sink);
+  soc_->set_sink(sink);
+}
+
 MultiBusReport MultiBusSession::run(ObservationMethod method) {
   MultiBusTarget target(*soc_);
   TestPlanEngine engine(master_, target);
+  engine.set_sink(sink_);
+  obs::emit_span(sink_, obs::EventKind::SessionBegin, "multibus",
+                 master_.tck());
   EngineResult res = engine.execute(plan(method));
 
   MultiBusReport r;
@@ -195,6 +225,8 @@ MultiBusReport MultiBusSession::run(ObservationMethod method) {
   r.total_tcks = res.total_tcks;
   r.generation_tcks = res.generation_tcks;
   r.observation_tcks = res.observation_tcks;
+  obs::emit_span(sink_, obs::EventKind::SessionEnd, "multibus", master_.tck(),
+                 res.total_tcks);
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "core/report.hpp"
 #include "jtag/device.hpp"
 #include "jtag/master.hpp"
+#include "obs/events.hpp"
 #include "si/bus.hpp"
 #include "si/detectors.hpp"
 
@@ -66,6 +67,14 @@ class MultiBusSoc {
   util::BitVec nd_flags(std::size_t b) const;
   util::BitVec sd_flags(std::size_t b) const;
 
+  /// Total per-bus transitions simulated across all buses.
+  std::uint64_t bus_transitions() const { return bus_transitions_; }
+
+  /// Attach an observability sink to every bus (CacheLookup), every OBSC
+  /// (DetectorFired with wire/bus ids) and the SoC itself (BusTransition,
+  /// a = bus index). nullptr detaches everything.
+  void set_sink(obs::Sink* sink);
+
  private:
   void decode_instruction(const std::string& name);
   void on_update_dr();
@@ -81,6 +90,8 @@ class MultiBusSoc {
   jtag::CellCtl ctl_{};
   std::vector<util::BitVec> pins_;  // per bus
   bool pins_valid_ = false;
+  std::uint64_t bus_transitions_ = 0;
+  obs::Sink* sink_ = nullptr;
 };
 
 /// Per-bus outcome of a parallel multi-bus session.
@@ -111,9 +122,13 @@ class MultiBusSession {
 
   jtag::TapMaster& master() { return master_; }
 
+  /// Attach an observability sink (session name "multibus").
+  void set_sink(obs::Sink* sink);
+
  private:
   MultiBusSoc* soc_;
   jtag::TapMaster master_;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::core

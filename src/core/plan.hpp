@@ -25,6 +25,10 @@ enum class TapOpKind {
              ///< (+ optional G-SITEST reload to resume generation)
 };
 
+/// Stable op-kind label used by trace and metrics records ("Reset",
+/// "LoadIr", ...). Static-lifetime, never nullptr.
+const char* tap_op_kind_name(TapOpKind k);
+
 struct TapOp {
   /// Sentinel victim index meaning "no victim selected" for a bus of any
   /// width (sessions use `victim == n` in recorded patterns; `kNoVictim`

@@ -36,24 +36,34 @@ TestPlan SiTestSession::plan_parallel(ObservationMethod method,
                                method, guard);
 }
 
-IntegrityReport SiTestSession::execute(const TestPlan& p) {
+void SiTestSession::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  master_.set_sink(sink);
+  soc_->set_sink(sink);
+}
+
+IntegrityReport SiTestSession::execute(const TestPlan& p, const char* kind) {
   SingleBusTarget target(*soc_);
   TestPlanEngine engine(master_, target);
+  engine.set_sink(sink_);
+  obs::emit_span(sink_, obs::EventKind::SessionBegin, kind, master_.tck());
   EngineResult res = engine.execute(p);
   IntegrityReport r = std::move(res.reports.front());
   r.total_tcks = res.total_tcks;
   r.generation_tcks = res.generation_tcks;
   r.observation_tcks = res.observation_tcks;
+  obs::emit_span(sink_, obs::EventKind::SessionEnd, kind, master_.tck(),
+                 res.total_tcks);
   return r;
 }
 
 IntegrityReport SiTestSession::run(ObservationMethod method) {
-  return execute(plan(method));
+  return execute(plan(method), "enhanced");
 }
 
 IntegrityReport SiTestSession::run_parallel(ObservationMethod method,
                                             std::size_t guard) {
-  return execute(plan_parallel(method, guard));
+  return execute(plan_parallel(method, guard), "parallel");
 }
 
 // ---------------------------------------------------------------------------
@@ -74,14 +84,25 @@ TestPlan ConventionalSession::plan(ObservationMethod method) const {
                                    cfg.ir_width, method);
 }
 
+void ConventionalSession::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  master_.set_sink(sink);
+  soc_->set_sink(sink);
+}
+
 IntegrityReport ConventionalSession::run(ObservationMethod method) {
   SingleBusTarget target(*soc_);
   TestPlanEngine engine(master_, target);
+  engine.set_sink(sink_);
+  obs::emit_span(sink_, obs::EventKind::SessionBegin, "conventional",
+                 master_.tck());
   EngineResult res = engine.execute(plan(method));
   IntegrityReport r = std::move(res.reports.front());
   r.total_tcks = res.total_tcks;
   r.generation_tcks = res.generation_tcks;
   r.observation_tcks = res.observation_tcks;
+  obs::emit_span(sink_, obs::EventKind::SessionEnd, "conventional",
+                 master_.tck(), res.total_tcks);
   return r;
 }
 

@@ -63,11 +63,18 @@ class SiTestSession {
   /// The TCK-counting master (exposed for tests).
   jtag::TapMaster& master() { return master_; }
 
+  /// Attach an observability sink to the whole session: the TAP master
+  /// (StateEdge per TCK), the SoC model (bus/detector records), the
+  /// engine (plan/op spans), and the session itself (SessionBegin/End,
+  /// name "enhanced" or "parallel"). nullptr detaches everything.
+  void set_sink(obs::Sink* sink);
+
  private:
-  IntegrityReport execute(const TestPlan& p);
+  IntegrityReport execute(const TestPlan& p, const char* kind);
 
   SiSocDevice* soc_;
   jtag::TapMaster master_;
+  obs::Sink* sink_ = nullptr;
 };
 
 /// The conventional-BSA baseline (paper §3.1 / Table 5): every one of the
@@ -86,9 +93,13 @@ class ConventionalSession {
 
   jtag::TapMaster& master() { return master_; }
 
+  /// Attach an observability sink (session name "conventional").
+  void set_sink(obs::Sink* sink);
+
  private:
   SiSocDevice* soc_;
   jtag::TapMaster master_;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::core

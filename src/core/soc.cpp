@@ -79,6 +79,14 @@ std::size_t SiSocDevice::chain_length() const {
   return 2 * cfg_.n_wires + cfg_.m_extra_cells;
 }
 
+void SiSocDevice::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  bus_.set_sink(sink);
+  for (std::size_t i = 0; i < obscs_.size(); ++i) {
+    obscs_[i]->set_sink(sink, static_cast<std::int64_t>(i));
+  }
+}
+
 bsc::Pgbsc& SiSocDevice::pgbsc(std::size_t i) {
   if (!cfg_.enhanced) throw std::logic_error("conventional SoC has no PGBSC");
   return *pgbscs_.at(i);
@@ -183,6 +191,15 @@ void SiSocDevice::apply_bus(bool observe) {
   const BitVec prev = pins_;
   pins_ = next;
   ++bus_transitions_;
+  if (sink_) {
+    obs::Event e;
+    e.kind = obs::EventKind::BusTransition;
+    e.tck = tap_->tck_count();
+    e.name = "bus";
+    e.a = 0;
+    e.value = bus_transitions_;
+    sink_->on_event(e);
+  }
   for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
     const si::Waveform w = bus_.wire_response(i, prev, next);
     if (observe) {

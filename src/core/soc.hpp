@@ -9,6 +9,7 @@
 #include "bsc/pgbsc.hpp"
 #include "bsc/standard.hpp"
 #include "jtag/device.hpp"
+#include "obs/events.hpp"
 #include "si/bus.hpp"
 #include "si/detectors.hpp"
 #include "util/bitvec.hpp"
@@ -114,6 +115,12 @@ class SiSocDevice {
   /// True while HIGHZ floats the bus drivers (receivers read Z).
   bool bus_released() const { return highz_; }
 
+  /// Attach an observability sink to the whole device model: the bus
+  /// (CacheLookup), every OBSC (DetectorFired, a=wire) and the SoC itself
+  /// (BusTransition per simulated transition, stamped with the device's
+  /// TCK count). nullptr detaches everything.
+  void set_sink(obs::Sink* sink);
+
  private:
   void decode_instruction(const std::string& name);
   void on_update_dr();
@@ -133,6 +140,7 @@ class SiSocDevice {
   bool pins_valid_ = false;
   bool highz_ = false;
   std::uint64_t bus_transitions_ = 0;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::core

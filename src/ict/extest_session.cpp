@@ -111,12 +111,21 @@ core::TestPlan ExtestInterconnectSession::plan(Algorithm algorithm) const {
   return p;
 }
 
+void ExtestInterconnectSession::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  master_.set_sink(sink);
+}
+
 ExtestResult ExtestInterconnectSession::run(Algorithm algorithm) {
   const std::size_t n = board_->size();
   const core::TestPlan p = plan(algorithm);
 
   core::TestPlanEngine engine(master_);
+  engine.set_sink(sink_);
+  obs::emit_span(sink_, obs::EventKind::SessionBegin, "extest", master_.tck());
   const core::EngineResult res = engine.execute(p);
+  obs::emit_span(sink_, obs::EventKind::SessionEnd, "extest", master_.tck(),
+                 res.total_tcks);
 
   // Capture c applied pattern c and read out the response to pattern c-1;
   // capture 0 (the priming scan) read undefined pre-test state.

@@ -10,6 +10,7 @@
 #include "ict/diagnosis.hpp"
 #include "jtag/chain.hpp"
 #include "jtag/master.hpp"
+#include "obs/events.hpp"
 
 namespace jsi::ict {
 
@@ -61,6 +62,10 @@ class ExtestInterconnectSession {
   jtag::TapDevice& driver_chip() { return *driver_; }
   jtag::TapDevice& receiver_chip() { return *receiver_; }
 
+  /// Attach an observability sink to the chain master and the session
+  /// (session name "extest"). nullptr detaches.
+  void set_sink(obs::Sink* sink);
+
  private:
   struct Chip;
 
@@ -71,6 +76,7 @@ class ExtestInterconnectSession {
   std::unique_ptr<Chip> receiver_impl_;
   jtag::Chain chain_;
   jtag::TapMaster master_;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::ict

@@ -3,10 +3,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "jtag/tap_trace.hpp"
+
 namespace jsi::jtag {
 
 util::Logic TapMaster::clock(bool tms, bool tdi) {
   ++tck_;
+  if (sink_) sink_->on_event(tap_edge_event(state_, tms, tdi, tck_));
   const util::Logic tdo = port_->tick(tms, tdi);
   state_ = next_state(state_, tms);
   return tdo;

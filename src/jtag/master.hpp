@@ -5,6 +5,7 @@
 
 #include "jtag/device.hpp"
 #include "jtag/tap_state.hpp"
+#include "obs/events.hpp"
 #include "util/bitvec.hpp"
 
 namespace jsi::jtag {
@@ -69,6 +70,12 @@ class TapMaster {
   /// Mirrored controller state (all devices move in lockstep on TMS).
   TapState state() const { return state_; }
 
+  /// Attach an observability sink; every TCK edge is reported as a
+  /// StateEdge event (acting state, TMS, TDI) *before* the port ticks,
+  /// so events raised inside the device inherit this edge's TCK stamp.
+  /// nullptr (the default) disables emission — one branch per edge.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
+
  private:
   util::Logic clock(bool tms, bool tdi = false);
   void require_idle(const char* op) const;
@@ -76,6 +83,7 @@ class TapMaster {
   TapPort* port_;
   TapState state_ = TapState::TestLogicReset;
   std::uint64_t tck_ = 0;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::jtag

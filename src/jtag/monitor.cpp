@@ -1,5 +1,7 @@
 #include "jtag/monitor.hpp"
 
+#include "jtag/tap_trace.hpp"
+
 namespace jsi::jtag {
 
 using util::Logic;
@@ -15,19 +17,21 @@ util::Logic ProtocolMonitor::tick(bool tms, bool tdi) {
   const TapState acting = state_;  // state whose action this edge performs
   ++visits_[static_cast<int>(acting)];
   ++tck_;
+  if (sink_) sink_->on_event(tap_edge_event(acting, tms, tdi, tck_));
 
   const Logic tdo = inner_->tick(tms, tdi);
 
-  // Rule: TDO drive windows.
-  const bool shifting = is_shift_state(acting);
+  // Rule: TDO drive windows. The phase classification is the shared
+  // obs one, so monitor statistics and trace phases can never disagree.
+  const obs::TckPhase phase = tck_phase(acting);
+  const bool shifting = phase == obs::TckPhase::Shift;
   if (shifting && !util::is_known(tdo)) {
-    violations_.push_back(std::to_string(tck_) +
-                          ": TDO not driven during " +
-                          std::string(tap_state_name(acting)));
+    record_violation(std::to_string(tck_) + ": TDO not driven during " +
+                     std::string(tap_state_name(acting)));
   }
   if (!shifting && tdo != Logic::Z) {
-    violations_.push_back(std::to_string(tck_) + ": TDO driven in " +
-                          std::string(tap_state_name(acting)));
+    record_violation(std::to_string(tck_) + ": TDO driven in " +
+                     std::string(tap_state_name(acting)));
   }
 
   // Shift-burst accounting.
@@ -41,11 +45,28 @@ util::Logic ProtocolMonitor::tick(bool tms, bool tdi) {
     flush_burst();
   }
 
-  if (acting == TapState::UpdateDr) ++dr_updates_;
-  if (acting == TapState::UpdateIr) ++ir_updates_;
+  if (phase == obs::TckPhase::Update) {
+    if (acting == TapState::UpdateDr) {
+      ++dr_updates_;
+    } else {
+      ++ir_updates_;
+    }
+  }
 
   state_ = next_state(state_, tms);
   return tdo;
+}
+
+void ProtocolMonitor::record_violation(std::string message) {
+  violations_.push_back(std::move(message));
+  if (sink_) {
+    obs::Event e;
+    e.kind = obs::EventKind::ProtocolViolation;
+    e.tck = tck_;
+    e.name = "jtag.violation";
+    e.a = static_cast<std::int64_t>(violations_.size()) - 1;
+    sink_->on_event(e);
+  }
 }
 
 void ProtocolMonitor::async_reset() {

@@ -8,6 +8,7 @@
 
 #include "jtag/device.hpp"
 #include "jtag/tap_state.hpp"
+#include "obs/events.hpp"
 
 namespace jsi::jtag {
 
@@ -24,9 +25,19 @@ namespace jsi::jtag {
 ///
 /// Violations are recorded, not thrown, so a session runs to completion
 /// and the test inspects the full list.
+///
+/// The monitor speaks the same event model as TapMaster: attach an
+/// obs::Sink and every edge comes out as the identical StateEdge record
+/// (plus ProtocolViolation events), so there is exactly one TAP-edge
+/// log format no matter which side of the port you tap.
 class ProtocolMonitor : public TapPort {
  public:
   explicit ProtocolMonitor(TapPort& inner) : inner_(&inner) {}
+
+  /// Attach an observability sink (nullptr disables, the default).
+  /// Only use one of master-side or monitor-side edge tracing per
+  /// hub, or edges will be double-counted.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
 
   util::Logic tick(bool tms, bool tdi) override;
   void async_reset() override;
@@ -59,6 +70,7 @@ class ProtocolMonitor : public TapPort {
 
  private:
   void flush_burst();
+  void record_violation(std::string message);
 
   TapPort* inner_;
   TapState state_ = TapState::TestLogicReset;
@@ -72,6 +84,7 @@ class ProtocolMonitor : public TapPort {
   bool in_burst_ = false;
   std::uint64_t dr_updates_ = 0;
   std::uint64_t ir_updates_ = 0;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::jtag

@@ -1,0 +1,95 @@
+#ifndef JSI_OBS_EVENTS_HPP
+#define JSI_OBS_EVENTS_HPP
+
+#include <cstdint>
+
+namespace jsi::obs {
+
+/// The event taxonomy every instrumented layer speaks — one record type
+/// shared by the TAP driver, the protocol monitor, the test-plan engine,
+/// the SoC models, the coupled bus, the detectors, and the event kernel.
+/// A structured trace is just the ordered stream of these records; the
+/// metrics registry is a fold over the same stream.
+enum class EventKind : std::uint8_t {
+  SessionBegin,       ///< a test session starts (name = session kind)
+  SessionEnd,         ///< value = TCKs the session consumed
+  PlanBegin,          ///< engine starts a TestPlan (a = ops, b = buses)
+  PlanEnd,            ///< engine totals: value = total, a = gen, b = obs TCKs
+  TapOpBegin,         ///< one TapOp starts (name = kind, a = op index,
+                      ///< b = 1 when the op is an observation read-out)
+  TapOpEnd,           ///< value = TCKs the op consumed
+  StateEdge,          ///< one TCK edge (name = acting TAP state, phase set,
+                      ///< a = TMS, b = TDI)
+  BusTransition,      ///< a driven bus vector changed (a = bus index,
+                      ///< value = cumulative transition count)
+  CacheLookup,        ///< bus waveform cache probe (a = 1 hit / 0 miss)
+  DetectorFired,      ///< sticky sensor flag newly latched (name = "ND"/"SD",
+                      ///< a = wire, b = bus or -1)
+  SchedulerRun,       ///< event-kernel drain finished (value = events run)
+  ProtocolViolation,  ///< 1149.1 monitor rule broken (a = violation index)
+  Mark,               ///< free-form user annotation
+};
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::Mark) + 1;
+
+const char* event_kind_name(EventKind k);
+
+/// Micro-phase of one TCK edge, classified from the acting controller
+/// state. `Other` covers navigation states (Select/Exit/Idle/Reset).
+enum class TckPhase : std::uint8_t { Shift, Capture, Update, Pause, Other };
+inline constexpr int kTckPhaseCount = static_cast<int>(TckPhase::Other) + 1;
+
+const char* tck_phase_name(TckPhase p);
+
+/// One trace record. Producers fill what they know and leave the rest at
+/// the defaults; a Hub stamps missing clocks from the last TCK-bearing
+/// event so detector/cache events landing mid-scan inherit the edge that
+/// caused them. `name` must point at static-lifetime storage (state
+/// names, op-kind names, "ND"/"SD") — records are copied into ring
+/// buffers and may outlive any plan or session object.
+struct Event {
+  static constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+
+  EventKind kind = EventKind::Mark;
+  TckPhase phase = TckPhase::Other;  ///< StateEdge only
+  std::uint64_t tck = kNoStamp;      ///< producer's TCK counter
+  std::uint64_t time_ps = kNoStamp;  ///< VCD cross-link (tck * TCK period)
+  const char* name = "";             ///< static-lifetime label
+  std::int64_t a = -1;               ///< small payload (see EventKind docs)
+  std::int64_t b = -1;
+  std::uint64_t value = 0;           ///< counts / TCK totals
+};
+
+/// Consumer of the event stream. Instrumented components hold a plain
+/// `Sink*` that defaults to nullptr, so the disabled path is one
+/// predicted-not-taken branch per would-be event — no virtual call, no
+/// record construction (the "<2% when disabled" guarantee, pinned by
+/// `bench/obs_overhead_guard`).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// Accepts and discards everything: the attached-but-inert baseline the
+/// overhead guard compares the detached path against.
+class NullSink final : public Sink {
+ public:
+  void on_event(const Event&) override {}
+};
+
+/// Convenience emitter for span-style records (SessionBegin/End and
+/// friends); no-op when `sink` is nullptr.
+inline void emit_span(Sink* sink, EventKind kind, const char* name,
+                      std::uint64_t tck, std::uint64_t value = 0) {
+  if (!sink) return;
+  Event e;
+  e.kind = kind;
+  e.tck = tck;
+  e.name = name;
+  e.value = value;
+  sink->on_event(e);
+}
+
+}  // namespace jsi::obs
+
+#endif  // JSI_OBS_EVENTS_HPP

@@ -1,0 +1,41 @@
+#ifndef JSI_OBS_JSON_HPP
+#define JSI_OBS_JSON_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jsi::obs::json {
+
+/// Minimal JSON document model — just enough to validate what the
+/// tracer/registry emit (tests and the bench smoke target re-parse every
+/// exported file; no third-party JSON dependency is available in-tree).
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// First member named `key` (objects only), nullptr when absent.
+  const Value* find(const std::string& key) const;
+};
+
+/// Strict recursive-descent parse of a complete JSON text. On failure
+/// returns nullopt and, when `error` is given, a position-annotated
+/// message.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace jsi::obs::json
+
+#endif  // JSI_OBS_JSON_HPP

@@ -1,0 +1,98 @@
+#include "obs/metrics_sink.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace jsi::obs {
+
+MetricsSink::MetricsSink(Registry& reg) : reg_(&reg) {
+  tck_total_ = &reg.counter("tck.total");
+  for (int p = 0; p < kTckPhaseCount; ++p) {
+    tck_state_[p] = &reg.counter(
+        std::string("tck.state.") + tck_phase_name(static_cast<TckPhase>(p)));
+  }
+  tck_generation_ = &reg.counter("tck.phase.generation");
+  tck_observation_ = &reg.counter("tck.phase.observation");
+  op_tcks_ = &reg.histogram("op.tcks");
+}
+
+void MetricsSink::on_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::StateEdge: {
+      tck_total_->inc();
+      tck_state_[static_cast<int>(e.phase)]->inc();
+      ++plan_edges_;
+      if (in_observation_) {
+        tck_observation_->inc();
+        ++plan_observation_;
+      } else {
+        tck_generation_->inc();
+        ++plan_generation_;
+      }
+      break;
+    }
+    case EventKind::TapOpBegin:
+      reg_->counter(std::string("op.") + e.name).inc();
+      if (e.b == 1) in_observation_ = true;
+      break;
+    case EventKind::TapOpEnd:
+      op_tcks_->observe(static_cast<double>(e.value));
+      in_observation_ = false;
+      break;
+    case EventKind::PlanBegin:
+      reg_->counter("plan.count").inc();
+      plan_edges_ = 0;
+      plan_generation_ = 0;
+      plan_observation_ = 0;
+      in_observation_ = false;
+      break;
+    case EventKind::PlanEnd: {
+      // Engine-measured totals ride in the event; compare only when this
+      // sink actually saw the plan's edges (a session may attach the
+      // engine but not the TAP master).
+      if (plan_edges_ > 0 &&
+          (plan_edges_ != e.value ||
+           plan_generation_ != static_cast<std::uint64_t>(e.a) ||
+           plan_observation_ != static_cast<std::uint64_t>(e.b))) {
+        ++errors_;
+        reg_->counter("obs.consistency_errors").inc();
+        if (strict_) {
+          throw std::logic_error(
+              "obs: TCK accounting mismatch: engine total/gen/obs = " +
+              std::to_string(e.value) + "/" + std::to_string(e.a) + "/" +
+              std::to_string(e.b) + ", metrics = " +
+              std::to_string(plan_edges_) + "/" +
+              std::to_string(plan_generation_) + "/" +
+              std::to_string(plan_observation_));
+        }
+      }
+      break;
+    }
+    case EventKind::SessionBegin:
+      reg_->counter(std::string("session.") + e.name).inc();
+      break;
+    case EventKind::SessionEnd:
+      break;
+    case EventKind::BusTransition:
+      reg_->counter("bus.transitions").inc();
+      break;
+    case EventKind::CacheLookup:
+      reg_->counter(e.a != 0 ? "bus.cache_hits" : "bus.cache_misses").inc();
+      break;
+    case EventKind::DetectorFired:
+      reg_->counter(e.name[0] == 'N' ? "detector.nd_fired"
+                                     : "detector.sd_fired")
+          .inc();
+      break;
+    case EventKind::SchedulerRun:
+      reg_->counter("sim.scheduler_events").inc(e.value);
+      break;
+    case EventKind::ProtocolViolation:
+      reg_->counter("jtag.protocol_violations").inc();
+      break;
+    case EventKind::Mark:
+      break;
+  }
+}
+
+}  // namespace jsi::obs

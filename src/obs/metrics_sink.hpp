@@ -1,0 +1,71 @@
+#ifndef JSI_OBS_METRICS_SINK_HPP
+#define JSI_OBS_METRICS_SINK_HPP
+
+#include <cstdint>
+
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
+
+namespace jsi::obs {
+
+/// Folds the event stream into a Registry:
+///
+///   tck.total                       every StateEdge
+///   tck.state.{shift,capture,update,pause,other}
+///   tck.phase.{generation,observation}   split by the engine's op spans
+///                                        (edges inside a Readout op are
+///                                        observation, everything else
+///                                        generation — the same rule the
+///                                        engine and dry_run_cost use)
+///   op.{Reset,LoadIr,ScanIr,ScanDr,UpdateDr,Readout}   TapOp counts
+///   op.tcks                         per-TapOp latency histogram
+///   plan.count / session.<kind>     executions
+///   bus.transitions, bus.cache_hits, bus.cache_misses
+///   detector.nd_fired, detector.sd_fired
+///   sim.scheduler_events, jtag.protocol_violations
+///   obs.consistency_errors          cross-check failures (see below)
+///
+/// Cross-check: every PlanEnd event carries the engine's own measured
+/// totals (value = total, a = generation, b = observation TCKs). When
+/// this sink also saw the TAP edges of that plan, the two accountings
+/// must agree; a mismatch bumps `obs.consistency_errors` and — in strict
+/// mode — throws, so tests pin dry-run == engine == metrics.
+///
+/// Hot-path metric handles are resolved once at construction, so a
+/// StateEdge costs a few increments, not a map lookup.
+class MetricsSink final : public Sink {
+ public:
+  explicit MetricsSink(Registry& reg);
+
+  Registry& registry() { return *reg_; }
+
+  /// Throw std::logic_error when engine and edge-count accountings of a
+  /// plan disagree (instead of only counting the mismatch).
+  void set_strict(bool on) { strict_ = on; }
+  bool strict() const { return strict_; }
+
+  std::uint64_t consistency_errors() const { return errors_; }
+
+  void on_event(const Event& e) override;
+
+ private:
+  Registry* reg_;
+  // Pre-resolved hot-path handles (stable: Registry is node-based).
+  Counter* tck_total_;
+  Counter* tck_state_[kTckPhaseCount];
+  Counter* tck_generation_;
+  Counter* tck_observation_;
+  Histogram* op_tcks_;
+
+  bool strict_ = false;
+  bool in_observation_ = false;  // inside a Readout op span
+  std::uint64_t errors_ = 0;
+  // Edge counts since the last PlanBegin, for the PlanEnd cross-check.
+  std::uint64_t plan_edges_ = 0;
+  std::uint64_t plan_generation_ = 0;
+  std::uint64_t plan_observation_ = 0;
+};
+
+}  // namespace jsi::obs
+
+#endif  // JSI_OBS_METRICS_SINK_HPP

@@ -1,0 +1,189 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsi::obs {
+
+namespace {
+
+/// JSON-safe number rendering: integral values print without a fraction
+/// so counters round-trip exactly; everything else gets enough digits.
+void write_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    os << ss.str();
+  }
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::vector<double> Histogram::default_bounds() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 20000};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be sorted");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Registry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void Registry::write_text(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << ' ' << g.value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << "_count " << h.count() << '\n';
+    os << name << "_sum ";
+    write_number(os, h.sum());
+    os << '\n';
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':';
+    write_number(os, g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ',';
+      write_number(os, h.bounds()[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      if (i) os << ',';
+      os << h.counts()[i];
+    }
+    os << "],\"count\":" << h.count() << ",\"sum\":";
+    write_number(os, h.sum());
+    os << '}';
+  }
+  os << "}}";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+Registry& global_registry() {
+  static Registry reg;
+  return reg;
+}
+
+std::string jsi_metrics_dump(const std::string& name,
+                             const std::string& path) {
+  std::string target = path;
+  if (target.empty()) {
+    std::string dir;
+    if (const char* env = std::getenv("JSI_METRICS_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    target = dir + "BENCH_" + name + ".json";
+  }
+  std::ofstream os(target);
+  if (!os) return "";
+  os << "{\"benchmark\":";
+  std::ostringstream quoted;
+  quoted << '"' << name << '"';
+  os << quoted.str() << ",\"metrics\":" << global_registry().to_json() << "}\n";
+  return os ? target : "";
+}
+
+}  // namespace jsi::obs

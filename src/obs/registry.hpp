@@ -1,0 +1,116 @@
+#ifndef JSI_OBS_REGISTRY_HPP
+#define JSI_OBS_REGISTRY_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jsi::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_ += by; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written scalar (hit rates, configured sizes).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Cumulative histogram over fixed upper-bound buckets (Prometheus
+/// style): `counts()[i]` holds observations <= `bounds()[i]`, with one
+/// implicit overflow bucket at the end.
+class Histogram {
+ public:
+  /// Default bounds suit per-TapOp TCK latencies (1 TCK .. full scans).
+  static std::vector<double> default_bounds();
+
+  Histogram() : Histogram(default_bounds()) {}
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;          // sorted ascending
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named metric store. Lookup creates on first use; references stay
+/// stable for the registry's lifetime (std::map nodes), so hot-path
+/// consumers resolve a metric once and increment through the pointer.
+/// Iteration order is the name order, which makes every text/JSON dump
+/// deterministic.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Value of `name` if the counter exists, 0 otherwise (test helper).
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zero every metric, keeping the registered names.
+  void reset();
+
+  /// `name value` per line, counters then gauges then histogram summaries.
+  void write_text(std::ostream& os) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-wide registry for benches and examples (library code takes an
+/// explicit Registry; only standalone binaries use the global).
+Registry& global_registry();
+
+/// Dump the global registry as `BENCH_<name>.json` — the bench metrics
+/// hook. The file lands in `$JSI_METRICS_DIR` when that is set, else the
+/// current directory; an explicit `path` overrides both. Returns the
+/// path written, or "" on I/O failure (benches must not die on a
+/// read-only working directory).
+std::string jsi_metrics_dump(const std::string& name,
+                             const std::string& path = "");
+
+}  // namespace jsi::obs
+
+#endif  // JSI_OBS_REGISTRY_HPP

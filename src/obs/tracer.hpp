@@ -1,0 +1,70 @@
+#ifndef JSI_OBS_TRACER_HPP
+#define JSI_OBS_TRACER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace jsi::obs {
+
+/// What the tracer keeps and how it stamps time.
+struct TracerConfig {
+  std::size_t capacity = 1 << 16;  ///< ring entries; oldest dropped when full
+  bool tap_edges = true;      ///< keep per-TCK StateEdge records
+  bool cache_lookups = false;  ///< keep per-probe CacheLookup records (noisy)
+  /// TCK period used to stamp `time_ps` on records that lack one — the
+  /// cross-link into VCD dumps written on the same timebase (default
+  /// 10 ns = a 100 MHz test clock).
+  std::uint64_t tck_period_ps = 10'000;
+};
+
+/// Structured trace recorder: a bounded ring of typed Events, exportable
+/// as JSONL (one record per line, greppable) and as Chrome trace_event
+/// JSON loadable in Perfetto / chrome://tracing. Span pairs
+/// (Session/Plan/TapOp Begin+End) become duration slices; detector
+/// firings and bus transitions become instant markers carrying their VCD
+/// timestamp in `args`.
+class Tracer final : public Sink {
+ public:
+  Tracer() : Tracer(TracerConfig{}) {}
+  explicit Tracer(TracerConfig cfg);
+
+  const TracerConfig& config() const { return cfg_; }
+
+  void on_event(const Event& e) override;
+
+  /// Retained records, oldest first.
+  std::vector<Event> events() const;
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t last_tck() const { return last_tck_; }
+
+  void clear();
+
+  /// One JSON object per line:
+  ///   {"kind":"TapOpBegin","tck":12,"t_ps":120000,"name":"ScanDr",...}
+  void write_jsonl(std::ostream& os) const;
+
+  /// Chrome trace_event format ({"traceEvents":[...]}); `ts` is in
+  /// microseconds of TCK time (tck * period). StateEdge records are
+  /// summarized away (they would swamp the viewer); everything else maps
+  /// to B/E duration slices or instant events.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  void push(const Event& e);
+
+  TracerConfig cfg_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // oldest slot once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t last_tck_ = 0;
+};
+
+}  // namespace jsi::obs
+
+#endif  // JSI_OBS_TRACER_HPP

@@ -187,7 +187,16 @@ Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
   }
   const std::uint64_t key = cache_key(i, prev, next);
   const auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  const bool hit = it != cache_.end();
+  if (sink_) {
+    obs::Event e;
+    e.kind = obs::EventKind::CacheLookup;
+    e.name = "si.cache";
+    e.a = hit ? 1 : 0;
+    e.b = static_cast<std::int64_t>(i);
+    sink_->on_event(e);
+  }
+  if (hit) {
     ++cache_hits_;
     return it->second;
   }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "si/waveform.hpp"
 #include "sim/time.hpp"
 #include "util/bitvec.hpp"
@@ -147,6 +148,11 @@ class CoupledBus {
   /// Drop all cached waveforms (counters are kept).
   void clear_cache() const;
 
+  /// Attach an observability sink; every memoized lookup reports a
+  /// CacheLookup record (a=1 hit, a=0 miss). nullptr (default) disables
+  /// emission; the uncached solver path never emits.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
+
   /// Cap on resident entries; the cache is flushed wholesale when full
   /// (one entry is up to `samples` doubles, so the cap bounds memory at
   /// ~16 MB with the 2048-sample default).
@@ -181,6 +187,7 @@ class CoupledBus {
   mutable std::uint64_t cache_gen_ = 0;  // generation cache_ belongs to
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;
+  obs::Sink* sink_ = nullptr;
 };
 
 }  // namespace jsi::si

@@ -21,6 +21,7 @@ std::size_t Scheduler::run_until(Time horizon) {
     ++executed_;
   }
   if (now_ < horizon) now_ = horizon;
+  report_run(n);
   return n;
 }
 
@@ -34,7 +35,17 @@ std::size_t Scheduler::run_all() {
     ++n;
     ++executed_;
   }
+  report_run(n);
   return n;
+}
+
+void Scheduler::report_run(std::size_t n) {
+  if (!sink_ || n == 0) return;
+  obs::Event e;
+  e.kind = obs::EventKind::SchedulerRun;
+  e.name = "sim.run";
+  e.value = n;
+  sink_->on_event(e);
 }
 
 void Scheduler::reset() {

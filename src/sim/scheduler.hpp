@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "sim/time.hpp"
 
 namespace jsi::sim {
@@ -47,7 +48,14 @@ class Scheduler {
   /// Drop every pending event and reset time to 0.
   void reset();
 
+  /// Attach an observability sink; each run_until/run_all call that
+  /// executes at least one event reports a SchedulerRun record carrying
+  /// the batch size. nullptr (default) disables emission.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
+
  private:
+  void report_run(std::size_t n);
+
   struct Entry {
     Time at;
     std::uint64_t seq;
@@ -63,6 +71,7 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
+  obs::Sink* sink_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -1,0 +1,63 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jsi::obs::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse("null")->type, Value::Type::Null);
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(parse("\"hi\"")->str, "hi");
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto doc = parse(
+      R"({"a":[1,2,{"b":"x"}],"c":{"d":null},"e":-7})");
+  ASSERT_TRUE(doc.has_value());
+  const Value* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  EXPECT_EQ(a->array[2].find("b")->str, "x");
+  EXPECT_EQ(doc->find("c")->find("d")->type, Value::Type::Null);
+  EXPECT_DOUBLE_EQ(doc->find("e")->number, -7.0);
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  const auto doc = parse(R"({"z":1,"a":2})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->object.size(), 2u);
+  EXPECT_EQ(doc->object[0].first, "z");
+  EXPECT_EQ(doc->object[1].first, "a");
+}
+
+TEST(Json, DecodesEscapes) {
+  const auto doc = parse(R"("line\n\"quoted\"\t\\")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str, "line\n\"quoted\"\t\\");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1,]", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse("tru", &err).has_value());
+  EXPECT_FALSE(parse("1 2", &err).has_value());  // trailing characters
+  EXPECT_FALSE(parse("\"bad \\q escape\"", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  const auto doc = parse("[1,2]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace jsi::obs::json
