@@ -1,0 +1,155 @@
+// Campaign sharding scaling bench + correctness guard.
+//
+// Runs a fixed multibus campaign workload at 1/2/4/8 shards and reports
+// wall-clock speedup into BENCH_campaign.json. Two classes of check:
+//
+//  * Correctness (always enforced, exit 1): the merged report and merged
+//    metrics registry of every N-shard run must be byte-identical to the
+//    1-shard run's — the campaign runner's core guarantee.
+//  * Performance (enforced only where it is physically possible): >= 2.5x
+//    speedup at 4 shards, checked only when the box actually has >= 4
+//    hardware threads, with retries to ride out CI load spikes. The
+//    measured speedups are always printed and dumped either way.
+//
+// Knobs: JSI_CAMPAIGN_UNITS (default 12), JSI_CAMPAIGN_ATTEMPTS (default 3).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "obs/registry.hpp"
+#include "si/bus.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+jsi::core::CampaignRunner make_workload(std::size_t shards,
+                                        std::size_t units,
+                                        const jsi::si::CoupledBus* proto) {
+  jsi::core::CampaignConfig cfg;
+  cfg.shards = shards;
+  cfg.trace.capacity = 64;  // timing, not tracing, is under test
+  jsi::core::CampaignRunner runner(cfg);
+  runner.set_prototype_bus(proto);
+  for (std::size_t i = 0; i < units; ++i) {
+    jsi::core::MultiBusConfig mb;
+    mb.n_buses = 2;
+    mb.wires_per_bus = 8;
+    const std::size_t defect_wire = i % mb.wires_per_bus;
+    runner.add_multibus(
+        "mb" + std::to_string(i), mb,
+        jsi::core::ObservationMethod::PerInitValue,
+        [defect_wire](std::size_t b, jsi::si::CoupledBus& bus) {
+          if (b == 1) bus.inject_crosstalk_defect(defect_wire, 6.0);
+        });
+  }
+  return runner;
+}
+
+struct Timed {
+  double ms = 0.0;
+  std::string text;
+  std::string metrics_json;
+};
+
+Timed run_once(std::size_t shards, std::size_t units,
+               const jsi::si::CoupledBus* proto) {
+  jsi::core::CampaignRunner runner = make_workload(shards, units, proto);
+  const auto t0 = clock_type::now();
+  const jsi::core::CampaignResult r = runner.run();
+  const auto t1 = clock_type::now();
+  Timed out;
+  out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.text = r.to_text();
+  out.metrics_json = r.metrics.to_json();
+  if (r.failures != 0) {
+    std::cerr << "FAIL: campaign units failed:\n" << out.text;
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t units = env_or("JSI_CAMPAIGN_UNITS", 12);
+  const std::size_t attempts = env_or("JSI_CAMPAIGN_ATTEMPTS", 3);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+
+  // Warm prototype: every unit starts from this cache state.
+  jsi::si::BusParams bp;
+  bp.n_wires = 8;
+  jsi::si::CoupledBus proto(bp);
+
+  std::cout << "campaign scaling: " << units << " multibus units, hw="
+            << hw << " threads\n";
+
+  jsi::obs::Registry& reg = jsi::obs::global_registry();
+  double best_speedup4 = 0.0;
+  bool identical = true;
+
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    const Timed base = run_once(1, units, &proto);
+    double t4 = base.ms;
+    for (const std::size_t shards : shard_counts) {
+      if (shards == 1) continue;
+      const Timed t = run_once(shards, units, &proto);
+      // Correctness gate: byte-identical to the 1-shard reference.
+      if (t.text != base.text || t.metrics_json != base.metrics_json) {
+        std::cerr << "FAIL: " << shards
+                  << "-shard result differs from 1-shard reference\n";
+        identical = false;
+      }
+      const double speedup = base.ms / t.ms;
+      if (shards == 4) t4 = t.ms;
+      std::cout << "attempt " << attempt << ": shards " << shards << ": "
+                << t.ms << " ms (1-shard " << base.ms << " ms, speedup "
+                << speedup << "x)\n";
+      const std::string tag = std::to_string(shards);
+      reg.gauge("campaign.ms.shards_" + tag).set(t.ms);
+      reg.gauge("campaign.speedup.shards_" + tag).set(speedup);
+    }
+    reg.gauge("campaign.ms.shards_1").set(base.ms);
+    best_speedup4 = std::max(best_speedup4, base.ms / t4);
+    if (!identical) break;
+    // Performance is satisfied as soon as one attempt clears the bar; a
+    // quiet machine exits on attempt 1.
+    if (hw < 4 || best_speedup4 >= 2.5) break;
+  }
+
+  reg.gauge("campaign.speedup.best_4shard").set(best_speedup4);
+  reg.gauge("campaign.hw_threads").set(static_cast<double>(hw));
+  reg.counter("campaign.units").inc(units);
+  const std::string path = jsi::obs::jsi_metrics_dump("campaign");
+  if (!path.empty()) std::cout << "metrics: " << path << "\n";
+
+  if (!identical) return 1;
+  if (hw >= 4) {
+    if (best_speedup4 < 2.5) {
+      std::cerr << "FAIL: best 4-shard speedup " << best_speedup4
+                << "x < 2.5x on a " << hw << "-thread box\n";
+      return 1;
+    }
+    std::cout << "OK: 4-shard speedup " << best_speedup4 << "x >= 2.5x\n";
+  } else {
+    std::cout << "OK: byte-identical across shard counts (speedup bar "
+                 "skipped: only "
+              << hw << " hardware thread(s))\n";
+  }
+  return 0;
+}

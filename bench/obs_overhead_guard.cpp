@@ -10,11 +10,18 @@
 // Methodology: min-of-K medians. Wall-clock noise is one-sided (the OS
 // only ever steals time), so the minimum over repetitions estimates the
 // true cost; the whole comparison retries a few times before failing to
-// ride out machine-load spikes on CI boxes.
+// ride out machine-load spikes on CI boxes. Each retry doubles the
+// repetition count, so a temporarily noisy box gets progressively more
+// chances for the true minimum to surface before the guard gives up.
+//
+// Knobs for hostile CI environments (never needed on a quiet box):
+//   JSI_OVERHEAD_BUDGET_PCT  overhead budget in percent (default 2)
+//   JSI_OVERHEAD_ATTEMPTS    retry attempts (default 5)
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -39,12 +46,22 @@ std::uint64_t run_session_ns(jsi::obs::Sink* sink) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
 }
 
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
 }  // namespace
 
 int main() {
-  constexpr double kMaxOverhead = 0.02;
-  constexpr int kReps = 7;
-  constexpr int kAttempts = 5;
+  const double kMaxOverhead = env_or("JSI_OVERHEAD_BUDGET_PCT", 2.0) / 100.0;
+  const int kAttempts =
+      static_cast<int>(env_or("JSI_OVERHEAD_ATTEMPTS", 5.0));
+  constexpr int kBaseReps = 7;
 
   jsi::obs::NullSink null_sink;
   // Warm-up: fault in code and allocator pools on both paths.
@@ -53,19 +70,21 @@ int main() {
 
   double best_ratio = 1e9;
   for (int attempt = 1; attempt <= kAttempts; ++attempt) {
-    // Interleave to give both paths the same machine conditions.
+    // Interleave to give both paths the same machine conditions; double
+    // the repetitions each retry so noise has to persist to fail us.
+    const int reps = kBaseReps << std::min(attempt - 1, 4);
     std::uint64_t detached = UINT64_MAX;
     std::uint64_t attached = UINT64_MAX;
-    for (int i = 0; i < kReps; ++i) {
+    for (int i = 0; i < reps; ++i) {
       detached = std::min(detached, run_session_ns(nullptr));
       attached = std::min(attached, run_session_ns(&null_sink));
     }
     const double ratio = static_cast<double>(attached) /
                          static_cast<double>(detached);
     best_ratio = std::min(best_ratio, ratio);
-    std::cout << "attempt " << attempt << ": detached " << detached
-              << " ns, null-sink " << attached << " ns, ratio " << ratio
-              << "\n";
+    std::cout << "attempt " << attempt << " (" << reps
+              << " reps): detached " << detached << " ns, null-sink "
+              << attached << " ns, ratio " << ratio << "\n";
     if (best_ratio <= 1.0 + kMaxOverhead) {
       std::cout << "OK: instrumentation overhead "
                 << (best_ratio - 1.0) * 100.0 << "% <= "
@@ -73,6 +92,7 @@ int main() {
       return 0;
     }
   }
-  std::cout << "FAIL: best ratio " << best_ratio << " exceeds 1.02\n";
+  std::cout << "FAIL: best ratio " << best_ratio << " exceeds "
+            << 1.0 + kMaxOverhead << "\n";
   return 1;
 }

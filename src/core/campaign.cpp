@@ -1,0 +1,264 @@
+#include "core/campaign.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/bist.hpp"
+#include "core/session.hpp"
+
+namespace jsi::core {
+
+namespace {
+
+/// Shared tail of every canned builder: fold a session report into the
+/// outcome fields the merged campaign report is built from.
+UnitOutcome summarize(const IntegrityReport& rep) {
+  UnitOutcome o;
+  o.total_tcks = rep.total_tcks;
+  o.generation_tcks = rep.generation_tcks;
+  o.observation_tcks = rep.observation_tcks;
+  o.violation = rep.any_violation();
+  std::ostringstream os;
+  os << "nd=" << rep.nd_final.to_string() << " sd=" << rep.sd_final.to_string();
+  o.summary = os.str();
+  return o;
+}
+
+}  // namespace
+
+std::string CampaignResult::to_text() const {
+  std::ostringstream os;
+  os << "campaign: " << units.size() << " units, " << violations
+     << " violations, " << failures << " failures\n";
+  os << "tcks: total=" << total_tcks << " generation=" << generation_tcks
+     << " observation=" << observation_tcks << "\n";
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const UnitOutcome& u = units[i];
+    os << "[" << i << "] " << u.name << ": "
+       << (u.failed ? "FAIL" : (u.violation ? "violation" : "clean")) << " "
+       << u.summary << " tcks=" << u.total_tcks
+       << " (gen=" << u.generation_tcks << " obs=" << u.observation_tcks
+       << ")\n";
+  }
+  return os.str();
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
+
+void CampaignRunner::set_prototype_bus(const si::CoupledBus* prototype) {
+  prototype_ = prototype;
+}
+
+void CampaignRunner::set_live_sink(obs::Sink* sink) { live_sink_ = sink; }
+
+void CampaignRunner::add(CampaignUnit unit) {
+  units_.push_back(std::move(unit));
+}
+
+void CampaignRunner::add_enhanced(std::string name, SocConfig cfg,
+                                  ObservationMethod method, BusSetup defects) {
+  CampaignUnit u;
+  u.name = std::move(name);
+  u.run = [cfg = std::move(cfg), method,
+           defects = std::move(defects)](CampaignContext& ctx) {
+    SocConfig c = cfg;
+    c.enhanced = true;
+    si::BusParams bp = c.bus;
+    bp.n_wires = c.n_wires;
+    si::CoupledBus bus = ctx.make_bus(bp);
+    if (defects) defects(bus);
+    SiSocDevice soc(c, bus);
+    SiTestSession session(soc);
+    session.set_sink(&ctx.hub());
+    return summarize(session.run(method));
+  };
+  add(std::move(u));
+}
+
+void CampaignRunner::add_parallel(std::string name, SocConfig cfg,
+                                  ObservationMethod method, std::size_t guard,
+                                  BusSetup defects) {
+  CampaignUnit u;
+  u.name = std::move(name);
+  u.run = [cfg = std::move(cfg), method, guard,
+           defects = std::move(defects)](CampaignContext& ctx) {
+    SocConfig c = cfg;
+    c.enhanced = true;
+    si::BusParams bp = c.bus;
+    bp.n_wires = c.n_wires;
+    si::CoupledBus bus = ctx.make_bus(bp);
+    if (defects) defects(bus);
+    SiSocDevice soc(c, bus);
+    SiTestSession session(soc);
+    session.set_sink(&ctx.hub());
+    return summarize(session.run_parallel(method, guard));
+  };
+  add(std::move(u));
+}
+
+void CampaignRunner::add_conventional(std::string name, SocConfig cfg,
+                                      ObservationMethod method,
+                                      BusSetup defects) {
+  CampaignUnit u;
+  u.name = std::move(name);
+  u.run = [cfg = std::move(cfg), method,
+           defects = std::move(defects)](CampaignContext& ctx) {
+    SocConfig c = cfg;
+    c.enhanced = false;
+    si::BusParams bp = c.bus;
+    bp.n_wires = c.n_wires;
+    si::CoupledBus bus = ctx.make_bus(bp);
+    if (defects) defects(bus);
+    SiSocDevice soc(c, bus);
+    ConventionalSession session(soc);
+    session.set_sink(&ctx.hub());
+    return summarize(session.run(method));
+  };
+  add(std::move(u));
+}
+
+void CampaignRunner::add_multibus(std::string name, MultiBusConfig cfg,
+                                  ObservationMethod method,
+                                  MultiBusSetup defects) {
+  CampaignUnit u;
+  u.name = std::move(name);
+  u.run = [cfg = std::move(cfg), method,
+           defects = std::move(defects)](CampaignContext& ctx) {
+    MultiBusConfig c = cfg;
+    si::BusParams bp = c.bus;
+    bp.n_wires = c.wires_per_bus;
+    si::CoupledBus proto = ctx.make_bus(bp);
+    MultiBusSoc soc(c, proto);
+    if (defects) {
+      for (std::size_t b = 0; b < soc.n_buses(); ++b) defects(b, soc.bus(b));
+    }
+    MultiBusSession session(soc);
+    session.set_sink(&ctx.hub());
+    MultiBusReport rep = session.run(method);
+
+    UnitOutcome o;
+    o.total_tcks = rep.total_tcks;
+    o.generation_tcks = rep.generation_tcks;
+    o.observation_tcks = rep.observation_tcks;
+    o.violation = rep.any_violation();
+    std::ostringstream os;
+    for (std::size_t b = 0; b < rep.buses.size(); ++b) {
+      if (b) os << " ";
+      os << "b" << b << "[nd=" << rep.buses[b].nd_final.to_string()
+         << " sd=" << rep.buses[b].sd_final.to_string() << "]";
+    }
+    o.summary = os.str();
+    return o;
+  };
+  add(std::move(u));
+}
+
+void CampaignRunner::add_bist(std::string name, SocConfig cfg,
+                              BusSetup defects) {
+  CampaignUnit u;
+  u.name = std::move(name);
+  u.run = [cfg = std::move(cfg),
+           defects = std::move(defects)](CampaignContext& ctx) {
+    SocConfig c = cfg;
+    c.enhanced = true;
+    si::BusParams bp = c.bus;
+    bp.n_wires = c.n_wires;
+    si::CoupledBus bus = ctx.make_bus(bp);
+    if (defects) defects(bus);
+    SiSocDevice soc(c, bus);
+    SiBistController ctl(soc);
+    ctl.set_sink(&ctx.hub());
+    SiBistController::Result res = ctl.run();
+
+    UnitOutcome o;
+    o.total_tcks = res.tcks;
+    // The autonomous controller runs one fused program; it does not split
+    // its budget into generation/observation phases.
+    o.violation = !res.pass;
+    std::ostringstream os;
+    os << (res.pass ? "pass" : "fail") << " nd=" << res.nd.to_string()
+       << " sd=" << res.sd.to_string();
+    o.summary = os.str();
+    return o;
+  };
+  add(std::move(u));
+}
+
+CampaignResult CampaignRunner::run() {
+  const std::size_t n = units_.size();
+
+  std::size_t shards = cfg_.shards;
+  if (shards == 0) {
+    shards = std::thread::hardware_concurrency();
+    if (shards == 0) shards = 1;
+  }
+  if (shards > n) shards = n;
+  if (shards == 0) shards = 1;
+
+  // One slot per unit: whichever worker runs unit i writes only slot i,
+  // so no lock is needed and the join below can fold in unit order.
+  std::vector<UnitOutcome> outcomes(n);
+  std::vector<obs::Registry> registries(n);
+  std::vector<std::vector<obs::Event>> events(n);
+
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](std::size_t worker_id) {
+    // The hub is built inside the worker: one observer per thread, never
+    // shared. Only the optional live sink crosses threads.
+    obs::Hub hub(cfg_.trace);
+    hub.set_strict(cfg_.strict_metrics);
+    if (live_sink_ != nullptr) hub.add_sink(live_sink_);
+
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      hub.reset();
+      CampaignContext ctx(hub, worker_id, i, prototype_);
+      UnitOutcome out;
+      try {
+        out = units_[i].run(ctx);
+      } catch (const std::exception& e) {
+        out = UnitOutcome{};
+        out.failed = true;
+        out.summary = std::string("error: ") + e.what();
+      }
+      out.name = units_[i].name;
+      outcomes[i] = std::move(out);
+      registries[i] = hub.registry();
+      if (cfg_.keep_events) events[i] = hub.tracer().events();
+    }
+  };
+
+  if (shards == 1 || n <= 1) {
+    worker(0);
+    shards = 1;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards);
+    for (std::size_t w = 0; w < shards; ++w) pool.emplace_back(worker, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic join: fold per-unit snapshots in work-unit order. The
+  // fold never sees worker identity or completion order, which is the
+  // whole byte-identity argument.
+  CampaignResult r;
+  r.shards_used = shards;
+  r.units = std::move(outcomes);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.metrics.merge(registries[i]);
+    const UnitOutcome& u = r.units[i];
+    r.total_tcks += u.total_tcks;
+    r.generation_tcks += u.generation_tcks;
+    r.observation_tcks += u.observation_tcks;
+    if (u.violation) ++r.violations;
+    if (u.failed) ++r.failures;
+  }
+  if (cfg_.keep_events) r.events = std::move(events);
+  return r;
+}
+
+}  // namespace jsi::core

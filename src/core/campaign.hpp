@@ -1,0 +1,190 @@
+#ifndef JSI_CORE_CAMPAIGN_HPP
+#define JSI_CORE_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/multibus.hpp"
+#include "core/report.hpp"
+#include "core/soc.hpp"
+#include "obs/hub.hpp"
+#include "obs/registry.hpp"
+#include "si/bus.hpp"
+
+namespace jsi::core {
+
+/// What one campaign work unit produced. Everything in here must be a
+/// deterministic function of the unit alone (no wall-clock, no worker
+/// ids): the merged campaign report concatenates these in work-unit
+/// order and is required to be byte-identical for any shard count.
+struct UnitOutcome {
+  std::string name;     ///< the unit's stable name (runner-assigned)
+  std::string summary;  ///< one-line result, e.g. flags and TCK counts
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t observation_tcks = 0;
+  bool violation = false;  ///< any sensor flag set
+  bool failed = false;     ///< the unit threw; `summary` holds the error
+};
+
+/// Per-worker execution context handed to a running unit. The hub is the
+/// worker's thread-local observer (reset before every unit, so a unit's
+/// metrics/trace are identical no matter which worker runs it); the bus
+/// factory seeds units from the campaign's warmed prototype.
+class CampaignContext {
+ public:
+  CampaignContext(obs::Hub& hub, std::size_t worker, std::size_t unit,
+                  const si::CoupledBus* prototype)
+      : hub_(&hub), worker_(worker), unit_(unit), prototype_(prototype) {}
+
+  /// The worker's thread-local observer. Attach it as the session sink;
+  /// its registry and trace are snapshotted into the merged result when
+  /// the unit returns.
+  obs::Hub& hub() { return *hub_; }
+
+  /// Index of the worker thread running this unit (0 when single-shard).
+  /// For logging only — anything merged into the report must not depend
+  /// on it.
+  std::size_t worker() const { return worker_; }
+
+  /// Index of this unit in the campaign's stable work-unit order.
+  std::size_t unit_index() const { return unit_; }
+
+  /// The campaign's prototype bus, nullptr when none was set.
+  const si::CoupledBus* prototype() const { return prototype_; }
+
+  /// A bus for this unit: a clone of the campaign prototype when one is
+  /// set and its width equals `p.n_wires` (memoized waveforms and
+  /// counters carried over — a warm start), else a fresh bus built from
+  /// `p`. Cloning per unit (rather than reusing one bus across a
+  /// worker's units) keeps the observed cache behaviour independent of
+  /// the sharding, which the byte-identity guarantee depends on.
+  si::CoupledBus make_bus(const si::BusParams& p) const {
+    if (prototype_ != nullptr && prototype_->n() == p.n_wires) {
+      return prototype_->clone();
+    }
+    return si::CoupledBus(p);
+  }
+
+ private:
+  obs::Hub* hub_;
+  std::size_t worker_;
+  std::size_t unit_;
+  const si::CoupledBus* prototype_;
+};
+
+/// One independent work unit: a name (stable identifier in the merged
+/// report) and a callable that runs the work against a worker context.
+/// Units must not share mutable state with each other — the runner
+/// executes them concurrently.
+struct CampaignUnit {
+  std::string name;
+  std::function<UnitOutcome(CampaignContext&)> run;
+};
+
+/// Runner configuration.
+struct CampaignConfig {
+  /// Worker threads. 0 = one per hardware thread; clamped to the unit
+  /// count. 1 runs inline on the calling thread (the reference ordering
+  /// every other shard count must reproduce byte for byte).
+  std::size_t shards = 1;
+  /// Per-worker hubs run the MetricsSink strict cross-check (a TCK
+  /// accounting mismatch throws inside the unit and marks it failed).
+  bool strict_metrics = true;
+  /// Tracer settings of every worker hub.
+  obs::TracerConfig trace{};
+  /// Keep each unit's stamped event stream in the result (memory-heavy;
+  /// determinism tests turn it on, production campaigns usually don't).
+  bool keep_events = false;
+};
+
+/// Merged result of a campaign: per-unit outcomes in work-unit order, the
+/// deterministically merged metrics registry, and the summed TCK books.
+struct CampaignResult {
+  std::vector<UnitOutcome> units;
+  obs::Registry metrics;  ///< unit-ordered additive merge of all units
+  /// Per-unit event streams (work-unit order), captured only when
+  /// CampaignConfig::keep_events was set.
+  std::vector<std::vector<obs::Event>> events;
+
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t observation_tcks = 0;
+  std::size_t violations = 0;
+  std::size_t failures = 0;
+  std::size_t shards_used = 0;  ///< informational; not part of to_text()
+
+  /// The canonical campaign report: unit lines in work-unit order plus
+  /// the summed totals. Byte-identical for every shard count (it depends
+  /// only on unit outcomes, never on scheduling) — the tier-1 campaign
+  /// determinism suite pins exactly this string.
+  std::string to_text() const;
+};
+
+/// Sharded multi-threaded campaign runner. A campaign is a set of
+/// independent work units (per-bus sessions, victim sweeps, defect-grid
+/// points); `run()` fans them out over `shards` workers, each with its
+/// own thread-local obs::Hub and its own warmed si::CoupledBus clones,
+/// and joins into one deterministic merged result.
+///
+/// Scheduling is dynamic (workers pull the next unassigned unit), but
+/// nothing scheduling-dependent leaks into the result: outcomes land in
+/// a slot per unit, the merge folds slots in work-unit order, and every
+/// unit observes through a freshly reset hub. Hence the core guarantee:
+/// the merged report and registry of an N-shard run are byte-identical
+/// to the 1-shard run's.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig cfg = {});
+
+  /// Prototype interconnect (not owned, must outlive run()): units of
+  /// matching width start from a clone of it — warm its transition cache
+  /// once, and every worker inherits the memoization. Read-only during
+  /// run(), so sharing it across workers is safe.
+  void set_prototype_bus(const si::CoupledBus* prototype);
+
+  /// Extra sink attached to every worker hub (not owned; must be
+  /// thread-safe — see obs::AggregatingSink). Receives every stamped
+  /// event live, in completion order; use for progress metering, never
+  /// for the deterministic books.
+  void set_live_sink(obs::Sink* sink);
+
+  /// Append a work unit (stable order: merge position == add order).
+  void add(CampaignUnit unit);
+
+  // -- canned unit builders for the in-repo session kinds ------------------
+
+  /// Optional per-unit defect injection, applied before the session runs.
+  using BusSetup = std::function<void(si::CoupledBus&)>;
+  /// Multi-bus variant; called once per bus with its index.
+  using MultiBusSetup = std::function<void(std::size_t, si::CoupledBus&)>;
+
+  void add_enhanced(std::string name, SocConfig cfg, ObservationMethod method,
+                    BusSetup defects = {});
+  void add_parallel(std::string name, SocConfig cfg, ObservationMethod method,
+                    std::size_t guard, BusSetup defects = {});
+  void add_conventional(std::string name, SocConfig cfg,
+                        ObservationMethod method, BusSetup defects = {});
+  void add_multibus(std::string name, MultiBusConfig cfg,
+                    ObservationMethod method, MultiBusSetup defects = {});
+  void add_bist(std::string name, SocConfig cfg, BusSetup defects = {});
+
+  std::size_t size() const { return units_.size(); }
+  const CampaignConfig& config() const { return cfg_; }
+
+  /// Execute every unit and join. Safe to call repeatedly (each call is
+  /// an independent campaign over the same unit list).
+  CampaignResult run();
+
+ private:
+  CampaignConfig cfg_;
+  std::vector<CampaignUnit> units_;
+  const si::CoupledBus* prototype_ = nullptr;
+  obs::Sink* live_sink_ = nullptr;
+};
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_CAMPAIGN_HPP

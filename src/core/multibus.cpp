@@ -10,18 +10,36 @@ namespace jsi::core {
 using util::BitVec;
 using util::Logic;
 
-MultiBusSoc::MultiBusSoc(MultiBusConfig cfg) : cfg_(std::move(cfg)) {
+MultiBusSoc::MultiBusSoc(MultiBusConfig cfg)
+    : MultiBusSoc(std::move(cfg), static_cast<const si::CoupledBus*>(nullptr)) {
+}
+
+MultiBusSoc::MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus& prototype)
+    : MultiBusSoc(std::move(cfg), &prototype) {}
+
+MultiBusSoc::MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus* prototype)
+    : cfg_(std::move(cfg)) {
   if (cfg_.n_buses == 0) throw std::invalid_argument("need >= 1 bus");
   if (cfg_.wires_per_bus < 2) {
     throw std::invalid_argument("need >= 2 wires per bus");
+  }
+  if (prototype != nullptr) {
+    if (prototype->n() != cfg_.wires_per_bus) {
+      throw std::invalid_argument("prototype bus width != wires_per_bus");
+    }
+    cfg_.bus = prototype->params();
   }
   cfg_.nd.vdd = cfg_.bus.vdd;
   cfg_.sd.vdd = cfg_.bus.vdd;
 
   for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
-    si::BusParams bp = cfg_.bus;
-    bp.n_wires = cfg_.wires_per_bus;
-    buses_.push_back(std::make_unique<si::CoupledBus>(bp));
+    if (prototype != nullptr) {
+      buses_.push_back(std::make_unique<si::CoupledBus>(prototype->clone()));
+    } else {
+      si::BusParams bp = cfg_.bus;
+      bp.n_wires = cfg_.wires_per_bus;
+      buses_.push_back(std::make_unique<si::CoupledBus>(bp));
+    }
     pins_.emplace_back(cfg_.wires_per_bus, false);
   }
 

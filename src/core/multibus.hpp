@@ -45,6 +45,14 @@ class MultiBusSoc {
  public:
   explicit MultiBusSoc(MultiBusConfig cfg);
 
+  /// Construct with every bus cloned from `prototype` instead of built
+  /// fresh from `cfg.bus` — a campaign worker's warmed bus clone seeds
+  /// all B interconnects (memoized waveforms and hit/miss counters
+  /// carried over; the prototype's sink is not). `prototype.n()` must
+  /// equal `cfg.wires_per_bus` (throws std::invalid_argument otherwise);
+  /// `cfg.bus` is overridden by the prototype's electrical parameters.
+  MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus& prototype);
+
   MultiBusSoc(const MultiBusSoc&) = delete;
   MultiBusSoc& operator=(const MultiBusSoc&) = delete;
 
@@ -76,6 +84,8 @@ class MultiBusSoc {
   void set_sink(obs::Sink* sink);
 
  private:
+  MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus* prototype);
+
   void decode_instruction(const std::string& name);
   void on_update_dr();
   void apply_buses(bool observe);

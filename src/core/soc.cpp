@@ -8,14 +8,28 @@ using util::BitVec;
 using util::Logic;
 
 SiSocDevice::SiSocDevice(SocConfig cfg)
-    : cfg_(std::move(cfg)),
-      bus_([&] {
-        si::BusParams bp = cfg_.bus;
-        bp.n_wires = cfg_.n_wires;
-        return bp;
-      }()),
-      pins_(cfg_.n_wires, false) {
+    : SiSocDevice(std::move(cfg), static_cast<si::CoupledBus*>(nullptr)) {}
+
+SiSocDevice::SiSocDevice(SocConfig cfg, si::CoupledBus& bus)
+    : SiSocDevice(std::move(cfg), &bus) {}
+
+SiSocDevice::SiSocDevice(SocConfig cfg, si::CoupledBus* external)
+    : cfg_(std::move(cfg)), pins_(cfg_.n_wires, false) {
   if (cfg_.n_wires < 2) throw std::invalid_argument("need >= 2 interconnects");
+  if (external != nullptr) {
+    if (external->n() != cfg_.n_wires) {
+      throw std::invalid_argument("external bus width != n_wires");
+    }
+    bus_ = external;
+    // Keep config() truthful: the electrical parameters in force are the
+    // external bus's, not whatever cfg.bus carried.
+    cfg_.bus = external->params();
+  } else {
+    si::BusParams bp = cfg_.bus;
+    bp.n_wires = cfg_.n_wires;
+    owned_bus_ = std::make_unique<si::CoupledBus>(bp);
+    bus_ = owned_bus_.get();
+  }
   // Detector supplies follow the bus supply unless explicitly overridden.
   cfg_.nd.vdd = cfg_.bus.vdd;
   cfg_.sd.vdd = cfg_.bus.vdd;
@@ -81,7 +95,7 @@ std::size_t SiSocDevice::chain_length() const {
 
 void SiSocDevice::set_sink(obs::Sink* sink) {
   sink_ = sink;
-  bus_.set_sink(sink);
+  bus_->set_sink(sink);
   for (std::size_t i = 0; i < obscs_.size(); ++i) {
     obscs_[i]->set_sink(sink, static_cast<std::int64_t>(i));
   }
@@ -201,12 +215,12 @@ void SiSocDevice::apply_bus(bool observe) {
     sink_->on_event(e);
   }
   for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
-    const si::Waveform w = bus_.wire_response(i, prev, next);
+    const si::Waveform w = bus_->wire_response(i, prev, next);
     if (observe) {
       obscs_[i]->observe(w, util::to_logic(prev[i]), util::to_logic(next[i]),
                          ctl_);
     }
-    obscs_[i]->set_parallel_in(bus_.settled_logic(w));
+    obscs_[i]->set_parallel_in(bus_->settled_logic(w));
   }
 }
 

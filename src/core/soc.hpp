@@ -62,6 +62,15 @@ class SiSocDevice {
  public:
   explicit SiSocDevice(SocConfig cfg);
 
+  /// Construct against an externally-owned interconnect model instead of
+  /// building one from `cfg.bus` — the campaign-runner path, where each
+  /// worker owns a warmed si::CoupledBus clone and hands it to one
+  /// short-lived device per work unit. `bus.n()` must equal
+  /// `cfg.n_wires` (throws std::invalid_argument otherwise); the device
+  /// does not take ownership and `bus` must outlive it. Detector
+  /// supplies and `config().bus` follow the external bus's parameters.
+  SiSocDevice(SocConfig cfg, si::CoupledBus& bus);
+
   // Non-copyable: the TAP holds callbacks into this object.
   SiSocDevice(const SiSocDevice&) = delete;
   SiSocDevice& operator=(const SiSocDevice&) = delete;
@@ -72,8 +81,8 @@ class SiSocDevice {
   jtag::TapDevice& tap() { return *tap_; }
 
   /// The interconnect model (inject defects here).
-  si::CoupledBus& bus() { return bus_; }
-  const si::CoupledBus& bus() const { return bus_; }
+  si::CoupledBus& bus() { return *bus_; }
+  const si::CoupledBus& bus() const { return *bus_; }
 
   /// Total boundary-register length 2n+m.
   std::size_t chain_length() const;
@@ -122,13 +131,16 @@ class SiSocDevice {
   void set_sink(obs::Sink* sink);
 
  private:
+  SiSocDevice(SocConfig cfg, si::CoupledBus* external);
+
   void decode_instruction(const std::string& name);
   void on_update_dr();
   void apply_bus(bool observe);
   bool boundary_selected() const;
 
   SocConfig cfg_;
-  si::CoupledBus bus_;
+  std::unique_ptr<si::CoupledBus> owned_bus_;  // null when bus is external
+  si::CoupledBus* bus_ = nullptr;
   std::unique_ptr<jtag::TapDevice> tap_;
   jtag::BoundaryRegister* boundary_ = nullptr;  // owned by tap_
   std::vector<bsc::Pgbsc*> pgbscs_;

@@ -34,6 +34,19 @@ class Hub final : public Sink {
   /// Additional fan-out target (not owned). Receives stamped events.
   void add_sink(Sink* s) { extra_.push_back(s); }
 
+  /// Return the hub to its just-constructed observation state: metrics
+  /// zeroed (names kept), tracer ring cleared, TCK stamping restarted
+  /// from zero, any in-flight plan accounting dropped. Extra sinks stay
+  /// attached and are not reset (they aggregate across resets). Campaign
+  /// workers call this between work units so every unit is observed from
+  /// an identical starting state regardless of which worker runs it.
+  void reset() {
+    registry_.reset();
+    metrics_.reset_plan_state();
+    tracer_.clear();
+    last_tck_ = 0;
+  }
+
   void on_event(const Event& e) override {
     Event stamped = e;
     if (stamped.tck == Event::kNoStamp) {

@@ -1,7 +1,9 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
+#include <ostream>
 
 namespace jsi::obs::json {
 
@@ -14,6 +16,29 @@ const Value* Value::find(const std::string& key) const {
 }
 
 namespace {
+
+/// Append one Unicode scalar value as UTF-8 (cp is already validated to
+/// be <= 0x10FFFF and not a surrogate).
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+bool is_high_surrogate(std::uint32_t cp) { return cp >= 0xD800 && cp <= 0xDBFF; }
+bool is_low_surrogate(std::uint32_t cp) { return cp >= 0xDC00 && cp <= 0xDFFF; }
 
 class Parser {
  public:
@@ -145,16 +170,29 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            // Validated but mapped to '?' — the exporters never emit
-            // \u escapes, this only keeps foreign files parseable.
-            for (int i = 0; i < 4; ++i) {
-              if (pos_ >= text_.size() ||
-                  !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
-                return fail("bad \\u escape");
-              }
-              ++pos_;
+            // Decode to UTF-8, pairing surrogates. A lone high or low
+            // surrogate is malformed input, not something to paper over:
+            // this parser validates our own emitted traces, so a lax
+            // decode here would hide emitter bugs.
+            std::uint32_t cp;
+            if (!parse_hex4(cp)) return fail("bad \\u escape");
+            if (is_low_surrogate(cp)) {
+              return fail("lone low surrogate in \\u escape");
             }
-            out += '?';
+            if (is_high_surrogate(cp)) {
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return fail("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              std::uint32_t lo;
+              if (!parse_hex4(lo)) return fail("bad \\u escape");
+              if (!is_low_surrogate(lo)) {
+                return fail("unpaired high surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, cp);
             break;
           }
           default: return fail("bad escape");
@@ -164,6 +202,28 @@ class Parser {
       out += c;
     }
     return fail("unterminated string");
+  }
+
+  /// Four hex digits at pos_ -> code unit; advances past them on success.
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_];
+      std::uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      out = (out << 4) | digit;
+      ++pos_;
+    }
+    return true;
   }
 
   bool parse_number(Value& out) {
@@ -194,6 +254,32 @@ class Parser {
 std::optional<Value> parse(std::string_view text, std::string* error) {
   if (error) error->clear();
   return Parser(text, error).run();
+}
+
+void write_escaped_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          os << "\\u00" << hex[u >> 4] << hex[u & 0xF];
+        } else {
+          os << c;
+        }
+        break;
+      }
+    }
+  }
+  os << '"';
 }
 
 }  // namespace jsi::obs::json

@@ -1,6 +1,7 @@
 #ifndef JSI_OBS_JSON_HPP
 #define JSI_OBS_JSON_HPP
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -33,8 +34,15 @@ struct Value {
 
 /// Strict recursive-descent parse of a complete JSON text. On failure
 /// returns nullopt and, when `error` is given, a position-annotated
-/// message.
+/// message. `\u` escapes are decoded to UTF-8; surrogate pairs must be
+/// properly paired (a lone high or low surrogate is a parse error).
 std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Write `s` as a quoted JSON string: `"` and `\` are backslash-escaped,
+/// control characters (U+0000–U+001F) become \n/\t/\r/\b/\f or \u00XX.
+/// Every emitter in the obs layer funnels through this, so any label is
+/// safe on the output side — the strict parser above round-trips it.
+void write_escaped_string(std::ostream& os, std::string_view s);
 
 }  // namespace jsi::obs::json
 

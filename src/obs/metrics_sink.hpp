@@ -46,6 +46,17 @@ class MetricsSink final : public Sink {
 
   std::uint64_t consistency_errors() const { return errors_; }
 
+  /// Forget any in-flight plan accounting (edge counts since PlanBegin,
+  /// the in-observation flag). Used when a stream is abandoned mid-plan —
+  /// e.g. a campaign worker whose unit threw — so the next plan's
+  /// cross-check starts clean. Registered metrics are untouched.
+  void reset_plan_state() {
+    in_observation_ = false;
+    plan_edges_ = 0;
+    plan_generation_ = 0;
+    plan_observation_ = 0;
+  }
+
   void on_event(const Event& e) override;
 
  private:

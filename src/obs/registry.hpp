@@ -44,6 +44,11 @@ class Histogram {
 
   void observe(double x);
 
+  /// Fold `other`'s observations into this histogram. The bucket layouts
+  /// must match (throws std::invalid_argument otherwise): merging is only
+  /// meaningful between histograms of the same metric.
+  void merge(const Histogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   std::uint64_t count() const { return count_; }
@@ -79,6 +84,17 @@ class Registry {
 
   /// Zero every metric, keeping the registered names.
   void reset();
+
+  /// Additive fold of `other` into this registry: counters and histogram
+  /// buckets sum; gauges sum as well, so a merged gauge is meaningful for
+  /// additive quantities only (per-shard campaign registries hold no
+  /// others). Names absent here are created. Deterministic: merging the
+  /// same sequence of registries in the same order always produces the
+  /// same result, and because the fold is commutative for counters and
+  /// histograms, any partition of a unit sequence into shards merges to
+  /// identical totals. Throws std::invalid_argument on histogram
+  /// bucket-layout mismatch.
+  void merge(const Registry& other);
 
   /// `name value` per line, counters then gauges then histogram summaries.
   void write_text(std::ostream& os) const;

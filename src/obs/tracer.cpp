@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/json.hpp"
+
 namespace jsi::obs {
 
 namespace {
@@ -73,8 +75,12 @@ void Tracer::clear() {
 
 void Tracer::write_jsonl(std::ostream& os) const {
   for (const Event& e : events()) {
+    // Labels are escaped on output (not merely tolerated on input): a
+    // name carrying a quote, backslash or control character must still
+    // yield one valid JSON record per line.
     os << "{\"kind\":\"" << event_kind_name(e.kind) << "\",\"tck\":" << e.tck
-       << ",\"t_ps\":" << e.time_ps << ",\"name\":\"" << e.name << '"';
+       << ",\"t_ps\":" << e.time_ps << ",\"name\":";
+    json::write_escaped_string(os, e.name);
     if (e.kind == EventKind::StateEdge) {
       os << ",\"phase\":\"" << tck_phase_name(e.phase) << '"';
     }
@@ -95,8 +101,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         "\"args\":{\"name\":\"bus+detectors\"}}";
 
   auto slice = [&os](const char* name, char ph, int tid, std::uint64_t t_ps) {
-    os << ",{\"name\":\"" << name << "\",\"ph\":\"" << ph
-       << "\",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+    os << ",{\"name\":";
+    json::write_escaped_string(os, name);
+    os << ",\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
     write_ts(os, t_ps);
     os << '}';
   };
@@ -122,8 +129,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         slice(e.name, 'E', 1, e.time_ps);
         break;
       case EventKind::DetectorFired:
-        os << ",{\"name\":\"" << e.name
-           << "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":0,\"tid\":2,\"ts\":";
+        os << ",{\"name\":";
+        json::write_escaped_string(os, e.name);
+        os << ",\"ph\":\"i\",\"s\":\"p\",\"pid\":0,\"tid\":2,\"ts\":";
         write_ts(os, e.time_ps);
         os << ",\"args\":{\"wire\":" << e.a << ",\"bus\":" << e.b
            << ",\"tck\":" << e.tck << ",\"vcd_ps\":" << e.time_ps << "}}";
@@ -142,8 +150,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         os << ",\"args\":{\"index\":" << e.a << ",\"tck\":" << e.tck << "}}";
         break;
       case EventKind::Mark:
-        os << ",{\"name\":\"" << e.name
-           << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":";
+        os << ",{\"name\":";
+        json::write_escaped_string(os, e.name);
+        os << ",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":";
         write_ts(os, e.time_ps);
         os << '}';
         break;

@@ -18,6 +18,12 @@ CoupledBus::CoupledBus(BusParams p) : p_(p) {
   extra_r_.assign(p_.n_wires, 0.0);
 }
 
+CoupledBus CoupledBus::clone() const {
+  CoupledBus c = *this;
+  c.sink_ = nullptr;  // sinks are thread-local; never shared with a clone
+  return c;
+}
+
 void CoupledBus::scale_coupling(std::size_t pair, double factor) {
   couple_.at(pair) *= factor;
   ++defect_gen_;
@@ -145,7 +151,10 @@ void CoupledBus::add_glitch(Waveform& w, double cc, double ctot_v,
 
 void CoupledBus::set_cache_enabled(bool on) {
   cache_on_ = on;
-  if (!on) cache_.clear();
+  if (!on) {
+    cache_.clear();
+    cache_order_.clear();
+  }
 }
 
 double CoupledBus::cache_hit_rate() const {
@@ -155,7 +164,10 @@ double CoupledBus::cache_hit_rate() const {
              : static_cast<double>(cache_hits_) / static_cast<double>(lookups);
 }
 
-void CoupledBus::clear_cache() const { cache_.clear(); }
+void CoupledBus::clear_cache() {
+  cache_.clear();
+  cache_order_.clear();
+}
 
 std::uint64_t CoupledBus::cache_key(std::size_t i, const util::BitVec& prev,
                                     const util::BitVec& next) const {
@@ -183,6 +195,7 @@ Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
 
   if (cache_gen_ != defect_gen_) {
     cache_.clear();
+    cache_order_.clear();
     cache_gen_ = defect_gen_;
   }
   const std::uint64_t key = cache_key(i, prev, next);
@@ -202,8 +215,15 @@ Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
   }
   ++cache_misses_;
   Waveform w = solve_wire_response(i, prev, next);
-  if (cache_.size() >= kMaxCacheEntries) cache_.clear();
+  // Bounded FIFO: evict the oldest entry instead of flushing wholesale,
+  // so a working set one larger than the cap degrades gracefully rather
+  // than thrashing to a 0% hit rate.
+  while (cache_.size() >= kMaxCacheEntries && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
   cache_.emplace(key, w);
+  cache_order_.push_back(key);
   return w;
 }
 

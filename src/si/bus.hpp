@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,14 @@ struct BusParams {
 class CoupledBus {
  public:
   explicit CoupledBus(BusParams p);
+
+  /// Deep copy for per-shard use: electrical state, injected defects and
+  /// the memoized transition cache (entries *and* hit/miss counters) are
+  /// carried over, so a clone of a warmed bus starts warm. The
+  /// observability sink is deliberately NOT carried over — a clone lives
+  /// on another worker thread, and sharing the source's sink would race;
+  /// attach a thread-local sink with set_sink() after cloning.
+  CoupledBus clone() const;
 
   const BusParams& params() const { return p_; }
   std::size_t n() const { return p_.n_wires; }
@@ -126,6 +135,12 @@ class CoupledBus {
   // are dropped wholesale on the first lookup after a bump. Hit/miss
   // counters survive invalidation (they meter the workload, not the
   // cache contents).
+  //
+  // Capacity is a bounded FIFO: when a miss lands on a full cache the
+  // oldest entry is evicted to make room. (An earlier revision flushed
+  // the whole cache when full, which degraded a working set of
+  // kMaxCacheEntries + 1 to a 0% hit rate; only a generation bump or an
+  // explicit clear flushes wholesale now.)
 
   /// Enable/disable memoization (enabled by default; disable to meter
   /// the raw solver).
@@ -145,17 +160,19 @@ class CoupledBus {
   /// only ever served within one generation.
   std::uint64_t defect_generation() const { return defect_gen_; }
 
-  /// Drop all cached waveforms (counters are kept).
-  void clear_cache() const;
+  /// Drop all cached waveforms (counters are kept). Deliberately
+  /// non-const: flushing is a real state mutation, and per-shard clones
+  /// must not be able to reset each other through a const reference.
+  void clear_cache();
 
   /// Attach an observability sink; every memoized lookup reports a
   /// CacheLookup record (a=1 hit, a=0 miss). nullptr (default) disables
   /// emission; the uncached solver path never emits.
   void set_sink(obs::Sink* sink) { sink_ = sink; }
 
-  /// Cap on resident entries; the cache is flushed wholesale when full
-  /// (one entry is up to `samples` doubles, so the cap bounds memory at
-  /// ~16 MB with the 2048-sample default).
+  /// Cap on resident entries; the oldest entry is evicted (FIFO) when a
+  /// miss lands on a full cache (one entry is up to `samples` doubles, so
+  /// the cap bounds memory at ~16 MB with the 2048-sample default).
   static constexpr std::size_t kMaxCacheEntries = 1024;
 
  private:
@@ -184,6 +201,7 @@ class CoupledBus {
   std::uint64_t defect_gen_ = 0;
   bool cache_on_ = true;
   mutable std::unordered_map<std::uint64_t, Waveform> cache_;
+  mutable std::deque<std::uint64_t> cache_order_;  // insertion order (FIFO)
   mutable std::uint64_t cache_gen_ = 0;  // generation cache_ belongs to
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;

@@ -1,6 +1,7 @@
 #ifndef JSI_UTIL_PRNG_HPP
 #define JSI_UTIL_PRNG_HPP
 
+#include <cassert>
 #include <cstdint>
 
 namespace jsi::util {
@@ -37,8 +38,13 @@ class Prng {
     return result;
   }
 
-  /// Uniform integer in [0, bound) (bound > 0); Lemire reduction.
+  /// Uniform integer in [0, bound); Lemire reduction. `bound` must be
+  /// > 0 — an empty range has no uniform draw. The contract is asserted
+  /// in debug builds; in release builds a zero bound would silently
+  /// return 0 while still consuming one stream value, which is never
+  /// what the caller meant.
   std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0 && "Prng::next_below needs a non-empty range");
     return static_cast<std::uint64_t>(
         (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
   }

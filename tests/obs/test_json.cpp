@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 namespace jsi::obs::json {
 namespace {
 
@@ -38,6 +41,73 @@ TEST(Json, DecodesEscapes) {
   const auto doc = parse(R"("line\n\"quoted\"\t\\")");
   ASSERT_TRUE(doc.has_value());
   EXPECT_EQ(doc->str, "line\n\"quoted\"\t\\");
+}
+
+TEST(Json, DecodesBmpUnicodeEscapes) {
+  // U+00E9 and U+20AC decode to 2- and 3-byte UTF-8.
+  EXPECT_EQ(parse(R"("caf\u00e9")")->str, "caf\xc3\xa9");
+  EXPECT_EQ(parse(R"("\u20ac5")")->str, "\xe2\x82\xac" "5");
+  // Hex digits are case-insensitive.
+  EXPECT_EQ(parse(R"("\u00E9")")->str, "\xc3\xa9");
+  // \u0000 is a legal escape producing a NUL byte.
+  const auto nul = parse(R"("a\u0000b")");
+  ASSERT_TRUE(nul.has_value());
+  EXPECT_EQ(nul->str, std::string("a\0b", 3));
+}
+
+TEST(Json, DecodesSurrogatePairs) {
+  // \ud83d\ude00 combines to U+1F600 -> 4-byte UTF-8 f0 9f 98 80.
+  EXPECT_EQ(parse(R"("\ud83d\ude00")")->str, "\xf0\x9f\x98\x80");
+  // Highest code point U+10FFFF = \udbff\udfff.
+  EXPECT_EQ(parse(R"("\udbff\udfff")")->str, "\xf4\x8f\xbf\xbf");
+  // Pair embedded in surrounding text survives intact.
+  EXPECT_EQ(parse(R"("a\ud83d\ude00b")")->str,
+            "a\xf0\x9f\x98\x80"
+            "b");
+}
+
+TEST(Json, RejectsLoneAndUnpairedSurrogates) {
+  std::string err;
+  // Lone high surrogate at end of string.
+  EXPECT_FALSE(parse(R"("\ud83d")", &err).has_value());
+  EXPECT_NE(err.find("surrogate"), std::string::npos);
+  // High surrogate followed by a non-escape.
+  EXPECT_FALSE(parse(R"("\ud83dx")").has_value());
+  // High surrogate followed by a non-\u escape.
+  EXPECT_FALSE(parse(R"("\ud83d\n")").has_value());
+  // High surrogate followed by another high surrogate.
+  EXPECT_FALSE(parse(R"("\ud83d\ud83d")").has_value());
+  // Lone low surrogate.
+  err.clear();
+  EXPECT_FALSE(parse(R"("\ude00")", &err).has_value());
+  EXPECT_NE(err.find("surrogate"), std::string::npos);
+}
+
+TEST(Json, RejectsTruncatedUnicodeEscapes) {
+  EXPECT_FALSE(parse(R"("\u")").has_value());
+  EXPECT_FALSE(parse(R"("\u12")").has_value());
+  EXPECT_FALSE(parse(R"("\u12g4")").has_value());
+  // Truncated low half of a pair.
+  EXPECT_FALSE(parse(R"("\ud83d\ude")").has_value());
+}
+
+TEST(Json, EscapedStringRoundTrips) {
+  // write_escaped_string -> parse must be the identity for arbitrary
+  // bytes, including control characters and UTF-8 multibyte sequences.
+  const std::string cases[] = {
+      "plain",
+      "with \"quotes\" and \\backslash\\",
+      "newline\ntab\tcr\rbell\x07",
+      std::string("embedded\0nul", 12),
+      "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80",  // e-acute, euro sign, emoji
+  };
+  for (const std::string& s : cases) {
+    std::ostringstream os;
+    write_escaped_string(os, s);
+    const auto back = parse(os.str());
+    ASSERT_TRUE(back.has_value()) << os.str();
+    EXPECT_EQ(back->str, s);
+  }
 }
 
 TEST(Json, RejectsMalformedInput) {

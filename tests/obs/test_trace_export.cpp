@@ -257,6 +257,64 @@ TEST(TraceExport, ChromeTraceValidatesAgainstSchema) {
   }
 }
 
+// A label with a newline, quotes and a backslash must be escaped on the
+// way out in BOTH export formats, so one hostile annotation can't
+// corrupt a transcript that downstream tooling parses line-by-line.
+TEST(TraceExport, EscapesHostileLabelsInJsonl) {
+  static constexpr char kHostile[] = "bad\n\"label\"\\end";
+  obs::Tracer tracer;
+  obs::Event e;
+  e.kind = obs::EventKind::Mark;
+  e.tck = 3;
+  e.time_ps = 30000;
+  e.name = kHostile;
+  tracer.on_event(e);
+
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  const std::string golden =
+      "{\"kind\":\"Mark\",\"tck\":3,\"t_ps\":30000,"
+      "\"name\":\"bad\\n\\\"label\\\"\\\\end\",\"a\":-1,\"b\":-1,"
+      "\"value\":0}\n";
+  EXPECT_EQ(os.str(), golden);
+
+  // The transcript must still be one record per line, and that record
+  // must round-trip through the strict parser.
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  std::string err;
+  const auto doc = obs::json::parse(line, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("name")->str, kHostile);
+  EXPECT_FALSE(std::getline(is, line)) << "label newline split the record";
+}
+
+TEST(TraceExport, EscapesHostileLabelsInChromeTrace) {
+  static constexpr char kHostile[] = "mark\n\"x\"";
+  obs::Tracer tracer;
+  obs::Event e;
+  e.kind = obs::EventKind::Mark;
+  e.tck = 1;
+  e.time_ps = 10000;
+  e.name = kHostile;
+  tracer.on_event(e);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  std::string err;
+  const auto doc = obs::json::parse(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const obs::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const obs::json::Value& ev : events->array) {
+    const obs::json::Value* name = ev.find("name");
+    if (name != nullptr && name->str == kHostile) found = true;
+  }
+  EXPECT_TRUE(found) << "hostile label lost or mangled in chrome trace";
+}
+
 TEST(TraceExport, NullSinkDeterminism) {
   // Reports must be byte-identical whether or not the hub is attached:
   // instrumentation observes the run, it never steers it.

@@ -205,6 +205,96 @@ TEST(BusCache, ClearCacheKeepsCounters) {
   EXPECT_GT(bus.cache_misses(), misses);
 }
 
+TEST(BusCache, BoundedFifoEvictionKeepsRecentEntries) {
+  // A working set one entry larger than the cap must degrade by exactly
+  // one entry, not to nothing. (An earlier revision flushed the whole
+  // cache when full, so cap+1 distinct keys meant a 0% hit rate.)
+  BusParams p;
+  p.n_wires = CoupledBus::kMaxCacheEntries + 1;
+  p.samples = 8;
+  CoupledBus bus(p);
+  util::BitVec prev(p.n_wires);
+  util::BitVec next(p.n_wires);
+  for (std::size_t i = 0; i < p.n_wires; ++i) next.set(i, true);
+
+  // One transition touches every wire: cap+1 distinct keys, one eviction.
+  bus.transition(prev, next);
+  EXPECT_EQ(bus.cache_entries(), CoupledBus::kMaxCacheEntries);
+  EXPECT_EQ(bus.cache_misses(), p.n_wires);
+  EXPECT_EQ(bus.cache_hits(), 0u);
+
+  // Only the oldest entry (wire 0) was evicted; every other wire hits.
+  for (std::size_t i = 1; i < p.n_wires; ++i) {
+    bus.wire_response(i, prev, next);
+  }
+  EXPECT_EQ(bus.cache_hits(), p.n_wires - 1);
+  EXPECT_EQ(bus.cache_misses(), p.n_wires);
+
+  // The evicted entry misses once and re-enters, evicting the next
+  // oldest; the cache stays exactly at the cap.
+  bus.wire_response(0, prev, next);
+  EXPECT_EQ(bus.cache_misses(), p.n_wires + 1);
+  EXPECT_EQ(bus.cache_entries(), CoupledBus::kMaxCacheEntries);
+}
+
+TEST(BusCache, CloneCarriesCacheAndCounters) {
+  BusParams p;
+  p.n_wires = 6;
+  p.samples = 64;
+  CoupledBus bus(p);
+  bus.inject_crosstalk_defect(2, 5.0);
+  util::BitVec prev(6);
+  util::BitVec next(6);
+  next.set(2, true);
+  const auto want = bus.transition(prev, next);  // 6 misses
+  bus.transition(prev, next);                    // 6 hits
+
+  const CoupledBus copy = bus.clone();
+  EXPECT_EQ(copy.cache_entries(), bus.cache_entries());
+  EXPECT_EQ(copy.cache_hits(), bus.cache_hits());
+  EXPECT_EQ(copy.cache_misses(), bus.cache_misses());
+  EXPECT_EQ(copy.defect_generation(), bus.defect_generation());
+
+  // The carried entries are live: a clone of a warm bus starts warm, and
+  // serves the same waveforms.
+  CoupledBus warm = bus.clone();
+  const auto got = warm.transition(prev, next);
+  EXPECT_EQ(warm.cache_hits(), bus.cache_hits() + 6);
+  EXPECT_EQ(warm.cache_misses(), bus.cache_misses());
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE(i);
+    expect_same_waveform(got[i], want[i]);
+  }
+
+  // Clones are independent: flushing one leaves the other warm.
+  warm.clear_cache();
+  EXPECT_EQ(warm.cache_entries(), 0u);
+  EXPECT_GT(bus.cache_entries(), 0u);
+}
+
+TEST(BusCache, CloneDoesNotInheritSink) {
+  struct CountingSink final : obs::Sink {
+    int n = 0;
+    void on_event(const obs::Event&) override { ++n; }
+  };
+  BusParams p;
+  p.n_wires = 4;
+  p.samples = 16;
+  CoupledBus bus(p);
+  CountingSink sink;
+  bus.set_sink(&sink);
+
+  CoupledBus copy = bus.clone();
+  util::BitVec prev(4);
+  util::BitVec next(4);
+  next.set(1, true);
+  copy.transition(prev, next);
+  EXPECT_EQ(sink.n, 0) << "a clone on another thread must not emit into "
+                          "the source's sink";
+  bus.transition(prev, next);
+  EXPECT_GT(sink.n, 0) << "the source keeps its sink";
+}
+
 TEST(BusCache, SettledLogicUnaffected) {
   // End-to-end sanity: detector-facing settled values are identical with
   // and without the cache across a victim sweep.
