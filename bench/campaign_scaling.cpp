@@ -1,11 +1,15 @@
 // Campaign sharding scaling bench + correctness guard.
 //
-// Runs a fixed multibus campaign workload at 1/2/4/8 shards and reports
-// wall-clock speedup into BENCH_campaign.json. Two classes of check:
+// The workload is the declarative scenarios/campaign_multibus.scenario.json
+// description (12 multibus units, crosstalk on a different wire of bus 1
+// each, 64-entry trace ring); the bench re-runs it at 1/2/4/8 shards via
+// scenario::run_scenario and reports wall-clock speedup into
+// BENCH_campaign.json. Two classes of check:
 //
-//  * Correctness (always enforced, exit 1): the merged report and merged
+//  * Correctness (always enforced, exit 1): the rendered report and merged
 //    metrics registry of every N-shard run must be byte-identical to the
-//    1-shard run's — the campaign runner's core guarantee.
+//    1-shard run's — the campaign runner's core guarantee, here exercised
+//    end-to-end through the scenario layer.
 //  * Performance (enforced only where it is physically possible): >= 2.5x
 //    speedup at 4 shards, checked only when the box actually has >= 4
 //    hardware threads, with retries to ride out CI load spikes. The
@@ -22,9 +26,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/campaign.hpp"
 #include "obs/registry.hpp"
-#include "si/bus.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/run.hpp"
 
 namespace {
 
@@ -37,27 +41,20 @@ std::size_t env_or(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
-jsi::core::CampaignRunner make_workload(std::size_t shards,
-                                        std::size_t units,
-                                        const jsi::si::CoupledBus* proto) {
-  jsi::core::CampaignConfig cfg;
-  cfg.shards = shards;
-  cfg.trace.capacity = 64;  // timing, not tracing, is under test
-  jsi::core::CampaignRunner runner(cfg);
-  runner.set_prototype_bus(proto);
+// The scenario ships 12 units; JSI_CAMPAIGN_UNITS rescales by truncating
+// or cycling the session list (renamed for uniqueness) so bigger boxes
+// can be driven harder without editing the file.
+jsi::scenario::ScenarioSpec make_workload(std::size_t units) {
+  jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(
+      std::string(JSI_SCENARIO_DIR) + "/campaign_multibus.scenario.json");
+  const std::vector<jsi::scenario::SessionSpec> base = spec.sessions;
+  spec.sessions.clear();
   for (std::size_t i = 0; i < units; ++i) {
-    jsi::core::MultiBusConfig mb;
-    mb.n_buses = 2;
-    mb.wires_per_bus = 8;
-    const std::size_t defect_wire = i % mb.wires_per_bus;
-    runner.add_multibus(
-        "mb" + std::to_string(i), mb,
-        jsi::core::ObservationMethod::PerInitValue,
-        [defect_wire](std::size_t b, jsi::si::CoupledBus& bus) {
-          if (b == 1) bus.inject_crosstalk_defect(defect_wire, 6.0);
-        });
+    jsi::scenario::SessionSpec s = base[i % base.size()];
+    s.name = "mb" + std::to_string(i);
+    spec.sessions.push_back(std::move(s));
   }
-  return runner;
+  return spec;
 }
 
 struct Timed {
@@ -66,17 +63,16 @@ struct Timed {
   std::string metrics_json;
 };
 
-Timed run_once(std::size_t shards, std::size_t units,
-               const jsi::si::CoupledBus* proto) {
-  jsi::core::CampaignRunner runner = make_workload(shards, units, proto);
+Timed run_once(const jsi::scenario::ScenarioSpec& spec, std::size_t shards) {
   const auto t0 = clock_type::now();
-  const jsi::core::CampaignResult r = runner.run();
+  const jsi::scenario::ScenarioOutcome r =
+      jsi::scenario::run_scenario(spec, {.shards = shards});
   const auto t1 = clock_type::now();
   Timed out;
   out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  out.text = r.to_text();
-  out.metrics_json = r.metrics.to_json();
-  if (r.failures != 0) {
+  out.text = r.report_text;
+  out.metrics_json = r.metrics_json;
+  if (r.result.failures != 0) {
     std::cerr << "FAIL: campaign units failed:\n" << out.text;
     std::exit(1);
   }
@@ -91,10 +87,7 @@ int main() {
   const unsigned hw = std::thread::hardware_concurrency();
   const std::size_t shard_counts[] = {1, 2, 4, 8};
 
-  // Warm prototype: every unit starts from this cache state.
-  jsi::si::BusParams bp;
-  bp.n_wires = 8;
-  jsi::si::CoupledBus proto(bp);
+  const jsi::scenario::ScenarioSpec spec = make_workload(units);
 
   std::cout << "campaign scaling: " << units << " multibus units, hw="
             << hw << " threads\n";
@@ -104,11 +97,11 @@ int main() {
   bool identical = true;
 
   for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
-    const Timed base = run_once(1, units, &proto);
+    const Timed base = run_once(spec, 1);
     double t4 = base.ms;
     for (const std::size_t shards : shard_counts) {
       if (shards == 1) continue;
-      const Timed t = run_once(shards, units, &proto);
+      const Timed t = run_once(spec, shards);
       // Correctness gate: byte-identical to the 1-shard reference.
       if (t.text != base.text || t.metrics_json != base.metrics_json) {
         std::cerr << "FAIL: " << shards

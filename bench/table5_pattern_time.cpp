@@ -15,6 +15,8 @@
 #include "analysis/time_model.hpp"
 #include "core/session.hpp"
 #include "obs/registry.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 #include "util/table.hpp"
 
 using namespace jsi;
@@ -27,10 +29,17 @@ struct MeasuredRun {
   std::uint64_t cache_misses = 0;
 };
 
-MeasuredRun measured_generation(std::size_t n, bool enhanced) {
-  core::SocConfig cfg;
-  cfg.n_wires = n;
-  cfg.m_extra_cells = 1;
+// The table's sweep points live in scenarios/table5_n<N>.scenario.json;
+// the architecture column (conventional vs PGBSC) is the one knob the
+// bench toggles on top of the shared description.
+scenario::ScenarioSpec table5_spec(std::size_t n) {
+  return scenario::load_scenario(std::string(JSI_SCENARIO_DIR) + "/table5_n" +
+                                 std::to_string(n) + ".scenario.json");
+}
+
+MeasuredRun measured_generation(const scenario::ScenarioSpec& spec,
+                                bool enhanced) {
+  core::SocConfig cfg = scenario::soc_config(spec);
   cfg.enhanced = enhanced;
   core::SiSocDevice soc(cfg);
   MeasuredRun out;
@@ -68,8 +77,9 @@ int main() {
   std::uint64_t misses = 0;
   for (std::size_t n : ns) {
     analysis::TimeModel model{n, 1, 4};
-    const auto conv = measured_generation(n, /*enhanced=*/false);
-    const auto enh = measured_generation(n, /*enhanced=*/true);
+    const scenario::ScenarioSpec spec = table5_spec(n);
+    const auto conv = measured_generation(spec, /*enhanced=*/false);
+    const auto enh = measured_generation(spec, /*enhanced=*/true);
     hits += conv.cache_hits + enh.cache_hits;
     misses += conv.cache_misses + enh.cache_misses;
     conv_row.push_back(std::to_string(conv.generation_tcks));

@@ -2,8 +2,9 @@
 // pattern) to name the exact MA fault behind each violation — the paper's
 // highest-resolution, highest-cost mode.
 //
-// Scenario: a 16-wire inter-core bus fabricated with two latent defects:
-//   * wires 4/5 routed too close (coupling capacitance x7),
+// The fabrication story lives in scenarios/crosstalk_diagnosis.scenario.json:
+// a 16-wire inter-core bus with two latent defects —
+//   * wires 4/5 routed too close (coupling capacitance x7, weak driver),
 //   * a resistive via on wire 11.
 // The test engineer wants to know not just *which* wires fail but *which
 // transition class* triggers them, to feed back to layout.
@@ -11,24 +12,27 @@
 #include <iostream>
 
 #include "core/session.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jsi;
 
-  core::SocConfig cfg;
-  cfg.n_wires = 16;
-  core::SiSocDevice soc(cfg);
+  const std::string path =
+      argc > 1
+          ? argv[1]
+          : std::string(JSI_SCENARIO_DIR) + "/crosstalk_diagnosis.scenario.json";
+  const scenario::ScenarioSpec spec = scenario::load_scenario(path);
 
-  // Defect 1: pair (4,5) over-coupled; wire 4's driver is also weak.
-  soc.bus().scale_coupling(4, 7.0);
-  soc.bus().add_series_resistance(4, 2200.0);
-  // Defect 2: resistive via on wire 11, calibrated to miss the skew
-  // budget only under Miller-doubled (opposite-phase) switching.
-  soc.bus().add_series_resistance(11, 300.0);
+  core::SiSocDevice soc(scenario::soc_config(spec));
+  for (const auto& d : scenario::resolved_defects(spec)) {
+    scenario::apply_defect(soc.bus(), d);
+  }
 
   core::SiTestSession session(soc);
-  const auto report = session.run(core::ObservationMethod::PerPattern);
+  const auto report =
+      session.run(scenario::observation_method(spec.sessions.at(0)));
 
   std::cout << "Method-3 session: " << report.patterns.size()
             << " patterns applied, " << report.readouts.size()

@@ -6,30 +6,39 @@
 // All three 8-wire buses share the boundary-scan chain; the one-hot
 // victim select of each bus advances with the same one-bit rotate scan,
 // so the whole SoC is screened in barely more clocks than a single bus.
+// Topology and defects come from scenarios/multibus_soc.scenario.json.
 
 #include <iostream>
 
 #include "core/multibus.hpp"
 #include "core/session.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jsi;
 
-  core::MultiBusConfig cfg;
-  cfg.n_buses = 3;
-  cfg.wires_per_bus = 8;
+  const std::string path =
+      argc > 1 ? argv[1]
+               : std::string(JSI_SCENARIO_DIR) + "/multibus_soc.scenario.json";
+  const scenario::ScenarioSpec spec = scenario::load_scenario(path);
+
+  const core::MultiBusConfig cfg = scenario::multibus_config(spec);
   core::MultiBusSoc soc(cfg);
 
   std::cout << "SoC: " << cfg.n_buses << " buses x " << cfg.wires_per_bus
             << " wires, chain length " << soc.chain_length() << "\n\n";
 
-  // Manufacturing defects in two different buses.
-  soc.bus(0).inject_crosstalk_defect(5, 7.0);   // bus0 wire5: coupling
-  soc.bus(2).add_series_resistance(1, 1000.0);  // bus2 wire1: resistive
+  // Manufacturing defects in two different buses (bus0 wire5: coupling;
+  // bus2 wire1: resistive), as the scenario declares them.
+  for (const auto& d : scenario::resolved_defects(spec)) {
+    scenario::apply_defect(soc.bus(d.bus), d);
+  }
 
   core::MultiBusSession session(soc);
-  const auto report = session.run(core::ObservationMethod::OnceAtEnd);
+  const auto report =
+      session.run(scenario::observation_method(spec.sessions.at(0)));
 
   std::cout << "One parallel session: " << report.total_tcks
             << " TCKs (generation " << report.generation_tcks

@@ -4,24 +4,32 @@
 // The controller replays its microcode ROM through the TAP, compacts the
 // scanned-out ND/SD flags into a status word, and the boot firmware
 // decides whether to bring the links up, derate them, or fail over.
+// The part's aging story (which defects it accumulated) is declared in
+// scenarios/power_on_self_test.scenario.json.
 
 #include <iostream>
 
 #include "core/bist.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jsi;
 
-  core::SocConfig cfg;
-  cfg.n_wires = 8;
+  const std::string path =
+      argc > 1
+          ? argv[1]
+          : std::string(JSI_SCENARIO_DIR) + "/power_on_self_test.scenario.json";
+  const scenario::ScenarioSpec spec = scenario::load_scenario(path);
+  const core::SocConfig cfg = scenario::soc_config(spec);
   core::SiSocDevice soc(cfg);
 
   // This particular part aged badly: electromigration opened a via on
   // wire 6 and a passivation defect raised the 2-3 coupling.
-  soc.bus().add_series_resistance(6, 1100.0);
-  soc.bus().scale_coupling(2, 6.5);
-  soc.bus().add_series_resistance(2, 2000.0);
+  for (const auto& d : scenario::resolved_defects(spec)) {
+    scenario::apply_defect(soc.bus(), d);
+  }
 
   core::SiBistController bist(soc);
   std::cout << "Power-on self test: " << bist.program().length()

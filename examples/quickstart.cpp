@@ -1,42 +1,52 @@
 // Quickstart: test the interconnects of a two-core SoC for signal
 // integrity through the extended JTAG architecture.
 //
-//   1. build an 8-wire SoC model (PGBSC sending cells, OBSC receiving
-//      cells, one extra standard boundary cell),
-//   2. inject a manufacturing defect into the bus model,
-//   3. run the G-SITEST / O-SITEST session (observation method 1),
-//   4. print the integrity report.
+// The whole setup — topology, injected defects, session — lives in a
+// declarative scenario file (scenarios/enhanced_8bit.scenario.json);
+// this example loads it, lowers it through the scenario layer and runs
+// the G-SITEST / O-SITEST session. Pass a different .scenario.json path
+// as argv[1] to screen another description.
 //
 // Build & run:  ./examples/quickstart   (from the build directory)
 
 #include <iostream>
 
 #include "core/session.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jsi;
 
-  // 1. The SoC: Core i --- 8 interconnects --- Core j, one TAP.
-  core::SocConfig cfg;
-  cfg.n_wires = 8;
-  cfg.m_extra_cells = 1;
+  // 1. The scenario: an 8-wire SoC (PGBSC sending cells, OBSC receiving
+  //    cells, one extra standard boundary cell) with two manufacturing
+  //    defects — crosstalk on wire 3 (severity 6) and a resistive open
+  //    adding 800 Ohm in series with wire 6.
+  const std::string path =
+      argc > 1 ? argv[1]
+               : std::string(JSI_SCENARIO_DIR) + "/enhanced_8bit.scenario.json";
+  const scenario::ScenarioSpec spec = scenario::load_scenario(path);
+  std::cout << "Scenario: " << spec.name << " — " << spec.description << "\n\n";
+
+  // 2. Lower it: SocConfig from the topology, defects applied to the bus.
+  const core::SocConfig cfg = scenario::soc_config(spec);
   core::SiSocDevice soc(cfg);
+  for (const auto& d : scenario::resolved_defects(spec)) {
+    scenario::apply_defect(soc.bus(), d);
+  }
+  for (const auto& d : spec.sessions.at(0).defects) {
+    scenario::apply_defect(soc.bus(), d);
+  }
 
   std::cout << "SoC: " << cfg.n_wires << " interconnects, chain length "
             << soc.chain_length() << ", IR width " << cfg.ir_width << "\n\n";
-
-  // 2. A crosstalk defect on wire 3: increased coupling to both neighbours
-  //    plus a weakened holding driver (severity 6).
-  soc.bus().inject_crosstalk_defect(3, 6.0);
-  //    ...and a resistive open adding 800 Ohm in series with wire 6.
-  soc.bus().add_series_resistance(6, 800.0);
 
   // 3. Run the full test session. Every TCK goes through the simulated
   //    IEEE 1149.1 protocol: SAMPLE/PRELOAD, G-SITEST pattern generation
   //    with victim rotation, then one O-SITEST read-out.
   core::SiTestSession session(soc);
   const core::IntegrityReport report =
-      session.run(core::ObservationMethod::OnceAtEnd);
+      session.run(scenario::observation_method(spec.sessions.at(0)));
 
   // 4. Results.
   std::cout << core::format_report(report);

@@ -12,6 +12,17 @@ namespace jsi::core {
 
 namespace {
 
+/// Shared prologue of every single-bus canned builder: derive the
+/// config's effective electrical parameters, seed the unit's bus from
+/// the campaign prototype (clone when the width matches, fresh
+/// otherwise), and apply the unit's defect injections.
+si::CoupledBus unit_bus(CampaignContext& ctx, const SocConfig& c,
+                        const CampaignRunner::BusSetup& defects) {
+  si::CoupledBus bus = ctx.make_bus(effective_bus_params(c));
+  if (defects) defects(bus);
+  return bus;
+}
+
 /// Shared tail of every canned builder: fold a session report into the
 /// outcome fields the merged campaign report is built from.
 UnitOutcome summarize(const IntegrityReport& rep) {
@@ -65,10 +76,7 @@ void CampaignRunner::add_enhanced(std::string name, SocConfig cfg,
            defects = std::move(defects)](CampaignContext& ctx) {
     SocConfig c = cfg;
     c.enhanced = true;
-    si::BusParams bp = c.bus;
-    bp.n_wires = c.n_wires;
-    si::CoupledBus bus = ctx.make_bus(bp);
-    if (defects) defects(bus);
+    si::CoupledBus bus = unit_bus(ctx, c, defects);
     SiSocDevice soc(c, bus);
     SiTestSession session(soc);
     session.set_sink(&ctx.hub());
@@ -86,10 +94,7 @@ void CampaignRunner::add_parallel(std::string name, SocConfig cfg,
            defects = std::move(defects)](CampaignContext& ctx) {
     SocConfig c = cfg;
     c.enhanced = true;
-    si::BusParams bp = c.bus;
-    bp.n_wires = c.n_wires;
-    si::CoupledBus bus = ctx.make_bus(bp);
-    if (defects) defects(bus);
+    si::CoupledBus bus = unit_bus(ctx, c, defects);
     SiSocDevice soc(c, bus);
     SiTestSession session(soc);
     session.set_sink(&ctx.hub());
@@ -107,10 +112,7 @@ void CampaignRunner::add_conventional(std::string name, SocConfig cfg,
            defects = std::move(defects)](CampaignContext& ctx) {
     SocConfig c = cfg;
     c.enhanced = false;
-    si::BusParams bp = c.bus;
-    bp.n_wires = c.n_wires;
-    si::CoupledBus bus = ctx.make_bus(bp);
-    if (defects) defects(bus);
+    si::CoupledBus bus = unit_bus(ctx, c, defects);
     SiSocDevice soc(c, bus);
     ConventionalSession session(soc);
     session.set_sink(&ctx.hub());
@@ -127,9 +129,7 @@ void CampaignRunner::add_multibus(std::string name, MultiBusConfig cfg,
   u.run = [cfg = std::move(cfg), method,
            defects = std::move(defects)](CampaignContext& ctx) {
     MultiBusConfig c = cfg;
-    si::BusParams bp = c.bus;
-    bp.n_wires = c.wires_per_bus;
-    si::CoupledBus proto = ctx.make_bus(bp);
+    si::CoupledBus proto = ctx.make_bus(effective_bus_params(c));
     MultiBusSoc soc(c, proto);
     if (defects) {
       for (std::size_t b = 0; b < soc.n_buses(); ++b) defects(b, soc.bus(b));
@@ -163,10 +163,7 @@ void CampaignRunner::add_bist(std::string name, SocConfig cfg,
            defects = std::move(defects)](CampaignContext& ctx) {
     SocConfig c = cfg;
     c.enhanced = true;
-    si::BusParams bp = c.bus;
-    bp.n_wires = c.n_wires;
-    si::CoupledBus bus = ctx.make_bus(bp);
-    if (defects) defects(bus);
+    si::CoupledBus bus = unit_bus(ctx, c, defects);
     SiSocDevice soc(c, bus);
     SiBistController ctl(soc);
     ctl.set_sink(&ctx.hub());

@@ -62,7 +62,7 @@ class CampaignContext {
   /// worker's units) keeps the observed cache behaviour independent of
   /// the sharding, which the byte-identity guarantee depends on.
   si::CoupledBus make_bus(const si::BusParams& p) const {
-    if (prototype_ != nullptr && prototype_->n() == p.n_wires) {
+    if (si::matches_width(prototype_, p.n_wires)) {
       return prototype_->clone();
     }
     return si::CoupledBus(p);

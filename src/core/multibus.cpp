@@ -10,6 +10,12 @@ namespace jsi::core {
 using util::BitVec;
 using util::Logic;
 
+si::BusParams effective_bus_params(const MultiBusConfig& cfg) {
+  si::BusParams bp = cfg.bus;
+  bp.n_wires = cfg.wires_per_bus;
+  return bp;
+}
+
 MultiBusSoc::MultiBusSoc(MultiBusConfig cfg)
     : MultiBusSoc(std::move(cfg), static_cast<const si::CoupledBus*>(nullptr)) {
 }
@@ -24,9 +30,8 @@ MultiBusSoc::MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus* prototype)
     throw std::invalid_argument("need >= 2 wires per bus");
   }
   if (prototype != nullptr) {
-    if (prototype->n() != cfg_.wires_per_bus) {
-      throw std::invalid_argument("prototype bus width != wires_per_bus");
-    }
+    si::require_width(*prototype, cfg_.wires_per_bus,
+                      "prototype bus width != wires_per_bus");
     cfg_.bus = prototype->params();
   }
   cfg_.nd.vdd = cfg_.bus.vdd;
@@ -36,9 +41,8 @@ MultiBusSoc::MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus* prototype)
     if (prototype != nullptr) {
       buses_.push_back(std::make_unique<si::CoupledBus>(prototype->clone()));
     } else {
-      si::BusParams bp = cfg_.bus;
-      bp.n_wires = cfg_.wires_per_bus;
-      buses_.push_back(std::make_unique<si::CoupledBus>(bp));
+      buses_.push_back(
+          std::make_unique<si::CoupledBus>(effective_bus_params(cfg_)));
     }
     pins_.emplace_back(cfg_.wires_per_bus, false);
   }

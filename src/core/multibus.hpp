@@ -32,6 +32,11 @@ struct MultiBusConfig {
   si::SdParams sd{};
 };
 
+/// The per-bus electrical parameters in force for a SoC built from
+/// `cfg`: `cfg.bus` with its width overridden by `cfg.wires_per_bus`
+/// (the multi-bus counterpart of effective_bus_params(SocConfig)).
+si::BusParams effective_bus_params(const MultiBusConfig& cfg);
+
 /// SoC model with B equal-width buses. Boundary-register order (cell 0
 /// nearest TDI):
 ///

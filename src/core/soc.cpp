@@ -7,6 +7,12 @@ namespace jsi::core {
 using util::BitVec;
 using util::Logic;
 
+si::BusParams effective_bus_params(const SocConfig& cfg) {
+  si::BusParams bp = cfg.bus;
+  bp.n_wires = cfg.n_wires;
+  return bp;
+}
+
 SiSocDevice::SiSocDevice(SocConfig cfg)
     : SiSocDevice(std::move(cfg), static_cast<si::CoupledBus*>(nullptr)) {}
 
@@ -17,17 +23,13 @@ SiSocDevice::SiSocDevice(SocConfig cfg, si::CoupledBus* external)
     : cfg_(std::move(cfg)), pins_(cfg_.n_wires, false) {
   if (cfg_.n_wires < 2) throw std::invalid_argument("need >= 2 interconnects");
   if (external != nullptr) {
-    if (external->n() != cfg_.n_wires) {
-      throw std::invalid_argument("external bus width != n_wires");
-    }
+    si::require_width(*external, cfg_.n_wires, "external bus width != n_wires");
     bus_ = external;
     // Keep config() truthful: the electrical parameters in force are the
     // external bus's, not whatever cfg.bus carried.
     cfg_.bus = external->params();
   } else {
-    si::BusParams bp = cfg_.bus;
-    bp.n_wires = cfg_.n_wires;
-    owned_bus_ = std::make_unique<si::CoupledBus>(bp);
+    owned_bus_ = std::make_unique<si::CoupledBus>(effective_bus_params(cfg_));
     bus_ = owned_bus_.get();
   }
   // Detector supplies follow the bus supply unless explicitly overridden.

@@ -30,6 +30,13 @@ struct SocConfig {
   si::SdParams sd{};
 };
 
+/// The electrical parameters actually in force for a SoC built from
+/// `cfg`: `cfg.bus` with its width overridden by `cfg.n_wires`. The one
+/// place this widening rule lives — the device constructor, the campaign
+/// unit builders and the scenario builder all derive bus parameters
+/// through it.
+si::BusParams effective_bus_params(const SocConfig& cfg);
+
 /// The paper's test architecture: Core i drives `n` interconnects through
 /// sending-side boundary cells, Core j receives them through observation
 /// cells, and a single IEEE 1149.1 TAP serves the whole chip.

@@ -1,48 +1,20 @@
 #ifndef JSI_OBS_JSON_HPP
 #define JSI_OBS_JSON_HPP
 
-#include <iosfwd>
-#include <optional>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
+// The JSON parser/writer started life here as an obs-internal helper but
+// is a generic utility (the scenario front-end must not depend on obs),
+// so the implementation moved to util/json. This header keeps the old
+// `jsi::obs::json` names as thin aliases so existing includes compile
+// unchanged; new code should include "util/json.hpp" directly.
+
+#include "util/json.hpp"
 
 namespace jsi::obs::json {
 
-/// Minimal JSON document model — just enough to validate what the
-/// tracer/registry emit (tests and the bench smoke target re-parse every
-/// exported file; no third-party JSON dependency is available in-tree).
-struct Value {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<Value> array;
-  std::vector<std::pair<std::string, Value>> object;  // insertion order
-
-  bool is_object() const { return type == Type::Object; }
-  bool is_array() const { return type == Type::Array; }
-  bool is_number() const { return type == Type::Number; }
-  bool is_string() const { return type == Type::String; }
-
-  /// First member named `key` (objects only), nullptr when absent.
-  const Value* find(const std::string& key) const;
-};
-
-/// Strict recursive-descent parse of a complete JSON text. On failure
-/// returns nullopt and, when `error` is given, a position-annotated
-/// message. `\u` escapes are decoded to UTF-8; surrogate pairs must be
-/// properly paired (a lone high or low surrogate is a parse error).
-std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
-
-/// Write `s` as a quoted JSON string: `"` and `\` are backslash-escaped,
-/// control characters (U+0000–U+001F) become \n/\t/\r/\b/\f or \u00XX.
-/// Every emitter in the obs layer funnels through this, so any label is
-/// safe on the output side — the strict parser above round-trips it.
-void write_escaped_string(std::ostream& os, std::string_view s);
+using Value = jsi::util::json::Value;
+using jsi::util::json::parse;
+using jsi::util::json::write_escaped_string;
+using jsi::util::json::write_number;
 
 }  // namespace jsi::obs::json
 

@@ -14,19 +14,10 @@ namespace jsi::obs {
 
 namespace {
 
-/// JSON-safe number rendering: integral values print without a fraction
-/// so counters round-trip exactly; everything else gets enough digits.
-void write_number(std::ostream& os, double v) {
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 1e15) {
-    os << static_cast<long long>(v);
-  } else {
-    std::ostringstream ss;
-    ss.precision(12);
-    ss << v;
-    os << ss.str();
-  }
-}
+// JSON-safe renderers shared with every other emitter in the repo:
+// integral numbers print without a fraction so counters round-trip
+// exactly, strings are escaped per the strict parser's rules.
+using json::write_number;
 
 void write_json_string(std::ostream& os, const std::string& s) {
   json::write_escaped_string(os, s);

@@ -22,6 +22,20 @@ void write_ts(std::ostream& os, std::uint64_t time_ps) {
 
 }  // namespace
 
+void write_event_jsonl(std::ostream& os, const Event& e) {
+  // Labels are escaped on output (not merely tolerated on input): a
+  // name carrying a quote, backslash or control character must still
+  // yield one valid JSON record per line.
+  os << "{\"kind\":\"" << event_kind_name(e.kind) << "\",\"tck\":" << e.tck
+     << ",\"t_ps\":" << e.time_ps << ",\"name\":";
+  json::write_escaped_string(os, e.name);
+  if (e.kind == EventKind::StateEdge) {
+    os << ",\"phase\":\"" << tck_phase_name(e.phase) << '"';
+  }
+  os << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"value\":" << e.value
+     << "}\n";
+}
+
 Tracer::Tracer(TracerConfig cfg) : cfg_(cfg) {
   if (cfg_.capacity == 0) cfg_.capacity = 1;
   ring_.reserve(cfg_.capacity);
@@ -74,19 +88,7 @@ void Tracer::clear() {
 }
 
 void Tracer::write_jsonl(std::ostream& os) const {
-  for (const Event& e : events()) {
-    // Labels are escaped on output (not merely tolerated on input): a
-    // name carrying a quote, backslash or control character must still
-    // yield one valid JSON record per line.
-    os << "{\"kind\":\"" << event_kind_name(e.kind) << "\",\"tck\":" << e.tck
-       << ",\"t_ps\":" << e.time_ps << ",\"name\":";
-    json::write_escaped_string(os, e.name);
-    if (e.kind == EventKind::StateEdge) {
-      os << ",\"phase\":\"" << tck_phase_name(e.phase) << '"';
-    }
-    os << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"value\":" << e.value
-       << "}\n";
-  }
+  for (const Event& e : events()) write_event_jsonl(os, e);
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {

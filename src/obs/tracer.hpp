@@ -9,6 +9,12 @@
 
 namespace jsi::obs {
 
+/// Write one stamped event as a single JSONL record (trailing newline):
+///   {"kind":"TapOpBegin","tck":12,"t_ps":120000,"name":"ScanDr",...}
+/// The exact format Tracer::write_jsonl emits per event — exposed so other
+/// renderers (the campaign artifact writer) stay byte-identical with it.
+void write_event_jsonl(std::ostream& os, const Event& e);
+
 /// What the tracer keeps and how it stamps time.
 struct TracerConfig {
   std::size_t capacity = 1 << 16;  ///< ring entries; oldest dropped when full

@@ -1,0 +1,92 @@
+#ifndef JSI_SCENARIO_BUILD_HPP
+#define JSI_SCENARIO_BUILD_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/multibus.hpp"
+#include "core/soc.hpp"
+#include "ict/board.hpp"
+#include "ict/extest_session.hpp"
+#include "scenario/spec.hpp"
+#include "si/bus.hpp"
+
+namespace jsi::scenario {
+
+// ---- thin config wrappers ---------------------------------------------------
+//
+// Consumers that want a single device rather than a whole campaign
+// (examples, benches) lower the relevant spec pieces through these.
+// Each throws SpecError when the spec's topology kind does not match.
+
+/// SocConfig for a Soc-topology spec (enhanced defaults to true; the
+/// session kind decides it at campaign-lowering time).
+core::SocConfig soc_config(const ScenarioSpec& spec);
+
+/// MultiBusConfig for a MultiBusSoc-topology spec.
+core::MultiBusConfig multibus_config(const ScenarioSpec& spec);
+
+/// BoardNets for a Board-topology spec with the scenario-level faults
+/// already injected.
+ict::BoardNets board_nets(const ScenarioSpec& spec);
+
+/// The core enum for a session's `method` field.
+core::ObservationMethod observation_method(const SessionSpec& s);
+
+/// The ict enum for a session's `algorithm` field.
+ict::Algorithm extest_algorithm(const SessionSpec& s);
+
+/// The scenario-level defect list with every RandomCrosstalk entry
+/// resolved into concrete Crosstalk placements using Prng(campaign.seed)
+/// — exactly the list build_campaign() applies to every unit.
+std::vector<DefectSpec> resolved_defects(const ScenarioSpec& spec);
+
+/// Apply one resolved electrical defect to a bus (RandomCrosstalk must
+/// be resolved first; board kinds are rejected with std::logic_error).
+void apply_defect(si::CoupledBus& bus, const DefectSpec& d);
+
+/// Apply one board fault to a net set (electrical kinds rejected).
+void apply_board_fault(ict::BoardNets& board, const DefectSpec& d);
+
+// ---- campaign lowering ------------------------------------------------------
+
+struct BuildOptions {
+  /// Override campaign.shards (the CLI's --shards flag).
+  std::optional<std::size_t> shards;
+};
+
+/// A lowered scenario: the campaign runner plus the prototype bus it
+/// clones per unit. Movable; the runner's prototype pointer stays valid
+/// because the bus lives behind a unique_ptr.
+class ScenarioCampaign {
+ public:
+  core::CampaignRunner& runner() { return runner_; }
+  const core::CampaignRunner& runner() const { return runner_; }
+
+  /// The warmed prototype (nullptr for board topologies or when
+  /// campaign.warm_prototype is false).
+  const si::CoupledBus* prototype() const { return proto_.get(); }
+
+  core::CampaignResult run() { return runner_.run(); }
+
+ private:
+  friend ScenarioCampaign build_campaign(const ScenarioSpec&,
+                                         const BuildOptions&);
+  std::unique_ptr<si::CoupledBus> proto_;
+  core::CampaignRunner runner_;
+};
+
+/// Lower a validated spec into an executable campaign: one unit per
+/// session (scenario-level defects plus the session's own, random
+/// placements resolved via the campaign seed), a warmed prototype bus
+/// shared by all matching-width units, and the spec's execution and
+/// observability settings. Deterministic: building the same spec twice
+/// yields campaigns whose runs are byte-identical.
+ScenarioCampaign build_campaign(const ScenarioSpec& spec,
+                                const BuildOptions& opt = {});
+
+}  // namespace jsi::scenario
+
+#endif  // JSI_SCENARIO_BUILD_HPP

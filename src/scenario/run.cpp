@@ -1,0 +1,67 @@
+#include "scenario/run.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/tracer.hpp"
+#include "scenario/build.hpp"
+#include "util/json.hpp"
+
+namespace jsi::scenario {
+
+namespace {
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path.string() + " for writing");
+  }
+  os << text;
+  if (!os) throw std::runtime_error("failed writing " + path.string());
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
+  ScenarioCampaign campaign = build_campaign(spec, {.shards = opt.shards});
+  ScenarioOutcome out;
+  out.result = campaign.run();
+  out.report_text = out.result.to_text();
+  out.metrics_json = out.result.metrics.to_json() + "\n";
+  out.events_jsonl = render_events_jsonl(out.result);
+  return out;
+}
+
+std::string render_events_jsonl(const core::CampaignResult& result) {
+  if (result.events.empty()) return {};
+  std::ostringstream os;
+  for (std::size_t u = 0; u < result.events.size(); ++u) {
+    os << "{\"kind\":\"UnitBegin\",\"unit\":" << u << ",\"name\":";
+    util::json::write_escaped_string(
+        os, u < result.units.size() ? result.units[u].name : std::string());
+    os << "}\n";
+    for (const obs::Event& e : result.events[u]) {
+      obs::write_event_jsonl(os, e);
+    }
+  }
+  return os.str();
+}
+
+void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome) {
+  const std::filesystem::path root(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create " + root.string() + ": " +
+                             ec.message());
+  }
+  write_file(root / "report.txt", outcome.report_text);
+  write_file(root / "metrics.json", outcome.metrics_json);
+  if (!outcome.events_jsonl.empty()) {
+    write_file(root / "events.jsonl", outcome.events_jsonl);
+  }
+}
+
+}  // namespace jsi::scenario

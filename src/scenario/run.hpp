@@ -1,0 +1,45 @@
+#ifndef JSI_SCENARIO_RUN_HPP
+#define JSI_SCENARIO_RUN_HPP
+
+#include <optional>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "scenario/spec.hpp"
+
+namespace jsi::scenario {
+
+struct RunOptions {
+  /// Override campaign.shards (the CLI's --shards flag).
+  std::optional<std::size_t> shards;
+};
+
+/// Everything one scenario execution produces, already rendered into the
+/// canonical artifact texts. The texts are pure functions of the spec —
+/// byte-identical for any shard count and for the CLI vs the programmatic
+/// path (the CLI is nothing but load_scenario + run_scenario +
+/// write_artifacts).
+struct ScenarioOutcome {
+  core::CampaignResult result;
+  std::string report_text;   ///< CampaignResult::to_text()
+  std::string metrics_json;  ///< merged Registry as one JSON object + '\n'
+  /// Per-unit event streams as JSONL: a {"kind":"UnitBegin",...} header
+  /// per unit followed by its stamped events. Empty unless the spec sets
+  /// campaign.keep_events.
+  std::string events_jsonl;
+};
+
+/// Lower the spec (build_campaign), run it, and render the artifacts.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             const RunOptions& opt = {});
+
+/// The events.jsonl text for a result captured with keep_events.
+std::string render_events_jsonl(const core::CampaignResult& result);
+
+/// Write report.txt, metrics.json and (when non-empty) events.jsonl into
+/// `dir`, creating it if needed. Throws std::runtime_error on I/O errors.
+void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome);
+
+}  // namespace jsi::scenario
+
+#endif  // JSI_SCENARIO_RUN_HPP

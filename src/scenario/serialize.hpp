@@ -1,0 +1,25 @@
+#ifndef JSI_SCENARIO_SERIALIZE_HPP
+#define JSI_SCENARIO_SERIALIZE_HPP
+
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace jsi::scenario {
+
+/// Lower a spec to its canonical JSON document: fixed member order, every
+/// kind-relevant field explicit, optional blocks (empty defect lists,
+/// empty names) omitted.
+util::json::Value to_json(const ScenarioSpec& spec);
+
+/// Canonical text form (2-space pretty print, trailing newline). The
+/// serialization is byte-deterministic and a fixed point of the parser:
+/// serialize(parse(serialize(spec))) == serialize(spec). Every shipped
+/// scenarios/*.scenario.json file is stored in exactly this form, pinned
+/// by the round-trip suite.
+std::string serialize(const ScenarioSpec& spec);
+
+}  // namespace jsi::scenario
+
+#endif  // JSI_SCENARIO_SERIALIZE_HPP

@@ -1,0 +1,58 @@
+#include "scenario/spec.hpp"
+
+namespace jsi::scenario {
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Soc: return "soc";
+    case TopologyKind::MultiBusSoc: return "multibus_soc";
+    case TopologyKind::Board: return "board";
+  }
+  return "?";
+}
+
+const char* defect_kind_name(DefectKind k) {
+  switch (k) {
+    case DefectKind::Crosstalk: return "crosstalk";
+    case DefectKind::Coupling: return "coupling";
+    case DefectKind::SeriesResistance: return "series_resistance";
+    case DefectKind::RandomCrosstalk: return "random_crosstalk";
+    case DefectKind::Stuck: return "stuck";
+    case DefectKind::Open: return "open";
+    case DefectKind::Short: return "short";
+  }
+  return "?";
+}
+
+const char* session_kind_name(SessionKind k) {
+  switch (k) {
+    case SessionKind::Enhanced: return "enhanced";
+    case SessionKind::Conventional: return "conventional";
+    case SessionKind::Parallel: return "parallel";
+    case SessionKind::MultiBus: return "multibus";
+    case SessionKind::Bist: return "bist";
+    case SessionKind::Extest: return "extest";
+  }
+  return "?";
+}
+
+const char* extest_algorithm_name(ExtestAlgorithm a) {
+  switch (a) {
+    case ExtestAlgorithm::WalkingOnes: return "walking_ones";
+    case ExtestAlgorithm::CountingSequence: return "counting_sequence";
+    case ExtestAlgorithm::TrueComplementCounting:
+      return "true_complement_counting";
+  }
+  return "?";
+}
+
+std::size_t ScenarioSpec::width() const {
+  switch (topology.kind) {
+    case TopologyKind::Soc: return topology.n_wires;
+    case TopologyKind::MultiBusSoc: return topology.wires_per_bus;
+    case TopologyKind::Board: return topology.n_nets;
+  }
+  return 0;
+}
+
+}  // namespace jsi::scenario

@@ -1,0 +1,174 @@
+#ifndef JSI_SCENARIO_SPEC_HPP
+#define JSI_SCENARIO_SPEC_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "si/bus.hpp"
+
+namespace jsi::scenario {
+
+/// Validation failure for a scenario document. Every error names the
+/// offending location as a dotted path into the JSON document
+/// ("sessions[2].method") plus a human reason; what() is always
+/// "<path>: <reason>", and tests pin these strings exactly.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::string path, std::string reason)
+      : std::runtime_error(path + ": " + reason),
+        path_(std::move(path)),
+        reason_(std::move(reason)) {}
+
+  const std::string& path() const { return path_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string path_;
+  std::string reason_;
+};
+
+/// Device-under-test families a scenario can describe. One scenario
+/// models exactly one topology; every session in it runs against a fresh
+/// instance of that topology.
+enum class TopologyKind {
+  Soc,         ///< two-core SoC, one n-wire interconnect bus (paper Fig 11)
+  MultiBusSoc, ///< B equal-width buses sharing one TAP
+  Board,       ///< two chips over PCB traces (classic EXTEST)
+};
+
+const char* topology_kind_name(TopologyKind k);
+
+/// The device under test. Which fields are meaningful depends on `kind`;
+/// the parser rejects keys that do not belong to the declared kind, and
+/// the serializer emits exactly the kind-relevant set.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Soc;
+
+  // kind == Soc
+  std::size_t n_wires = 8;
+
+  // kind == MultiBusSoc
+  std::size_t n_buses = 2;
+  std::size_t wires_per_bus = 8;
+
+  // Soc and MultiBusSoc
+  std::size_t m_extra_cells = 1;
+  std::size_t ir_width = 4;
+  std::uint32_t idcode = 0;  ///< parse fills the kind default when absent
+  si::BusParams bus{};       ///< width is overridden by the topology width
+
+  // kind == Board
+  std::size_t n_nets = 8;
+  bool float_value = true;
+};
+
+/// Injectable defect / fault kinds. The electrical kinds target the
+/// coupled-bus model (Soc / MultiBusSoc topologies); the static kinds
+/// target board nets (Board topology). RandomCrosstalk is resolved into
+/// concrete Crosstalk entries at build time using the campaign seed, so
+/// a seeded scenario is fully deterministic end to end.
+enum class DefectKind {
+  Crosstalk,         ///< CoupledBus::inject_crosstalk_defect(wire, severity)
+  Coupling,          ///< CoupledBus::scale_coupling(pair, factor)
+  SeriesResistance,  ///< CoupledBus::add_series_resistance(wire, ohms)
+  RandomCrosstalk,   ///< `count` seeded-random Crosstalk placements
+  Stuck,             ///< BoardNets::inject_stuck(net, value)
+  Open,              ///< BoardNets::inject_open(net)
+  Short,             ///< BoardNets::inject_short(nets, wired_and)
+};
+
+const char* defect_kind_name(DefectKind k);
+
+struct DefectSpec {
+  DefectKind kind = DefectKind::Crosstalk;
+
+  // electrical kinds; `bus` is required (and only valid) on a
+  // MultiBusSoc topology
+  std::size_t bus = 0;
+  std::size_t wire = 0;       // Crosstalk / SeriesResistance
+  std::size_t pair = 0;       // Coupling
+  double severity = 1.0;      // Crosstalk / RandomCrosstalk
+  double factor = 1.0;        // Coupling
+  double ohms = 0.0;          // SeriesResistance
+  std::size_t count = 1;      // RandomCrosstalk
+
+  // board kinds
+  std::size_t net = 0;            // Stuck / Open
+  bool value = false;             // Stuck
+  std::vector<std::size_t> nets;  // Short (>= 2 members)
+  bool wired_and = true;          // Short
+};
+
+/// Session flavours — the six ways this repo can drive a test. Each
+/// lowers to one core::CampaignUnit.
+enum class SessionKind {
+  Enhanced,      ///< SiTestSession::run (PGBSC/OBSC, paper Fig 12)
+  Conventional,  ///< ConventionalSession::run (Table 5 baseline)
+  Parallel,      ///< SiTestSession::run_parallel (multi-victim)
+  MultiBus,      ///< MultiBusSession::run (all buses at once)
+  Bist,          ///< SiBistController::run (autonomous microcode)
+  Extest,        ///< ict::ExtestInterconnectSession::run (board nets)
+};
+
+const char* session_kind_name(SessionKind k);
+
+/// Board-level pattern algorithm (Extest sessions only).
+enum class ExtestAlgorithm {
+  WalkingOnes,
+  CountingSequence,
+  TrueComplementCounting,
+};
+
+const char* extest_algorithm_name(ExtestAlgorithm a);
+
+struct SessionSpec {
+  SessionKind kind = SessionKind::Enhanced;
+  std::string name;      ///< unit name; empty = "<kind>_<index>" at build
+  int method = 1;        ///< observation method 1..3 (not Bist/Extest)
+  std::size_t guard = 2; ///< victim spacing (Parallel only)
+  ExtestAlgorithm algorithm = ExtestAlgorithm::WalkingOnes;  // Extest only
+  /// Extra defects for this session's unit, applied after the
+  /// scenario-level ones.
+  std::vector<DefectSpec> defects;
+};
+
+/// How the lowered campaign executes.
+struct CampaignSpec {
+  std::size_t shards = 1;       ///< 0 = one worker per hardware thread
+  std::uint64_t seed = 0;       ///< resolves RandomCrosstalk placements
+  bool keep_events = false;     ///< keep per-unit event streams in the result
+  bool strict_metrics = true;   ///< MetricsSink TCK cross-check throws
+  bool warm_prototype = true;   ///< pre-warm the shared prototype bus cache
+};
+
+/// Observability settings of every worker hub (mirrors obs::TracerConfig).
+struct ObsSpec {
+  std::size_t trace_capacity = 1 << 16;
+  bool tap_edges = true;
+  bool cache_lookups = false;
+  std::uint64_t tck_period_ps = 10'000;
+};
+
+/// A complete declarative scenario: one topology, its fabricated
+/// defects, the sessions to run against it, and how to execute and
+/// observe them. This is the single source every consumer lowers from —
+/// examples, benches, the test suite and the `jsi` CLI all build the
+/// same campaign from the same spec.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  TopologySpec topology;
+  std::vector<DefectSpec> defects;   ///< applied to every session's unit
+  std::vector<SessionSpec> sessions; ///< at least one
+  CampaignSpec campaign;
+  ObsSpec obs;
+
+  /// Width of the topology's bus(es): n_wires, wires_per_bus or n_nets.
+  std::size_t width() const;
+};
+
+}  // namespace jsi::scenario
+
+#endif  // JSI_SCENARIO_SPEC_HPP

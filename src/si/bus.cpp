@@ -267,4 +267,13 @@ util::Logic CoupledBus::settled_logic(const Waveform& w) const {
   return util::to_logic(w.final_value() >= p_.vdd / 2.0);
 }
 
+bool matches_width(const CoupledBus* bus, std::size_t expected) {
+  return bus != nullptr && bus->n() == expected;
+}
+
+void require_width(const CoupledBus& bus, std::size_t expected,
+                   const char* message) {
+  if (bus.n() != expected) throw std::invalid_argument(message);
+}
+
 }  // namespace jsi::si

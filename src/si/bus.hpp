@@ -208,6 +208,17 @@ class CoupledBus {
   obs::Sink* sink_ = nullptr;
 };
 
+/// True when `bus` is non-null and models exactly `expected` wires — the
+/// "may I clone this prototype?" predicate shared by the campaign
+/// runner's per-unit bus factory and the scenario builder.
+bool matches_width(const CoupledBus* bus, std::size_t expected);
+
+/// Throw std::invalid_argument(message) unless `bus.n() == expected`.
+/// The single checked width gate used by SiSocDevice, MultiBusSoc and
+/// the scenario builder (each passes its own established message text).
+void require_width(const CoupledBus& bus, std::size_t expected,
+                   const char* message);
+
 }  // namespace jsi::si
 
 #endif  // JSI_SI_BUS_HPP

@@ -1,11 +1,12 @@
-#include "obs/json.hpp"
+#include "util/json.hpp"
 
 #include <cctype>
-#include <cstdint>
+#include <cmath>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
-namespace jsi::obs::json {
+namespace jsi::util::json {
 
 const Value* Value::find(const std::string& key) const {
   if (type != Type::Object) return nullptr;
@@ -13,6 +14,51 @@ const Value* Value::find(const std::string& key) const {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+Value Value::make_null() { return Value{}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.type = Type::Bool;
+  v.boolean = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.type = Type::Number;
+  v.number = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.type = Type::String;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::make_array() {
+  Value v;
+  v.type = Type::Array;
+  return v;
+}
+
+Value Value::make_object() {
+  Value v;
+  v.type = Type::Object;
+  return v;
+}
+
+Value& Value::add(std::string key, Value v) {
+  object.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  array.push_back(std::move(v));
+  return *this;
 }
 
 namespace {
@@ -249,6 +295,64 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+class Writer {
+ public:
+  Writer(std::ostream& os, int indent) : os_(os), indent_(indent) {}
+
+  void value(const Value& v, int depth) {
+    switch (v.type) {
+      case Value::Type::Null: os_ << "null"; break;
+      case Value::Type::Bool: os_ << (v.boolean ? "true" : "false"); break;
+      case Value::Type::Number: write_number(os_, v.number); break;
+      case Value::Type::String: write_escaped_string(os_, v.str); break;
+      case Value::Type::Array: array(v, depth); break;
+      case Value::Type::Object: object(v, depth); break;
+    }
+  }
+
+ private:
+  void newline(int depth) {
+    if (indent_ <= 0) return;
+    os_ << '\n';
+    for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+  }
+
+  void array(const Value& v, int depth) {
+    if (v.array.empty()) {
+      os_ << "[]";
+      return;
+    }
+    os_ << '[';
+    for (std::size_t i = 0; i < v.array.size(); ++i) {
+      if (i) os_ << ',';
+      newline(depth + 1);
+      value(v.array[i], depth + 1);
+    }
+    newline(depth);
+    os_ << ']';
+  }
+
+  void object(const Value& v, int depth) {
+    if (v.object.empty()) {
+      os_ << "{}";
+      return;
+    }
+    os_ << '{';
+    for (std::size_t i = 0; i < v.object.size(); ++i) {
+      if (i) os_ << ',';
+      newline(depth + 1);
+      write_escaped_string(os_, v.object[i].first);
+      os_ << (indent_ > 0 ? ": " : ":");
+      value(v.object[i].second, depth + 1);
+    }
+    newline(depth);
+    os_ << '}';
+  }
+
+  std::ostream& os_;
+  int indent_;
+};
+
 }  // namespace
 
 std::optional<Value> parse(std::string_view text, std::string* error) {
@@ -282,4 +386,27 @@ void write_escaped_string(std::ostream& os, std::string_view s) {
   os << '"';
 }
 
-}  // namespace jsi::obs::json
+void write_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    std::ostringstream ss;
+    ss.precision(12);
+    ss << v;
+    os << ss.str();
+  }
+}
+
+void write(std::ostream& os, const Value& v, int indent) {
+  Writer(os, indent).value(v, 0);
+}
+
+std::string to_text(const Value& v, int indent) {
+  std::ostringstream ss;
+  write(ss, v, indent);
+  if (indent > 0) ss << '\n';
+  return ss.str();
+}
+
+}  // namespace jsi::util::json

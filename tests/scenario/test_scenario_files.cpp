@@ -1,0 +1,84 @@
+// Every shipped scenarios/*.scenario.json file must parse and be stored
+// in canonical form: file bytes == serialize(parse(file)), and the
+// serialization is a fixed point of the parser. This keeps `jsi print`
+// a no-op on the shipped set and the round-trip guarantee honest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/parse.hpp"
+#include "scenario/serialize.hpp"
+
+namespace fs = std::filesystem;
+using namespace jsi;
+
+namespace {
+
+std::vector<fs::path> scenario_files() {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(JSI_SCENARIO_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 14 &&
+        name.substr(name.size() - 14) == ".scenario.json") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(ScenarioFiles, ShippedSetIsPresent) {
+  const auto files = scenario_files();
+  EXPECT_GE(files.size(), 12u) << "scenarios/ lost files";
+  auto has = [&files](const char* base) {
+    return std::any_of(files.begin(), files.end(), [base](const fs::path& p) {
+      return p.filename() == std::string(base) + ".scenario.json";
+    });
+  };
+  EXPECT_TRUE(has("enhanced_8bit"));
+  EXPECT_TRUE(has("campaign_8bit"));
+  EXPECT_TRUE(has("board_extest"));
+  EXPECT_TRUE(has("table5_n64"));
+}
+
+TEST(ScenarioFiles, EveryFileParsesAndIsCanonical) {
+  for (const fs::path& p : scenario_files()) {
+    SCOPED_TRACE(p.filename().string());
+    const std::string text = slurp(p);
+    ASSERT_FALSE(text.empty());
+    scenario::ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = scenario::parse_scenario(text)) << p;
+    // Stored canonically: the file IS its own serialization...
+    const std::string canon = scenario::serialize(spec);
+    EXPECT_EQ(text, canon)
+        << "re-canonicalize with: jsi print " << p << " > tmp && mv tmp " << p;
+    // ...and the canonical form is a parser fixed point.
+    EXPECT_EQ(canon, scenario::serialize(scenario::parse_scenario(canon)));
+    // Names match their file (keeps the table in scenarios/README.md sane).
+    const std::string base = p.filename().string();
+    EXPECT_EQ(spec.name + ".scenario.json", base);
+  }
+}
+
+TEST(ScenarioFiles, LoadScenarioMatchesParse) {
+  const fs::path p =
+      fs::path(JSI_SCENARIO_DIR) / "enhanced_8bit.scenario.json";
+  const scenario::ScenarioSpec a = scenario::load_scenario(p.string());
+  const scenario::ScenarioSpec b = scenario::parse_scenario(slurp(p));
+  EXPECT_EQ(scenario::serialize(a), scenario::serialize(b));
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// jsi — the scenario driver. One declarative description, every
+// session/campaign path:
+//
+//   jsi run <scenario.json> [--shards N] [--out DIR]
+//   jsi validate <scenario.json>
+//   jsi print <scenario.json>
+//
+// `run` executes the scenario's campaign and prints the canonical report;
+// with --out it also writes report.txt / metrics.json / events.jsonl.
+// Those artifacts are byte-identical to the programmatic
+// scenario::run_scenario() path at any shard count (pinned by the
+// tests/scenario CLI-parity suite). Exit status: 0 clean, 1 when any unit
+// failed, 2 on usage/parse/I-O errors.
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "scenario/parse.hpp"
+#include "scenario/run.hpp"
+#include "scenario/serialize.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int status) {
+  os << "usage: jsi run <scenario.json> [--shards N] [--out DIR]\n"
+        "       jsi validate <scenario.json>\n"
+        "       jsi print <scenario.json>\n";
+  return status;
+}
+
+int cmd_run(const std::string& file, const std::optional<std::size_t>& shards,
+            const std::optional<std::string>& out_dir) {
+  const jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(file);
+  const jsi::scenario::ScenarioOutcome outcome =
+      jsi::scenario::run_scenario(spec, {.shards = shards});
+  std::cout << outcome.report_text;
+  if (out_dir) {
+    jsi::scenario::write_artifacts(*out_dir, outcome);
+    std::cout << "artifacts: " << *out_dir << "\n";
+  }
+  return outcome.result.failures > 0 ? 1 : 0;
+}
+
+int cmd_validate(const std::string& file) {
+  const jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(file);
+  std::cout << "ok: " << spec.name << " (" << spec.sessions.size()
+            << " session" << (spec.sessions.size() == 1 ? "" : "s") << ")\n";
+  return 0;
+}
+
+int cmd_print(const std::string& file) {
+  const jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(file);
+  std::cout << jsi::scenario::serialize(spec);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (argc < 3) return usage(std::cerr, 2);
+  const std::string file = argv[2];
+
+  std::optional<std::size_t> shards;
+  std::optional<std::string> out_dir;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::cerr << "jsi: --shards wants a non-negative integer, got \""
+                  << argv[i] << "\"\n";
+        return 2;
+      }
+      shards = static_cast<std::size_t>(v);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::cerr << "jsi: unknown argument \"" << arg << "\"\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  try {
+    if (cmd == "run") return cmd_run(file, shards, out_dir);
+    if (cmd == "validate") return cmd_validate(file);
+    if (cmd == "print") return cmd_print(file);
+    std::cerr << "jsi: unknown command \"" << cmd << "\"\n";
+    return usage(std::cerr, 2);
+  } catch (const jsi::scenario::SpecError& e) {
+    std::cerr << "jsi: " << file << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "jsi: " << e.what() << "\n";
+    return 2;
+  }
+}
