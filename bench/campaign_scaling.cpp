@@ -61,6 +61,13 @@ struct Timed {
   double ms = 0.0;
   std::string text;
   std::string metrics_json;
+  // Bus lookup traffic from the run's merged registry: the per-wire memo
+  // cache and the precompiled MA transition tables, recorded as campaign
+  // hit-rate gauges in BENCH_campaign.json.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t table_hits = 0;
+  std::uint64_t table_misses = 0;
 };
 
 Timed run_once(const jsi::scenario::ScenarioSpec& spec, std::size_t shards) {
@@ -72,6 +79,10 @@ Timed run_once(const jsi::scenario::ScenarioSpec& spec, std::size_t shards) {
   out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   out.text = r.report_text;
   out.metrics_json = r.metrics_json;
+  out.cache_hits = r.result.metrics.counter_value("bus.cache_hits");
+  out.cache_misses = r.result.metrics.counter_value("bus.cache_misses");
+  out.table_hits = r.result.metrics.counter_value("bus.table_hits");
+  out.table_misses = r.result.metrics.counter_value("bus.table_misses");
   if (r.result.failures != 0) {
     std::cerr << "FAIL: campaign units failed:\n" << out.text;
     std::exit(1);
@@ -95,9 +106,11 @@ int main() {
   jsi::obs::Registry& reg = jsi::obs::global_registry();
   double best_speedup4 = 0.0;
   bool identical = true;
+  Timed ref;  // last 1-shard run (deterministic, so any attempt's will do)
 
   for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
     const Timed base = run_once(spec, 1);
+    ref = base;
     double t4 = base.ms;
     for (const std::size_t shards : shard_counts) {
       if (shards == 1) continue;
@@ -128,6 +141,20 @@ int main() {
   reg.gauge("campaign.speedup.best_4shard").set(best_speedup4);
   reg.gauge("campaign.hw_threads").set(static_cast<double>(hw));
   reg.counter("campaign.units").inc(units);
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  };
+  reg.gauge("campaign.bus.cache_hit_rate")
+      .set(rate(ref.cache_hits, ref.cache_misses));
+  reg.gauge("campaign.bus.table_hit_rate")
+      .set(rate(ref.table_hits, ref.table_misses));
+  std::cout << "bus lookups: memo " << ref.cache_hits << "/"
+            << ref.cache_hits + ref.cache_misses << " hits, tables "
+            << ref.table_hits << "/" << ref.table_hits + ref.table_misses
+            << " hits\n";
   const std::string path = jsi::obs::jsi_metrics_dump("campaign");
   if (!path.empty()) std::cout << "metrics: " << path << "\n";
 

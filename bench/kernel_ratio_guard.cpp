@@ -1,0 +1,76 @@
+// Waveform-kernel throughput guard.
+//
+// The batched kernel's contract is "MA transitions are (nearly) free":
+// the 6*n G-SITEST vector pairs are precompiled into per-generation
+// transition tables, so the steady-state hot path is one hash probe and
+// n pointer stores instead of n per-wire analytic solves. This guard
+// measures transitions/sec of the batched path against the raw scalar
+// solver (bench/kernel_throughput.hpp) and fails (exit 1) when the
+// speedup ratio drops below the floor — or, unconditionally, when the
+// two paths disagree on a single output bit.
+//
+// Methodology mirrors obs_overhead_guard: best-of-K attempts so a CI
+// load spike has to persist to fail us; the parity check is
+// deterministic and never retried.
+//
+// Knobs:
+//   JSI_KERNEL_RATIO_MIN  speedup floor (default 3.0)
+//   JSI_KERNEL_WIRES      bus width measured (default 8)
+//   JSI_KERNEL_REPS       scalar MA sweeps per attempt (default 6)
+//   JSI_KERNEL_ATTEMPTS   retry attempts (default 5)
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "kernel_throughput.hpp"
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+int main() {
+  const double kMinRatio = env_or("JSI_KERNEL_RATIO_MIN", 3.0);
+  const std::size_t n_wires =
+      static_cast<std::size_t>(env_or("JSI_KERNEL_WIRES", 8.0));
+  const std::size_t reps =
+      static_cast<std::size_t>(env_or("JSI_KERNEL_REPS", 6.0));
+  const int attempts = static_cast<int>(env_or("JSI_KERNEL_ATTEMPTS", 5.0));
+
+  // Warm-up: fault in code, allocator pools and branch predictors.
+  jsi::bench::measure_kernel_throughput(n_wires, 1);
+
+  double best_ratio = 0.0;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    const jsi::bench::KernelThroughput kt =
+        jsi::bench::measure_kernel_throughput(n_wires, reps);
+    if (!kt.parity_ok) {
+      std::cerr << "FAIL: batched kernel output differs from the scalar "
+                   "reference (bit-for-bit parity broken)\n";
+      return 1;
+    }
+    best_ratio = std::max(best_ratio, kt.ratio);
+    std::cout << "attempt " << attempt << ": batched "
+              << kt.batched_tps << " trans/s, scalar " << kt.scalar_tps
+              << " trans/s, ratio " << kt.ratio << "x (table "
+              << kt.table_entries << " entries, " << kt.table_hits
+              << " hits / " << kt.table_misses << " misses)\n";
+    if (best_ratio >= kMinRatio) {
+      std::cout << "OK: batched/scalar ratio " << best_ratio
+                << "x >= " << kMinRatio << "x floor\n";
+      return 0;
+    }
+  }
+  std::cerr << "FAIL: best batched/scalar ratio " << best_ratio
+            << "x < " << kMinRatio << "x floor\n";
+  return 1;
+}

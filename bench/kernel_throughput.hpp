@@ -1,0 +1,123 @@
+// Shared measurement core for the waveform-kernel throughput metric:
+// transitions/sec of the batched (table-backed) path versus the raw
+// scalar solver over the complete MA pattern workload, plus the
+// bit-for-bit parity pin between the two. Used by bench/perf_kernel.cpp
+// (dumps the numbers into BENCH_perf_kernel.json) and by
+// bench/kernel_ratio_guard.cpp (the CTest ratio assertion).
+
+#ifndef JSI_BENCH_KERNEL_THROUGHPUT_HPP
+#define JSI_BENCH_KERNEL_THROUGHPUT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mafm/fault.hpp"
+#include "si/bus.hpp"
+
+namespace jsi::bench {
+
+struct KernelThroughput {
+  std::size_t n_wires = 0;
+  double batched_tps = 0.0;  ///< transitions/sec, precompiled-table path
+  double scalar_tps = 0.0;   ///< transitions/sec, raw per-wire heap solver
+  double ratio = 0.0;        ///< batched_tps / scalar_tps
+  std::uint64_t table_hits = 0;
+  std::uint64_t table_misses = 0;
+  std::size_t table_entries = 0;
+  bool parity_ok = false;  ///< batched == scalar bit-for-bit on every sample
+};
+
+/// The complete MA pattern workload of an n-wire bus: the 6*n vector
+/// pairs the paper's G-SITEST applies (duplicates included, as a real
+/// session would re-apply them).
+inline std::vector<mafm::VectorPair> ma_workload(std::size_t n_wires) {
+  std::vector<mafm::VectorPair> pairs;
+  pairs.reserve(6 * n_wires);
+  for (const mafm::MaFault f : mafm::kAllFaults) {
+    for (std::size_t victim = 0; victim < n_wires; ++victim) {
+      pairs.push_back(mafm::vectors_for(f, n_wires, victim));
+    }
+  }
+  return pairs;
+}
+
+/// Measure both paths on one bus configuration. `scalar_reps` full MA
+/// sweeps are timed on the raw solver; the batched path gets
+/// `scalar_reps * 64` sweeps so the (much faster) loop still spans many
+/// timer ticks. Throughputs are normalized per transition either way.
+inline KernelThroughput measure_kernel_throughput(std::size_t n_wires,
+                                                  std::size_t scalar_reps) {
+  using clock_type = std::chrono::steady_clock;
+  si::BusParams p;
+  p.n_wires = n_wires;
+  const std::vector<mafm::VectorPair> pairs = ma_workload(n_wires);
+
+  si::CoupledBus batched(p);
+  batched.precompile_tables();
+  // Reference: the raw analytic solver, no tables, no memo — every call
+  // does the full per-wire exponential evaluation into fresh heap
+  // storage, exactly the pre-batching hot path.
+  si::CoupledBus scalar(p);
+  scalar.set_tables_enabled(false);
+  scalar.set_cache_enabled(false);
+
+  KernelThroughput out;
+  out.n_wires = n_wires;
+
+  // Parity pin: every sample of every wire of every MA transition must
+  // match the scalar reference bit-for-bit.
+  out.parity_ok = true;
+  const std::size_t samples = p.samples;
+  for (const mafm::VectorPair& vp : pairs) {
+    const si::TransitionBatch b = batched.transition_batch(vp.v1, vp.v2);
+    for (std::size_t i = 0; i < n_wires && out.parity_ok; ++i) {
+      const si::Waveform ref = scalar.wire_response(i, vp.v1, vp.v2);
+      if (std::memcmp(b.wire(i).data(), ref.data(),
+                      samples * sizeof(double)) != 0) {
+        out.parity_ok = false;
+      }
+    }
+  }
+
+  // Batched timing (steady state: tables built, arena warm).
+  double checksum = 0.0;
+  const std::size_t batched_reps = scalar_reps * 64;
+  const auto b0 = clock_type::now();
+  for (std::size_t r = 0; r < batched_reps; ++r) {
+    for (const mafm::VectorPair& vp : pairs) {
+      const si::TransitionBatch b = batched.transition_batch(vp.v1, vp.v2);
+      checksum += b.wire(n_wires / 2).final_value();
+    }
+  }
+  const auto b1 = clock_type::now();
+
+  // Scalar timing.
+  for (std::size_t r = 0; r < scalar_reps; ++r) {
+    for (const mafm::VectorPair& vp : pairs) {
+      for (std::size_t i = 0; i < n_wires; ++i) {
+        checksum += scalar.wire_response(i, vp.v1, vp.v2).final_value();
+      }
+    }
+  }
+  const auto s1 = clock_type::now();
+
+  const double bsec = std::chrono::duration<double>(b1 - b0).count();
+  const double ssec = std::chrono::duration<double>(s1 - b1).count();
+  const double btrans = static_cast<double>(batched_reps * pairs.size());
+  const double strans = static_cast<double>(scalar_reps * pairs.size());
+  out.batched_tps = bsec > 0.0 ? btrans / bsec : 0.0;
+  out.scalar_tps = ssec > 0.0 ? strans / ssec : 0.0;
+  out.ratio = out.scalar_tps > 0.0 ? out.batched_tps / out.scalar_tps : 0.0;
+  out.table_hits = batched.table_hits();
+  out.table_misses = batched.table_misses();
+  out.table_entries = batched.table_entries();
+  // Keep the checksum observable so the timed loops cannot be elided.
+  if (checksum == 0.12345) out.ratio = -out.ratio;
+  return out;
+}
+
+}  // namespace jsi::bench
+
+#endif  // JSI_BENCH_KERNEL_THROUGHPUT_HPP

@@ -6,25 +6,36 @@
 // sampled die population and reports die-level escapes and overkill plus
 // wire-level sensitivity — the numbers a production test engineer needs
 // to size the detector thresholds.
+//
+// The die topology and sampling seed live in
+// scenarios/yield_sweep.scenario.json; the detector-threshold sweep is
+// the one knob this bench layers on top of the shared description
+// (same split as table5_pattern_time: scenario owns the device, bench
+// owns the axis being swept).
 
 #include <iostream>
+#include <string>
 
 #include "analysis/yield.hpp"
+#include "scenario/build.hpp"
+#include "scenario/parse.hpp"
 #include "util/table.hpp"
 
 using namespace jsi;
 
 int main() {
-  constexpr std::size_t kWires = 8;
+  const scenario::ScenarioSpec spec = scenario::load_scenario(
+      std::string(JSI_SCENARIO_DIR) + "/yield_sweep.scenario.json");
+  const core::SocConfig base = scenario::soc_config(spec);
   constexpr std::size_t kDies = 60;
 
   analysis::DefectDistribution dist;  // ~12% defective wires, mixed types
-  analysis::SpecLimits spec;          // 45% glitch, 200 ps settle
+  analysis::SpecLimits limits;        // 45% glitch, 200 ps settle
 
   std::cout << "Monte Carlo yield analysis: " << kDies << " dies x "
-            << kWires << " wires, mixed defect population\n"
-            << "spec: glitch < " << spec.max_glitch_frac
-            << "*Vdd, settle < " << spec.max_settle << " ps\n\n";
+            << base.n_wires << " wires, mixed defect population\n"
+            << "spec: glitch < " << limits.max_glitch_frac
+            << "*Vdd, settle < " << limits.max_settle << " ps\n\n";
 
   util::Table t({"ND V_Hthr [xVdd]", "SD budget [ps]", "bad dies",
                  "flagged", "escapes", "overkill", "wire sensitivity"});
@@ -36,13 +47,12 @@ int main() {
       {0.55, 250}, {0.65, 300},
   };
   for (const auto& s : settings) {
-    core::SocConfig cfg;
-    cfg.n_wires = kWires;
+    core::SocConfig cfg = base;
     cfg.nd.v_hthr_frac = s.nd_frac;
     cfg.nd.v_hmin_frac = s.nd_frac - 0.10;
     cfg.sd.skew_budget = s.sd_budget;
-    const auto stats =
-        analysis::run_monte_carlo(kDies, cfg, dist, spec, /*seed=*/2003);
+    const auto stats = analysis::run_monte_carlo(kDies, cfg, dist, limits,
+                                                 spec.campaign.seed);
     t.add_row({util::fmt_double(s.nd_frac, 2),
                std::to_string(s.sd_budget),
                std::to_string(stats.truly_bad_dies),

@@ -31,7 +31,7 @@ util::Logic Obsc::parallel_out(const jtag::CellCtl& c) const {
   return c.mode ? util::to_logic(ff2_) : pin_;
 }
 
-void Obsc::observe(const si::Waveform& w, util::Logic initial,
+void Obsc::observe(si::WaveformView w, util::Logic initial,
                    util::Logic expected, const jtag::CellCtl& c) {
   nd_.set_enable(c.ce);
   sd_.set_enable(c.ce);

@@ -41,7 +41,9 @@ class Obsc : public jtag::BoundaryCell {
   /// wire's driven logic level before this bus transition; `expected` the
   /// level after it. Honors CE: with c.ce == false the sticky flags are
   /// untouched ("the captured data in their flip-flops remain unchanged").
-  void observe(const si::Waveform& w, util::Logic initial,
+  /// Takes a non-owning view so the batched bus path feeds arena/table
+  /// storage straight to the sensors with no copies.
+  void observe(si::WaveformView w, util::Logic initial,
                util::Logic expected, const jtag::CellCtl& c);
 
   const si::NdCell& nd() const { return nd_; }

@@ -199,8 +199,10 @@ void MultiBusSoc::apply_buses(bool observe) {
       e.value = bus_transitions_;
       sink_->on_event(e);
     }
+    // Batched per-bus evaluation (see SiSocDevice::apply_bus).
+    const si::TransitionBatch batch = buses_[b]->transition_batch(prev, next[b]);
     for (std::size_t w = 0; w < n; ++w) {
-      const si::Waveform wf = buses_[b]->wire_response(w, prev, next[b]);
+      const si::WaveformView wf = batch.wire(w);
       if (observe) {
         obscs_[b][w]->observe(wf, util::to_logic(prev[w]),
                               util::to_logic(next[b][w]), ctl_);

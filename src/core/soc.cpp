@@ -216,8 +216,12 @@ void SiSocDevice::apply_bus(bool observe) {
     e.value = bus_transitions_;
     sink_->on_event(e);
   }
+  // One batched kernel evaluation for the whole bus: MA pattern pairs
+  // are served from the precompiled transition table, everything else
+  // from the memo path — either way the sensors scan zero-copy views.
+  const si::TransitionBatch batch = bus_->transition_batch(prev, next);
   for (std::size_t i = 0; i < cfg_.n_wires; ++i) {
-    const si::Waveform w = bus_->wire_response(i, prev, next);
+    const si::WaveformView w = batch.wire(i);
     if (observe) {
       obscs_[i]->observe(w, util::to_logic(prev[i]), util::to_logic(next[i]),
                          ctl_);

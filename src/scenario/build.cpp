@@ -257,6 +257,10 @@ ScenarioCampaign build_campaign(const ScenarioSpec& spec,
     util::BitVec evens(bp.n_wires, false);
     for (std::size_t w = 0; w < bp.n_wires; w += 2) evens.set(w, true);
     sc.proto_->transition(zeros, evens);
+    // Precompile the MA transition tables too: every per-unit clone then
+    // starts with a warm table as well as a warm memo cache, so no worker
+    // ever pays the table build (shard-count invariant by construction).
+    sc.proto_->precompile_tables();
     sc.runner_.set_prototype_bus(sc.proto_.get());
   }
   return sc;

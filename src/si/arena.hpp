@@ -1,0 +1,96 @@
+#ifndef JSI_SI_ARENA_HPP
+#define JSI_SI_ARENA_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace jsi::si {
+
+/// Bump arena for waveform sample buffers.
+///
+/// The transition kernel evaluates n wires x `samples` doubles per bus
+/// transition; allocating those as per-wire `std::vector`s (the pre-SoA
+/// `Waveform` scratch) put a malloc/free pair on every wire of every
+/// transition. The arena replaces that with one pointer bump per wire and
+/// a single `reset()` per transition, while *retaining* its chunks across
+/// resets so a steady-state campaign performs no allocation at all.
+///
+/// Layout rules:
+///  * `alloc(n)` returns an uninitialized span of `n` doubles that stays
+///    valid until the next `reset()` (or destruction). Chunks are never
+///    resized once created, so growing the arena does not move previously
+///    handed-out spans within the current reset cycle.
+///  * `reset()` rewinds all chunks for reuse; it never releases memory.
+///  * The arena is a scratch resource, not a container: copying a
+///    `WaveArena` yields a *fresh, empty* arena (spans must never be
+///    shared across owners — each `CoupledBus` clone gets its own).
+class WaveArena {
+ public:
+  /// Default chunk: 64 waveforms of the default 2048-sample window.
+  static constexpr std::size_t kDefaultChunkDoubles = 64 * 2048;
+
+  explicit WaveArena(std::size_t chunk_doubles = kDefaultChunkDoubles)
+      : chunk_doubles_(chunk_doubles == 0 ? kDefaultChunkDoubles
+                                          : chunk_doubles) {}
+
+  // Copying transfers the configuration only: spans handed out by the
+  // source must not alias into the copy (see class comment).
+  WaveArena(const WaveArena& other) : chunk_doubles_(other.chunk_doubles_) {}
+  WaveArena& operator=(const WaveArena& other) {
+    if (this != &other) {
+      chunk_doubles_ = other.chunk_doubles_;
+      chunks_.clear();
+      active_ = 0;
+      used_ = 0;
+    }
+    return *this;
+  }
+  WaveArena(WaveArena&&) = default;
+  WaveArena& operator=(WaveArena&&) = default;
+
+  /// Uninitialized span of `n` doubles, stable until the next reset().
+  double* alloc(std::size_t n) {
+    while (active_ < chunks_.size()) {
+      if (used_ + n <= chunks_[active_].size()) {
+        double* p = chunks_[active_].data() + used_;
+        used_ += n;
+        return p;
+      }
+      ++active_;
+      used_ = 0;
+    }
+    // No existing chunk fits: grow by one chunk sized for the request.
+    chunks_.emplace_back(std::max(chunk_doubles_, n));
+    active_ = chunks_.size() - 1;
+    used_ = n;
+    return chunks_[active_].data();
+  }
+
+  /// Rewind for reuse; capacity is retained.
+  void reset() {
+    active_ = 0;
+    used_ = 0;
+  }
+
+  /// Doubles currently resident (capacity, not live allocations).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size();
+    return total;
+  }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  std::size_t chunk_doubles_;
+  // Each chunk is allocated once at its final size and never resized, so
+  // data() pointers into it are stable for the arena's lifetime.
+  std::vector<std::vector<double>> chunks_;
+  std::size_t active_ = 0;
+  std::size_t used_ = 0;  // doubles consumed in chunks_[active_]
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_ARENA_HPP

@@ -1,153 +1,34 @@
 #include "si/bus.hpp"
 
-#include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace jsi::si {
 
-namespace {
-constexpr double kLn2 = 0.6931471805599453;
-/// Seconds per sim::Time tick (1 ps).
-constexpr double kSecPerTick = 1e-12;
-}  // namespace
-
-CoupledBus::CoupledBus(BusParams p) : p_(p) {
-  if (p_.n_wires == 0) throw std::invalid_argument("bus needs >= 1 wire");
-  if (p_.samples < 2) throw std::invalid_argument("bus needs >= 2 samples");
-  couple_.assign(p_.n_wires > 0 ? p_.n_wires - 1 : 0, p_.c_couple);
-  extra_r_.assign(p_.n_wires, 0.0);
-}
+CoupledBus::CoupledBus(BusParams p) : model_(p) {}
 
 CoupledBus CoupledBus::clone() const {
   CoupledBus c = *this;
   c.sink_ = nullptr;  // sinks are thread-local; never shared with a clone
+  // The arena copy is fresh (see WaveArena) and the last batch's pointers
+  // reference *our* storage; a clone starts with no live batch.
+  c.batch_ptrs_.clear();
   return c;
 }
 
 void CoupledBus::scale_coupling(std::size_t pair, double factor) {
-  couple_.at(pair) *= factor;
-  ++defect_gen_;
+  model_.scale_coupling(pair, factor);
 }
 
 void CoupledBus::add_series_resistance(std::size_t wire, double ohms) {
-  extra_r_.at(wire) += ohms;
-  ++defect_gen_;
+  model_.add_series_resistance(wire, ohms);
 }
 
 void CoupledBus::inject_crosstalk_defect(std::size_t wire, double severity) {
-  if (severity < 1.0) throw std::invalid_argument("severity must be >= 1");
-  if (wire > 0) scale_coupling(wire - 1, severity);
-  if (wire + 1 < p_.n_wires) scale_coupling(wire, severity);
-  // Weak holding driver scales with defect severity; calibrated so that
-  // severity ~5 crosses the default ND vulnerable-region threshold.
-  add_series_resistance(wire, (severity - 1.0) * 400.0);
+  model_.inject_crosstalk_defect(wire, severity);
 }
 
-void CoupledBus::clear_defects() {
-  couple_.assign(couple_.size(), p_.c_couple);
-  extra_r_.assign(p_.n_wires, 0.0);
-  ++defect_gen_;
-}
-
-double CoupledBus::coupling(std::size_t pair) const { return couple_.at(pair); }
-
-double CoupledBus::resistance(std::size_t wire) const {
-  return p_.r_driver + p_.r_wire + extra_r_.at(wire);
-}
-
-double CoupledBus::total_cap(std::size_t wire) const {
-  if (wire >= p_.n_wires) throw std::out_of_range("bad wire");
-  double c = p_.c_ground;
-  if (wire > 0) c += couple_[wire - 1];
-  if (wire + 1 < p_.n_wires) c += couple_[wire];
-  return c;
-}
-
-double CoupledBus::self_tau(std::size_t wire) const {
-  return resistance(wire) * total_cap(wire);
-}
-
-sim::Time CoupledBus::nominal_delay(std::size_t wire) const {
-  if (wire >= p_.n_wires) throw std::out_of_range("bad wire");
-  double c = p_.c_ground;
-  if (wire > 0) c += p_.c_couple;
-  if (wire + 1 < p_.n_wires) c += p_.c_couple;
-  const double tau = (p_.r_driver + p_.r_wire) * c;
-  return static_cast<sim::Time>(tau * kLn2 / kSecPerTick + 0.5);
-}
-
-int CoupledBus::delta(const util::BitVec& prev, const util::BitVec& next,
-                      std::size_t i) const {
-  const int a = prev[i] ? 1 : 0;
-  const int b = next[i] ? 1 : 0;
-  return b - a;
-}
-
-double CoupledBus::miller_cap(std::size_t i, const util::BitVec& prev,
-                              const util::BitVec& next) const {
-  const int di = delta(prev, next, i);
-  double c = p_.c_ground;
-  auto factor = [&](std::size_t j) {
-    const int dj = delta(prev, next, j);
-    if (dj == 0) return 1.0;       // quiet neighbor: plain load
-    if (dj == di) return 0.0;      // same-phase: coupling cap sees no swing
-    return 2.0;                    // opposite-phase: Miller-doubled
-  };
-  if (i > 0) c += couple_[i - 1] * factor(i - 1);
-  if (i + 1 < p_.n_wires) c += couple_[i] * factor(i + 1);
-  return c;
-}
-
-Waveform CoupledBus::switching_response(std::size_t i, double v0, double vf,
-                                        double tau) const {
-  Waveform w(p_.samples, p_.sample_dt, v0);
-  const double dt = static_cast<double>(p_.sample_dt) * kSecPerTick;
-  if (p_.l_wire > 0.0) {
-    // Series RLC step response; underdamped when R < 2*sqrt(L/C).
-    const double r = resistance(i);
-    const double c = total_cap(i);
-    const double w0 = 1.0 / std::sqrt(p_.l_wire * c);
-    const double zeta = r / 2.0 * std::sqrt(c / p_.l_wire);
-    if (zeta < 1.0) {
-      const double wd = w0 * std::sqrt(1.0 - zeta * zeta);
-      const double k = zeta / std::sqrt(1.0 - zeta * zeta);
-      for (std::size_t s = 0; s < w.samples(); ++s) {
-        const double t = dt * static_cast<double>(s);
-        const double e = std::exp(-zeta * w0 * t);
-        w[s] = vf + (v0 - vf) * e * (std::cos(wd * t) + k * std::sin(wd * t));
-      }
-      return w;
-    }
-    // Overdamped RLC degenerates to (slightly slower) RC below.
-  }
-  for (std::size_t s = 0; s < w.samples(); ++s) {
-    const double t = dt * static_cast<double>(s);
-    w[s] = vf + (v0 - vf) * std::exp(-t / tau);
-  }
-  return w;
-}
-
-void CoupledBus::add_glitch(Waveform& w, double cc, double ctot_v,
-                            double tau_v, double tau_a, int direction) const {
-  // First-order victim node driven through Cc by an exponential aggressor:
-  //   v(t) = dir * Vdd * (Cc/Ctot) * tau_v/(tau_v - tau_a)
-  //              * (exp(-t/tau_v) - exp(-t/tau_a))
-  // with the t*exp(-t/tau) limit when the time constants coincide.
-  const double amp = direction * p_.vdd * cc / ctot_v;
-  const double dt = static_cast<double>(p_.sample_dt) * kSecPerTick;
-  const bool equal = std::abs(tau_v - tau_a) < 1e-15;
-  const double scale = equal ? 0.0 : tau_v / (tau_v - tau_a);
-  for (std::size_t s = 0; s < w.samples(); ++s) {
-    const double t = dt * static_cast<double>(s);
-    double g;
-    if (equal) {
-      g = (t / tau_v) * std::exp(-t / tau_v);
-    } else {
-      g = scale * (std::exp(-t / tau_v) - std::exp(-t / tau_a));
-    }
-    w[s] += amp * g;
-  }
-}
+void CoupledBus::clear_defects() { model_.clear_defects(); }
 
 void CoupledBus::set_cache_enabled(bool on) {
   cache_on_ = on;
@@ -169,52 +50,66 @@ void CoupledBus::clear_cache() {
   cache_order_.clear();
 }
 
-std::uint64_t CoupledBus::cache_key(std::size_t i, const util::BitVec& prev,
-                                    const util::BitVec& next) const {
-  // 5-bit local windows [i-2, i+2]; positions beyond the bus encode as 0.
-  std::uint64_t pbits = 0;
-  std::uint64_t nbits = 0;
-  for (int off = -2; off <= 2; ++off) {
-    const long long j = static_cast<long long>(i) + off;
-    pbits <<= 1;
-    nbits <<= 1;
-    if (j >= 0 && j < static_cast<long long>(p_.n_wires)) {
-      pbits |= prev[static_cast<std::size_t>(j)] ? 1u : 0u;
-      nbits |= next[static_cast<std::size_t>(j)] ? 1u : 0u;
-    }
-  }
-  return (static_cast<std::uint64_t>(i) << 10) | (pbits << 5) | nbits;
+void CoupledBus::set_tables_enabled(bool on) {
+  tables_on_ = on;
+  if (!on) table_.clear();
 }
 
-Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
-                                   const util::BitVec& next) const {
-  if (prev.size() != p_.n_wires || next.size() != p_.n_wires) {
+void CoupledBus::precompile_tables() {
+  if (!tables_on_ || !TransitionTable::supported(model_.n())) return;
+  if (!table_.fresh(model_)) table_.build(model_, kernel_);
+}
+
+double CoupledBus::table_hit_rate() const {
+  const std::uint64_t lookups = table_hits_ + table_misses_;
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(table_hits_) / static_cast<double>(lookups);
+}
+
+void CoupledBus::require_vector_widths(const util::BitVec& prev,
+                                       const util::BitVec& next) const {
+  if (prev.size() != model_.n() || next.size() != model_.n()) {
     throw std::invalid_argument("vector width != bus width");
   }
-  if (!cache_on_) return solve_wire_response(i, prev, next);
+}
 
-  if (cache_gen_ != defect_gen_) {
+void CoupledBus::emit_cache_event(const char* name, bool hit,
+                                  std::int64_t b) const {
+  if (!sink_) return;
+  obs::Event e;
+  e.kind = obs::EventKind::CacheLookup;
+  e.name = name;
+  e.a = hit ? 1 : 0;
+  e.b = b;
+  sink_->on_event(e);
+}
+
+void CoupledBus::memo_wire_into(std::size_t i, const util::BitVec& prev,
+                                const util::BitVec& next, double* dst) const {
+  const std::size_t samples = model_.params().samples;
+  if (!cache_on_) {
+    TransitionKernel::solve_wire(model_, i, prev, next, dst);
+    return;
+  }
+  if (cache_gen_ != model_.defect_generation()) {
     cache_.clear();
     cache_order_.clear();
-    cache_gen_ = defect_gen_;
+    cache_gen_ = model_.defect_generation();
   }
-  const std::uint64_t key = cache_key(i, prev, next);
+  const std::uint64_t key = neighborhood_key(model_.n(), i, prev, next);
   const auto it = cache_.find(key);
   const bool hit = it != cache_.end();
-  if (sink_) {
-    obs::Event e;
-    e.kind = obs::EventKind::CacheLookup;
-    e.name = "si.cache";
-    e.a = hit ? 1 : 0;
-    e.b = static_cast<std::int64_t>(i);
-    sink_->on_event(e);
-  }
+  emit_cache_event("si.cache", hit, static_cast<std::int64_t>(i));
   if (hit) {
     ++cache_hits_;
-    return it->second;
+    // Copy out rather than aliasing the entry: a later wire's miss can
+    // FIFO-evict this entry within the same batch.
+    std::memcpy(dst, it->second.data(), samples * sizeof(double));
+    return;
   }
   ++cache_misses_;
-  Waveform w = solve_wire_response(i, prev, next);
+  TransitionKernel::solve_wire(model_, i, prev, next, dst);
   // Bounded FIFO: evict the oldest entry instead of flushing wholesale,
   // so a working set one larger than the cap degrades gracefully rather
   // than thrashing to a 0% hit rate.
@@ -222,49 +117,79 @@ Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
     cache_.erase(cache_order_.front());
     cache_order_.pop_front();
   }
-  cache_.emplace(key, w);
+  cache_.emplace(
+      key, Waveform(WaveformView(dst, samples, model_.params().sample_dt)));
   cache_order_.push_back(key);
+}
+
+Waveform CoupledBus::wire_response(std::size_t i, const util::BitVec& prev,
+                                   const util::BitVec& next) const {
+  require_vector_widths(prev, next);
+  Waveform w(model_.params().samples, model_.params().sample_dt);
+  memo_wire_into(i, prev, next, w.data());
   return w;
 }
 
 Waveform CoupledBus::solve_wire_response(std::size_t i,
                                          const util::BitVec& prev,
                                          const util::BitVec& next) const {
-  const int di = delta(prev, next, i);
-  if (di != 0) {
-    const double tau = resistance(i) * miller_cap(i, prev, next);
-    const double v0 = prev[i] ? p_.vdd : 0.0;
-    const double vf = next[i] ? p_.vdd : 0.0;
-    return switching_response(i, v0, vf, tau);
-  }
-  // Quiet wire: rail baseline plus superposed neighbor glitches.
-  const double rail = prev[i] ? p_.vdd : 0.0;
-  Waveform w(p_.samples, p_.sample_dt, rail);
-  const double ctot_v = total_cap(i);
-  const double tau_v = resistance(i) * ctot_v;
-  auto inject = [&](std::size_t j, double cc) {
-    const int dj = delta(prev, next, j);
-    if (dj == 0) return;
-    const double tau_a = resistance(j) * miller_cap(j, prev, next);
-    add_glitch(w, cc, ctot_v, tau_v, tau_a, dj);
-  };
-  if (i > 0) inject(i - 1, couple_[i - 1]);
-  if (i + 1 < p_.n_wires) inject(i + 1, couple_[i]);
+  Waveform w(model_.params().samples, model_.params().sample_dt);
+  TransitionKernel::solve_wire(model_, i, prev, next, w.data());
   return w;
 }
 
 std::vector<Waveform> CoupledBus::transition(const util::BitVec& prev,
                                              const util::BitVec& next) const {
   std::vector<Waveform> out;
-  out.reserve(p_.n_wires);
-  for (std::size_t i = 0; i < p_.n_wires; ++i) {
+  out.reserve(model_.n());
+  for (std::size_t i = 0; i < model_.n(); ++i) {
     out.push_back(wire_response(i, prev, next));
   }
   return out;
 }
 
-util::Logic CoupledBus::settled_logic(const Waveform& w) const {
-  return util::to_logic(w.final_value() >= p_.vdd / 2.0);
+TransitionBatch CoupledBus::transition_batch(const util::BitVec& prev,
+                                             const util::BitVec& next) const {
+  require_vector_widths(prev, next);
+  const std::size_t n = model_.n();
+  const std::size_t samples = model_.params().samples;
+  TransitionBatch b;
+  b.n_wires = n;
+  b.samples = samples;
+  b.dt = model_.params().sample_dt;
+  batch_ptrs_.assign(n, nullptr);
+
+  if (tables_on_ && TransitionTable::supported(n)) {
+    if (!table_.fresh(model_)) table_.build(model_, kernel_);
+    const std::size_t e = table_.find(prev, next);
+    const bool hit = e != TransitionTable::npos;
+    emit_cache_event("si.table", hit, -1);
+    if (hit) {
+      ++table_hits_;
+      for (std::size_t i = 0; i < n; ++i) {
+        batch_ptrs_[i] = table_.wire_data(e, i);
+      }
+      b.ptrs = batch_ptrs_.data();
+      return b;
+    }
+    ++table_misses_;
+  }
+
+  // Non-MA transition (or tables unavailable): evaluate through the memo
+  // cache into the arena, one span per wire, zero per-transition mallocs
+  // in steady state.
+  arena_.reset();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* dst = arena_.alloc(samples);
+    memo_wire_into(i, prev, next, dst);
+    batch_ptrs_[i] = dst;
+  }
+  b.ptrs = batch_ptrs_.data();
+  return b;
+}
+
+util::Logic CoupledBus::settled_logic(WaveformView w) const {
+  return util::to_logic(w.final_value() >= model_.params().vdd / 2.0);
 }
 
 bool matches_width(const CoupledBus* bus, std::size_t expected) {

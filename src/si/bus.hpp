@@ -8,29 +8,16 @@
 #include <vector>
 
 #include "obs/events.hpp"
+#include "si/arena.hpp"
+#include "si/bus_model.hpp"
+#include "si/kernel.hpp"
+#include "si/tables.hpp"
 #include "si/waveform.hpp"
 #include "sim/time.hpp"
 #include "util/bitvec.hpp"
 #include "util/logic.hpp"
 
 namespace jsi::si {
-
-/// Electrical parameters of an n-wire parallel interconnect bus.
-///
-/// Defaults model a long 180 nm-era global interconnect: ~350 Ω total drive
-/// resistance and ~300 fF per-wire load gives a ~105 ps self time constant,
-/// i.e. a ~73 ps nominal 50% delay.
-struct BusParams {
-  std::size_t n_wires = 8;
-  double vdd = 1.8;            ///< supply [V]
-  double r_driver = 250.0;     ///< driver output resistance [Ohm]
-  double r_wire = 100.0;       ///< distributed wire resistance (lumped) [Ohm]
-  double c_ground = 200e-15;   ///< wire-to-ground capacitance [F]
-  double c_couple = 50e-15;    ///< adjacent-pair coupling capacitance [F]
-  double l_wire = 0.0;         ///< wire inductance [H]; >0 enables ringing
-  sim::Time sample_dt = sim::kPs;  ///< waveform sample step
-  std::size_t samples = 2048;      ///< waveform window (2048 ps default)
-};
 
 /// Analytic coupled-RC(+L) model of the bus between two cores.
 ///
@@ -52,20 +39,34 @@ struct BusParams {
 /// weak driver), which is exactly the defect class the paper targets:
 /// "process variations and manufacturing defects may lead to an unexpected
 /// increase in coupling capacitances".
+///
+/// Internally this is a facade over three components: an immutable-between-
+/// mutations `BusModel` (SoA electrical state), a `TransitionKernel`
+/// (batched flat-pass solver with a scalar reference path) and a
+/// `TransitionTable` (the 6*n MA vector pairs precompiled per defect
+/// generation). The hot path is `transition_batch()`; `wire_response()` /
+/// `transition()` are the owning scalar API with the historical memo-cache
+/// semantics, byte-compatible with pre-kernel revisions.
 class CoupledBus {
  public:
   explicit CoupledBus(BusParams p);
 
-  /// Deep copy for per-shard use: electrical state, injected defects and
-  /// the memoized transition cache (entries *and* hit/miss counters) are
+  /// Deep copy for per-shard use: electrical state, injected defects, the
+  /// memoized transition cache (entries *and* hit/miss counters) and the
+  /// precompiled transition table (pool *and* hit/miss counters) are
   /// carried over, so a clone of a warmed bus starts warm. The
   /// observability sink is deliberately NOT carried over — a clone lives
   /// on another worker thread, and sharing the source's sink would race;
-  /// attach a thread-local sink with set_sink() after cloning.
+  /// attach a thread-local sink with set_sink() after cloning. The
+  /// evaluation arena is likewise per-clone (fresh and empty), so two
+  /// clones never alias scratch storage.
   CoupledBus clone() const;
 
-  const BusParams& params() const { return p_; }
-  std::size_t n() const { return p_.n_wires; }
+  const BusParams& params() const { return model_.params(); }
+  std::size_t n() const { return model_.n(); }
+
+  /// The electrical half (params + defect state as SoA arrays).
+  const BusModel& model() const { return model_; }
 
   // ---- defect / process-variation injection -------------------------------
 
@@ -88,46 +89,61 @@ class CoupledBus {
   // ---- electrical queries --------------------------------------------------
 
   /// Effective coupling capacitance of adjacent pair `pair` [F].
-  double coupling(std::size_t pair) const;
+  double coupling(std::size_t pair) const { return model_.coupling(pair); }
 
   /// Total series resistance of `wire` including defects [Ohm].
-  double resistance(std::size_t wire) const;
+  double resistance(std::size_t wire) const {
+    return model_.resistance(wire);
+  }
 
   /// Total capacitance seen by `wire` (ground + both couplings) [F].
-  double total_cap(std::size_t wire) const;
+  double total_cap(std::size_t wire) const { return model_.total_cap(wire); }
 
   /// Self time constant R*C of `wire` with current defects [s].
-  double self_tau(std::size_t wire) const;
+  double self_tau(std::size_t wire) const { return model_.self_tau(wire); }
 
   /// Defect-free 50% delay of `wire` — the designer's timing expectation
   /// from which the SD cell's skew-immune window is budgeted.
-  sim::Time nominal_delay(std::size_t wire) const;
+  sim::Time nominal_delay(std::size_t wire) const {
+    return model_.nominal_delay(wire);
+  }
 
   // ---- simulation ----------------------------------------------------------
 
   /// Receiving-end waveform of wire `i` for bus transition `prev -> next`
-  /// (bit vectors of width n, bit k = logic level of wire k).
+  /// (bit vectors of width n, bit k = logic level of wire k). Owning
+  /// scalar API; served through the memo cache, never the tables.
   Waveform wire_response(std::size_t i, const util::BitVec& prev,
                          const util::BitVec& next) const;
 
-  /// All wire waveforms for one bus transition.
+  /// All wire waveforms for one bus transition (owning scalar API).
   std::vector<Waveform> transition(const util::BitVec& prev,
+                                   const util::BitVec& next) const;
+
+  /// All wire waveforms for one bus transition, zero-copy. The fast path:
+  /// an MA vector pair is served straight from the precompiled table (one
+  /// hash probe, no solver work, no copies); anything else is evaluated
+  /// through the memo cache into the internal arena. The returned batch
+  /// and every view derived from it are valid until the next
+  /// transition_batch() call, defect mutation, clone or destruction of
+  /// this bus.
+  TransitionBatch transition_batch(const util::BitVec& prev,
                                    const util::BitVec& next) const;
 
   /// Logic value a receiver reads once the waveform settles (vdd/2
   /// threshold on the final sample).
-  util::Logic settled_logic(const Waveform& w) const;
+  util::Logic settled_logic(WaveformView w) const;
 
   // ---- memoized transition cache ------------------------------------------
   //
-  // The MA pattern set re-applies identical prev->next bus transitions
-  // O(n) times per session (every victim sees the same aggressor-toggle
-  // neighbourhoods), so per-wire waveforms are memoized. The key is the
-  // wire index plus the 5-bit local neighbourhood [i-2, i+2] of (prev,
-  // next) — the exact electrical support of wire_response: a wire's
-  // waveform depends on its own transition, its neighbours' transitions
-  // (glitch injection) and *their* neighbours (the aggressors' Miller
-  // time constants), and on nothing farther away.
+  // The generic fallback for transitions outside the MA pattern set
+  // (inter-pattern settling steps, custom vectors, buses wider than the
+  // tables support). The key is the wire index plus the 5-bit local
+  // neighbourhood [i-2, i+2] of (prev, next) — the exact electrical
+  // support of wire_response: a wire's waveform depends on its own
+  // transition, its neighbours' transitions (glitch injection) and
+  // *their* neighbours (the aggressors' Miller time constants), and on
+  // nothing farther away.
   //
   // Invalidation contract: every defect mutation (scale_coupling,
   // add_series_resistance, inject_crosstalk_defect, clear_defects) bumps
@@ -156,55 +172,94 @@ class CoupledBus {
   /// Entries currently held (bounded by kMaxCacheEntries).
   std::size_t cache_entries() const { return cache_.size(); }
 
-  /// Monotone counter of defect-state mutations; cached waveforms are
-  /// only ever served within one generation.
-  std::uint64_t defect_generation() const { return defect_gen_; }
+  /// Monotone counter of defect-state mutations; cached waveforms and
+  /// precompiled tables are only ever served within one generation.
+  std::uint64_t defect_generation() const {
+    return model_.defect_generation();
+  }
 
   /// Drop all cached waveforms (counters are kept). Deliberately
   /// non-const: flushing is a real state mutation, and per-shard clones
   /// must not be able to reset each other through a const reference.
   void clear_cache();
 
-  /// Attach an observability sink; every memoized lookup reports a
-  /// CacheLookup record (a=1 hit, a=0 miss). nullptr (default) disables
+  /// Attach an observability sink. Every memoized lookup reports a
+  /// CacheLookup record named "si.cache" (a=1 hit, a=0 miss, b=wire);
+  /// every batched table probe reports one "si.table" CacheLookup per
+  /// transition (a=1 hit, a=0 miss, b=-1). nullptr (default) disables
   /// emission; the uncached solver path never emits.
   void set_sink(obs::Sink* sink) { sink_ = sink; }
 
-  /// Cap on resident entries; the oldest entry is evicted (FIFO) when a
-  /// miss lands on a full cache (one entry is up to `samples` doubles, so
-  /// the cap bounds memory at ~16 MB with the 2048-sample default).
+  /// Cap on resident memo entries; the oldest entry is evicted (FIFO)
+  /// when a miss lands on a full cache (one entry is up to `samples`
+  /// doubles, so the cap bounds memory at ~16 MB with the 2048-sample
+  /// default).
   static constexpr std::size_t kMaxCacheEntries = 1024;
 
- private:
-  int delta(const util::BitVec& prev, const util::BitVec& next,
-            std::size_t i) const;
-  double miller_cap(std::size_t i, const util::BitVec& prev,
-                    const util::BitVec& next) const;
-  Waveform switching_response(std::size_t i, double v0, double vf,
-                              double tau) const;
-  void add_glitch(Waveform& w, double cc, double ctot_v, double tau_v,
-                  double tau_a, int direction) const;
+  // ---- precompiled MA transition tables -----------------------------------
+  //
+  // transition_batch() first probes the TransitionTable: the 6*n MA
+  // vector pairs of this bus, solved once per defect generation — built
+  // eagerly by precompile_tables() (the campaign warm-prototype path) or
+  // lazily on the first batched evaluation after construction or a
+  // defect mutation. Table traffic is metered separately from the memo
+  // cache: table_hits()/table_misses() count whole transitions, while
+  // cache_hits()/cache_misses() keep their historical per-wire memo
+  // semantics untouched.
 
-  /// The raw (uncached) solver behind wire_response.
+  /// Enable/disable table lookups (enabled by default; disabling drops
+  /// the table and routes every batch through the memo path).
+  void set_tables_enabled(bool on);
+  bool tables_enabled() const { return tables_on_; }
+
+  /// Build the MA tables for the current defect state now (idempotent
+  /// per generation). The campaign runner calls this on the prototype so
+  /// every per-unit clone starts with a warm table.
+  void precompile_tables();
+
+  std::uint64_t table_hits() const { return table_hits_; }
+  std::uint64_t table_misses() const { return table_misses_; }
+
+  /// hits / (hits + misses), 0 when no batch was evaluated yet.
+  double table_hit_rate() const;
+
+  /// Distinct precompiled (prev, next) pairs currently resident.
+  std::size_t table_entries() const { return table_.entries(); }
+
+ private:
+  /// The raw (uncached) solver behind wire_response, on the shared
+  /// kernel's scalar reference path.
   Waveform solve_wire_response(std::size_t i, const util::BitVec& prev,
                                const util::BitVec& next) const;
 
-  /// Cache key: wire index | prev[i-2..i+2] | next[i-2..i+2] (out-of-range
-  /// neighbour positions encode as 0, which the solver ignores).
-  std::uint64_t cache_key(std::size_t i, const util::BitVec& prev,
-                          const util::BitVec& next) const;
+  void require_vector_widths(const util::BitVec& prev,
+                             const util::BitVec& next) const;
 
-  BusParams p_;
-  std::vector<double> couple_;   // per adjacent pair, with defects
-  std::vector<double> extra_r_;  // per wire, defect series resistance
+  /// Memo lookup of wire i into `dst` (samples doubles), with the exact
+  /// historical counter/eviction/event semantics of wire_response.
+  void memo_wire_into(std::size_t i, const util::BitVec& prev,
+                      const util::BitVec& next, double* dst) const;
 
-  std::uint64_t defect_gen_ = 0;
+  void emit_cache_event(const char* name, bool hit, std::int64_t b) const;
+
+  BusModel model_;
+
   bool cache_on_ = true;
   mutable std::unordered_map<std::uint64_t, Waveform> cache_;
   mutable std::deque<std::uint64_t> cache_order_;  // insertion order (FIFO)
   mutable std::uint64_t cache_gen_ = 0;  // generation cache_ belongs to
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;
+
+  bool tables_on_ = true;
+  mutable TransitionTable table_;
+  mutable std::uint64_t table_hits_ = 0;
+  mutable std::uint64_t table_misses_ = 0;
+
+  mutable TransitionKernel kernel_;
+  mutable WaveArena arena_;
+  mutable std::vector<const double*> batch_ptrs_;
+
   obs::Sink* sink_ = nullptr;
 };
 

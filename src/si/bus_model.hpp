@@ -1,0 +1,119 @@
+#ifndef JSI_SI_BUS_MODEL_HPP
+#define JSI_SI_BUS_MODEL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace jsi::si {
+
+/// Electrical parameters of an n-wire parallel interconnect bus.
+///
+/// Defaults model a long 180 nm-era global interconnect: ~350 Ω total drive
+/// resistance and ~300 fF per-wire load gives a ~105 ps self time constant,
+/// i.e. a ~73 ps nominal 50% delay.
+struct BusParams {
+  std::size_t n_wires = 8;
+  double vdd = 1.8;            ///< supply [V]
+  double r_driver = 250.0;     ///< driver output resistance [Ohm]
+  double r_wire = 100.0;       ///< distributed wire resistance (lumped) [Ohm]
+  double c_ground = 200e-15;   ///< wire-to-ground capacitance [F]
+  double c_couple = 50e-15;    ///< adjacent-pair coupling capacitance [F]
+  double l_wire = 0.0;         ///< wire inductance [H]; >0 enables ringing
+  sim::Time sample_dt = sim::kPs;  ///< waveform sample step
+  std::size_t samples = 2048;      ///< waveform window (2048 ps default)
+};
+
+/// Electrical state of a coupled bus: parameters plus injected defects,
+/// laid out as struct-of-arrays for the transition kernel.
+///
+/// `BusModel` is the passive half of the former monolithic `CoupledBus`:
+/// it answers "what are the time constants of wire i right now" but never
+/// evaluates a waveform — that is `TransitionKernel`'s job, reading the
+/// contiguous per-wire arrays below in one flat pass. The model is
+/// immutable between defect mutations; every mutation bumps
+/// `defect_generation()` and rebuilds the derived arrays, which is what
+/// lets the transition tables and memo cache key their validity off a
+/// single integer compare.
+///
+/// SoA arrays (all indexed by wire, except `coupling_data` by pair):
+///  * `coupling_data()[p]`   — effective coupling cap of pair (p, p+1) [F]
+///  * `resistance_data()[i]` — total series resistance incl. defects [Ohm]
+///  * `total_cap_data()[i]`  — ground + both couplings [F]
+///  * `rail_data()[i]`       — per-wire high rail [V] (vdd; SoA so the
+///                             kernel's v0/vf loads are contiguous)
+class BusModel {
+ public:
+  explicit BusModel(BusParams p);
+
+  const BusParams& params() const { return p_; }
+  std::size_t n() const { return p_.n_wires; }
+
+  // ---- defect / process-variation injection -------------------------------
+
+  /// Multiply the coupling capacitance of adjacent pair `pair` = (pair,
+  /// pair+1) by `factor`. Cumulative.
+  void scale_coupling(std::size_t pair, double factor);
+
+  /// Add series resistance to `wire` (resistive open, weak driver).
+  void add_series_resistance(std::size_t wire, double ohms);
+
+  /// Composite crosstalk defect around `wire`: scales both adjacent
+  /// couplings by `severity` and weakens the wire's driver proportionally.
+  /// `severity` 1.0 is a no-op; ~5+ produces detectable glitches with the
+  /// default detector thresholds.
+  void inject_crosstalk_defect(std::size_t wire, double severity);
+
+  /// Remove all injected defects.
+  void clear_defects();
+
+  /// Monotone counter of defect-state mutations; derived caches (memo
+  /// entries, precompiled transition tables) are only ever valid within
+  /// one generation.
+  std::uint64_t defect_generation() const { return defect_gen_; }
+
+  // ---- electrical queries (bounds-checked scalar forms) -------------------
+
+  /// Effective coupling capacitance of adjacent pair `pair` [F].
+  double coupling(std::size_t pair) const;
+
+  /// Total series resistance of `wire` including defects [Ohm].
+  double resistance(std::size_t wire) const;
+
+  /// Total capacitance seen by `wire` (ground + both couplings) [F].
+  double total_cap(std::size_t wire) const;
+
+  /// Self time constant R*C of `wire` with current defects [s].
+  double self_tau(std::size_t wire) const;
+
+  /// Defect-free 50% delay of `wire` — the designer's timing expectation
+  /// from which the SD cell's skew-immune window is budgeted.
+  sim::Time nominal_delay(std::size_t wire) const;
+
+  // ---- SoA access for the kernel (unchecked, contiguous) ------------------
+
+  const double* coupling_data() const { return couple_.data(); }
+  const double* resistance_data() const { return resistance_.data(); }
+  const double* total_cap_data() const { return total_cap_.data(); }
+  const double* rail_data() const { return rail_.data(); }
+
+ private:
+  /// Recompute resistance_/total_cap_ from couple_/extra_r_. Expression
+  /// order matches the historical per-call computations exactly so the
+  /// refactor is bit-for-bit transparent.
+  void rebuild_derived();
+
+  BusParams p_;
+  std::vector<double> couple_;      // per adjacent pair, with defects
+  std::vector<double> extra_r_;     // per wire, defect series resistance
+  std::vector<double> resistance_;  // derived: r_driver + r_wire + extra_r
+  std::vector<double> total_cap_;   // derived: c_ground + adjacent couplings
+  std::vector<double> rail_;        // per wire high rail (vdd)
+  std::uint64_t defect_gen_ = 0;
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_BUS_MODEL_HPP

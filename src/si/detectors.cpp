@@ -8,12 +8,12 @@ using util::Logic;
 
 namespace {
 /// Settled logic level of the waveform (vdd/2 threshold).
-Logic settled(const Waveform& w, double vdd) {
+Logic settled(WaveformView w, double vdd) {
   return util::to_logic(w.final_value() >= vdd / 2.0);
 }
 }  // namespace
 
-bool NdCell::violates(const Waveform& w, Logic initial,
+bool NdCell::violates(WaveformView w, Logic initial,
                       Logic expected) const {
   const double arm = p_.v_hthr_frac * p_.vdd;
   const double release = p_.v_hmin_frac * p_.vdd;
@@ -54,16 +54,16 @@ bool NdCell::violates(const Waveform& w, Logic initial,
   return false;
 }
 
-void NdCell::observe(const Waveform& w, Logic initial, Logic expected) {
+void NdCell::observe(WaveformView w, Logic initial, Logic expected) {
   if (!ce_) return;
   if (violates(w, initial, expected)) flag_ = true;
 }
 
-std::optional<sim::Time> SdCell::arrival_time(const Waveform& w) const {
+std::optional<sim::Time> SdCell::arrival_time(WaveformView w) const {
   return w.last_crossing(p_.vth_frac * p_.vdd);
 }
 
-bool SdCell::violates(const Waveform& w, Logic initial,
+bool SdCell::violates(WaveformView w, Logic initial,
                       Logic expected) const {
   if (initial == expected) return false;  // quiet wire: ND territory
   if (settled(w, p_.vdd) != expected) return true;  // never arrives
@@ -72,7 +72,7 @@ bool SdCell::violates(const Waveform& w, Logic initial,
   return *t > p_.skew_budget;
 }
 
-void SdCell::observe(const Waveform& w, Logic initial, Logic expected) {
+void SdCell::observe(WaveformView w, Logic initial, Logic expected) {
   if (!ce_) return;
   if (violates(w, initial, expected)) flag_ = true;
 }

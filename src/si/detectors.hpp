@@ -47,10 +47,12 @@ class NdCell {
   /// after (`expected`) the transition. Passing the *driven* final level —
   /// rather than inferring it from the waveform — lets the cell flag a
   /// line that erroneously settles at the wrong rail (e.g. a slow droop).
-  void observe(const Waveform& w, util::Logic initial, util::Logic expected);
+  /// Takes a non-owning view so batched (arena/table-backed) waveforms
+  /// are scanned without copies; an owning `Waveform` converts implicitly.
+  void observe(WaveformView w, util::Logic initial, util::Logic expected);
 
   /// Pure query: would this waveform set the flag? (No state change.)
-  bool violates(const Waveform& w, util::Logic initial,
+  bool violates(WaveformView w, util::Logic initial,
                 util::Logic expected) const;
 
   /// Sticky violation flag (the ND flip-flop of the OBSC).
@@ -91,16 +93,16 @@ class SdCell {
 
   /// Scan `w` for a wire whose driven value changed from `initial` to
   /// `expected` this cycle. Quiet wires are ND territory and are ignored.
-  void observe(const Waveform& w, util::Logic initial, util::Logic expected);
+  void observe(WaveformView w, util::Logic initial, util::Logic expected);
 
   /// Pure query form of observe().
-  bool violates(const Waveform& w, util::Logic initial,
+  bool violates(WaveformView w, util::Logic initial,
                 util::Logic expected) const;
 
   /// Arrival instant: the last crossing of the receiver threshold, i.e.
   /// when the transition is finally committed. nullopt if the wire never
   /// crosses (stuck).
-  std::optional<sim::Time> arrival_time(const Waveform& w) const;
+  std::optional<sim::Time> arrival_time(WaveformView w) const;
 
   bool flag() const { return flag_; }
   void clear() { flag_ = false; }

@@ -6,7 +6,7 @@
 
 namespace jsi::si {
 
-WaveMetrics measure(const Waveform& w, double vdd) {
+WaveMetrics measure(WaveformView w, double vdd) {
   WaveMetrics m;
   if (w.samples() == 0) return m;
   m.v_start = w[0];

@@ -41,7 +41,8 @@ struct WaveMetrics {
 /// Extract metrics. `vdd` sets the logic thresholds; the waveform is
 /// treated as a transition when start and settled values are on opposite
 /// sides of vdd/2, as a quiet (possibly glitching) wire otherwise.
-WaveMetrics measure(const Waveform& w, double vdd);
+/// Takes a non-owning view; an owning `Waveform` converts implicitly.
+WaveMetrics measure(WaveformView w, double vdd);
 
 /// One-line human-readable rendering ("rise 83 ps, delay 72 ps, ...").
 std::string format_metrics(const WaveMetrics& m);

@@ -1,0 +1,74 @@
+#include "si/tables.hpp"
+
+#include <cstring>
+
+#include "mafm/fault.hpp"
+
+namespace jsi::si {
+
+void TransitionTable::build(const BusModel& m, TransitionKernel& kernel) {
+  clear();
+  const std::size_t n = m.n();
+  const std::size_t samples = m.params().samples;
+  n_wires_ = n;
+  samples_ = samples;
+
+  // Neighborhood-key -> pool-offset dedup map, local to one build.
+  std::unordered_map<std::uint64_t, std::uint32_t> dedup;
+  // Scratch block for one full batched evaluation (n*samples doubles).
+  std::vector<double> scratch(n * samples);
+
+  for (const mafm::MaFault f : mafm::kAllFaults) {
+    for (std::size_t victim = 0; victim < n; ++victim) {
+      const mafm::VectorPair vp = mafm::vectors_for(f, n, victim);
+      const PairKey key{vp.v1.to_u64(), vp.v2.to_u64()};
+      // Distinct (fault, victim) points can excite the same vector pair
+      // (e.g. Rs on wire 0 and Fs on wire 1 of a 2-wire bus); first
+      // build wins, later duplicates are skipped.
+      if (index_.count(key) != 0) continue;
+
+      const std::uint32_t entry = static_cast<std::uint32_t>(n_entries_++);
+      kernel.evaluate(m, vp.v1, vp.v2, scratch.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t nkey = neighborhood_key(n, i, vp.v1, vp.v2);
+        const auto it = dedup.find(nkey);
+        std::uint32_t off;
+        if (it != dedup.end()) {
+          off = it->second;
+        } else {
+          off = static_cast<std::uint32_t>(pool_.size());
+          pool_.insert(pool_.end(), scratch.data() + i * samples,
+                       scratch.data() + (i + 1) * samples);
+          dedup.emplace(nkey, off);
+        }
+        offsets_.push_back(off);
+        (void)entry;
+      }
+      index_.emplace(key, entry);
+    }
+  }
+
+  built_gen_ = m.defect_generation();
+  built_ = true;
+}
+
+std::size_t TransitionTable::find(const util::BitVec& prev,
+                                  const util::BitVec& next) const {
+  if (!built_) return npos;
+  const PairKey key{prev.to_u64(), next.to_u64()};
+  const auto it = index_.find(key);
+  return it == index_.end() ? npos : static_cast<std::size_t>(it->second);
+}
+
+void TransitionTable::clear() {
+  index_.clear();
+  offsets_.clear();
+  pool_.clear();
+  n_wires_ = 0;
+  samples_ = 0;
+  n_entries_ = 0;
+  built_gen_ = 0;
+  built_ = false;
+}
+
+}  // namespace jsi::si

@@ -1,0 +1,113 @@
+#ifndef JSI_SI_TABLES_HPP
+#define JSI_SI_TABLES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "si/bus_model.hpp"
+#include "si/kernel.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::si {
+
+/// Precompiled waveforms for the complete MA pattern set of one bus.
+///
+/// The MAFM scheme drives a tiny, closed workload: 6 faults x n victims,
+/// each a fixed (v1, v2) vector pair from `mafm::vectors_for`. Instead of
+/// memoizing those transitions as they stream by (the bounded-FIFO memo
+/// cache), the table enumerates and solves the whole set up front —
+/// "built once per unit, hit always". A lookup is then a single hash
+/// probe on the packed (prev, next) pair, serving pointers with zero
+/// copies and zero solver work.
+///
+/// Storage is a neighborhood-deduped waveform pool: a wire's response
+/// depends only on its 5-bit local window of (prev, next)
+/// (`neighborhood_key`), and across the MA set most windows repeat — the
+/// pool holds at most ~36 unique waveforms per wire instead of 6*n*n.
+/// Entries store *offsets* into the pool (not pointers), so the table is
+/// trivially copyable: `CoupledBus::clone()` carries a warm table to
+/// another worker by plain copy.
+///
+/// Validity is keyed off `BusModel::defect_generation()`: a table built
+/// under one generation is dead the moment a defect is injected, and the
+/// facade rebuilds lazily on the next batched evaluation.
+class TransitionTable {
+ public:
+  /// Pair keys pack each vector with BitVec::to_u64, so precompilation is
+  /// offered for buses up to 64 wires; wider buses (outside the paper's
+  /// regime) fall back to the memo path.
+  static constexpr std::size_t kMaxTableWires = 64;
+
+  static bool supported(std::size_t n_wires) {
+    return n_wires >= 1 && n_wires <= kMaxTableWires;
+  }
+
+  /// Enumerate the 6*n MA vector pairs, evaluate each through `kernel`
+  /// (the batched flat pass) and store the deduped waveforms. Replaces
+  /// any previous contents; stamps the model's current generation.
+  void build(const BusModel& m, TransitionKernel& kernel);
+
+  bool built() const { return built_; }
+
+  /// True when the table exists and matches the model's defect state.
+  bool fresh(const BusModel& m) const {
+    return built_ && built_gen_ == m.defect_generation();
+  }
+
+  /// Index of the entry for prev -> next, or `npos` when the pair is not
+  /// an MA pattern of this bus.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const util::BitVec& prev, const util::BitVec& next) const;
+
+  /// Wire `i`'s samples of entry `e` (from find()). Stable until the next
+  /// build() or destruction; clones re-derive from their own pool copy.
+  const double* wire_data(std::size_t e, std::size_t i) const {
+    return pool_.data() + offsets_[e * n_wires_ + i];
+  }
+
+  /// Distinct precompiled (prev, next) pairs resident.
+  std::size_t entries() const { return n_entries_; }
+
+  /// Unique waveforms in the dedup pool (memory diagnostics).
+  std::size_t pool_waveforms() const {
+    return samples_ == 0 ? 0 : pool_.size() / samples_;
+  }
+
+  /// Drop everything (e.g. when table lookups are disabled).
+  void clear();
+
+ private:
+  struct PairKey {
+    std::uint64_t prev = 0;
+    std::uint64_t next = 0;
+    bool operator==(const PairKey& o) const {
+      return prev == o.prev && next == o.next;
+    }
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      // splitmix-style mix of the two words; equality (not the hash)
+      // guarantees exactness.
+      std::uint64_t h = k.prev * 0x9e3779b97f4a7c15ull;
+      h ^= (h >> 32);
+      h += k.next * 0xbf58476d1ce4e5b9ull;
+      h ^= (h >> 29);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::unordered_map<PairKey, std::uint32_t, PairKeyHash> index_;
+  std::vector<std::uint32_t> offsets_;  // entry e, wire i at [e*n + i]
+  std::vector<double> pool_;            // deduped waveform samples
+  std::size_t n_wires_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t n_entries_ = 0;
+  std::uint64_t built_gen_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_TABLES_HPP

@@ -6,48 +6,56 @@
 
 namespace jsi::si {
 
-double Waveform::at(sim::Time t) const {
-  if (v_.empty()) return 0.0;
+double WaveformView::at(sim::Time t) const {
+  if (n_ == 0) return 0.0;
   const double idx = static_cast<double>(t) / static_cast<double>(dt_);
-  if (idx <= 0.0) return v_.front();
+  if (idx <= 0.0) return data_[0];
   const auto lo = static_cast<std::size_t>(idx);
-  if (lo + 1 >= v_.size()) return v_.back();
+  if (lo + 1 >= n_) return data_[n_ - 1];
   const double frac = idx - static_cast<double>(lo);
-  return v_[lo] * (1.0 - frac) + v_[lo + 1] * frac;
+  return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
 }
 
-double Waveform::max_value() const {
-  return v_.empty() ? 0.0 : *std::max_element(v_.begin(), v_.end());
+double WaveformView::max_value() const {
+  return n_ == 0 ? 0.0 : *std::max_element(data_, data_ + n_);
 }
 
-double Waveform::min_value() const {
-  return v_.empty() ? 0.0 : *std::min_element(v_.begin(), v_.end());
+double WaveformView::min_value() const {
+  return n_ == 0 ? 0.0 : *std::min_element(data_, data_ + n_);
 }
 
-std::optional<sim::Time> Waveform::first_above(double level,
-                                               sim::Time from) const {
-  for (std::size_t i = from / dt_; i < v_.size(); ++i) {
-    if (v_[i] >= level) return dt_ * i;
+std::optional<sim::Time> WaveformView::first_above(double level,
+                                                   sim::Time from) const {
+  for (std::size_t i = from / dt_; i < n_; ++i) {
+    if (data_[i] >= level) return dt_ * i;
   }
   return std::nullopt;
 }
 
-std::optional<sim::Time> Waveform::first_below(double level,
-                                               sim::Time from) const {
-  for (std::size_t i = from / dt_; i < v_.size(); ++i) {
-    if (v_[i] <= level) return dt_ * i;
+std::optional<sim::Time> WaveformView::first_below(double level,
+                                                   sim::Time from) const {
+  for (std::size_t i = from / dt_; i < n_; ++i) {
+    if (data_[i] <= level) return dt_ * i;
   }
   return std::nullopt;
 }
 
-std::optional<sim::Time> Waveform::last_crossing(double level) const {
-  if (v_.size() < 2) return std::nullopt;
-  for (std::size_t i = v_.size() - 1; i-- > 0;) {
-    const bool above_i = v_[i] >= level;
-    const bool above_n = v_[i + 1] >= level;
+std::optional<sim::Time> WaveformView::last_crossing(double level) const {
+  if (n_ < 2) return std::nullopt;
+  for (std::size_t i = n_ - 1; i-- > 0;) {
+    const bool above_i = data_[i] >= level;
+    const bool above_n = data_[i + 1] >= level;
     if (above_i != above_n) return dt_ * (i + 1);
   }
   return std::nullopt;
+}
+
+std::string WaveformView::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    os << dt_ * i << ',' << data_[i] << '\n';
+  }
+  return os.str();
 }
 
 Waveform& Waveform::operator+=(const Waveform& other) {
@@ -62,14 +70,6 @@ Waveform& Waveform::operator+=(const Waveform& other) {
 Waveform& Waveform::offset(double dv) {
   for (auto& s : v_) s += dv;
   return *this;
-}
-
-std::string Waveform::to_csv() const {
-  std::ostringstream os;
-  for (std::size_t i = 0; i < v_.size(); ++i) {
-    os << dt_ * i << ',' << v_[i] << '\n';
-  }
-  return os.str();
 }
 
 }  // namespace jsi::si

@@ -1,9 +1,16 @@
 // Physics property tests for the coupled-bus solver: linearity, symmetry
-// and monotonicity checks that hold for any parameter choice.
+// and monotonicity checks that hold for any parameter choice — plus the
+// randomized differential suite pinning the batched (table/arena) path
+// bit-for-bit against the scalar reference solver.
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "mafm/fault.hpp"
 #include "si/bus.hpp"
+#include "si/detectors.hpp"
 #include "util/prng.hpp"
 
 namespace jsi::si {
@@ -148,6 +155,182 @@ TEST(BusProperties, NoSelfGlitchWithoutSwitchingNeighbors) {
   const Waveform w = bus.wire_response(1, BitVec::from_string("1010"),
                                        BitVec::from_string("1010"));
   EXPECT_NEAR(w.max_value(), w.min_value(), 1e-12);  // perfectly flat
+}
+
+// ---- batched vs scalar differential suite ---------------------------------
+//
+// The batched kernel (transition_batch: precompiled tables + arena memo
+// path) must agree with the raw per-wire scalar solver on every output
+// *bit* — not just within a tolerance. Both paths share the same noinline
+// solver primitives, so any divergence is a real defect (e.g. an FP
+// contraction difference or a stale table), and EXPECT_EQ on doubles is
+// the correct assertion strength.
+
+/// A scalar reference twin of `p`: no tables, no memo — every call runs
+/// the raw analytic solver.
+CoupledBus scalar_reference(const BusParams& p) {
+  CoupledBus bus(p);
+  bus.set_tables_enabled(false);
+  bus.set_cache_enabled(false);
+  return bus;
+}
+
+BitVec random_vec(util::Prng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.next_bool());
+  return v;
+}
+
+/// The workload that matters: every MA vector pair of the bus, plus
+/// `extra` random (generally non-MA) pairs — so the table path and the
+/// arena/memo fallback path are both differenced.
+std::vector<mafm::VectorPair> differential_workload(util::Prng& rng,
+                                                    std::size_t n,
+                                                    int extra) {
+  std::vector<mafm::VectorPair> pairs;
+  for (const mafm::MaFault f : mafm::kAllFaults) {
+    for (std::size_t victim = 0; victim < n; ++victim) {
+      pairs.push_back(mafm::vectors_for(f, n, victim));
+    }
+  }
+  for (int i = 0; i < extra; ++i) {
+    pairs.push_back({random_vec(rng, n), random_vec(rng, n)});
+  }
+  return pairs;
+}
+
+void expect_batch_bit_identical(const CoupledBus& batched, CoupledBus& ref,
+                                const std::vector<mafm::VectorPair>& pairs) {
+  const std::size_t n = batched.n();
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    const TransitionBatch b =
+        batched.transition_batch(pairs[pi].v1, pairs[pi].v2);
+    ASSERT_EQ(b.n_wires, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Waveform want = ref.wire_response(i, pairs[pi].v1, pairs[pi].v2);
+      const WaveformView got = b.wire(i);
+      ASSERT_EQ(got.samples(), want.samples());
+      if (std::memcmp(got.data(), want.data(),
+                      want.samples() * sizeof(double)) == 0) {
+        continue;
+      }
+      // Bitwise mismatch: report the first diverging sample readably.
+      for (std::size_t s = 0; s < want.samples(); ++s) {
+        ASSERT_EQ(got[s], want[s])
+            << "pair " << pi << " wire " << i << " sample " << s;
+      }
+    }
+  }
+}
+
+TEST(BusDifferential, BatchedBitIdenticalAcrossWidthsAndSeeds) {
+  for (const std::size_t n : {2, 3, 5, 8, 13, 21, 32}) {
+    for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+      SCOPED_TRACE(testing::Message() << "n=" << n << " seed=" << seed);
+      BusParams p = params_n(n);
+      p.samples = 512;  // keep the sweep fast; full depth runs at n=8 below
+      util::Prng rng(seed);
+      CoupledBus batched(p);
+      CoupledBus ref = scalar_reference(p);
+      expect_batch_bit_identical(batched, ref,
+                                 differential_workload(rng, n, 8));
+    }
+  }
+}
+
+TEST(BusDifferential, FullDepthDefaultParams) {
+  const BusParams p = params_n(8);  // default 2048 samples
+  util::Prng rng(77);
+  CoupledBus batched(p);
+  CoupledBus ref = scalar_reference(p);
+  expect_batch_bit_identical(batched, ref, differential_workload(rng, 8, 12));
+}
+
+TEST(BusDifferential, DetectorVerdictsIdentical) {
+  // What the system actually consumes: ND/SD firings, SD arrival times
+  // and settled logic must agree between the two paths — on a defective
+  // bus where detectors really fire.
+  BusParams p = params_n(8);
+  p.samples = 1024;
+  CoupledBus batched(p);
+  CoupledBus ref = scalar_reference(p);
+  for (CoupledBus* bus : {&batched, &ref}) {
+    bus->inject_crosstalk_defect(3, 6.0);
+    bus->add_series_resistance(6, 900.0);
+  }
+  const NdCell nd;
+  const SdCell sd;
+  util::Prng rng(2026);
+  const auto pairs = differential_workload(rng, 8, 16);
+  for (const mafm::VectorPair& vp : pairs) {
+    const TransitionBatch b = batched.transition_batch(vp.v1, vp.v2);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const Waveform want = ref.wire_response(i, vp.v1, vp.v2);
+      const WaveformView got = b.wire(i);
+      const util::Logic li = util::to_logic(vp.v1[i]);
+      const util::Logic le = util::to_logic(vp.v2[i]);
+      EXPECT_EQ(nd.violates(got, li, le), nd.violates(want, li, le));
+      EXPECT_EQ(sd.violates(got, li, le), sd.violates(want, li, le));
+      EXPECT_EQ(sd.arrival_time(got), sd.arrival_time(want));
+      EXPECT_EQ(batched.settled_logic(got), ref.settled_logic(want));
+    }
+  }
+}
+
+TEST(BusDifferential, StackedDefectsStayIdentical) {
+  // Re-difference after every mutation of a growing defect stack: each
+  // bump must invalidate and rebuild the tables (and flush the memo) so
+  // the batched path never serves a stale generation.
+  BusParams p = params_n(6);
+  p.samples = 512;
+  CoupledBus batched(p);
+  CoupledBus ref = scalar_reference(p);
+  util::Prng rng(55);
+  const auto mutate = [&](int round) {
+    for (CoupledBus* bus : {&batched, &ref}) {
+      switch (round % 3) {
+        case 0: bus->scale_coupling(round % 5, 1.5); break;
+        case 1: bus->add_series_resistance(round % 6, 250.0); break;
+        default: bus->inject_crosstalk_defect(1 + round % 4, 4.0); break;
+      }
+    }
+  };
+  for (int round = 0; round < 5; ++round) {
+    mutate(round);
+    expect_batch_bit_identical(batched, ref,
+                               differential_workload(rng, 6, 4));
+  }
+  for (CoupledBus* bus : {&batched, &ref}) bus->clear_defects();
+  expect_batch_bit_identical(batched, ref, differential_workload(rng, 6, 4));
+}
+
+TEST(BusDifferential, CloneServesIdenticalBatches) {
+  // The campaign path: warm a prototype (tables precompiled, memo
+  // populated), clone it, and difference the clone — its carried tables
+  // and fresh arena must serve the same bits as a scalar reference.
+  BusParams p = params_n(8);
+  p.samples = 512;
+  CoupledBus proto(p);
+  proto.inject_crosstalk_defect(4, 5.0);
+  proto.precompile_tables();
+  util::Prng rng(99);
+  const auto pairs = differential_workload(rng, 8, 8);
+  for (const mafm::VectorPair& vp : pairs) {
+    proto.transition_batch(vp.v1, vp.v2);  // warm the memo too
+  }
+
+  CoupledBus clone = proto.clone();
+  BusParams rp = p;
+  CoupledBus ref(rp);
+  ref.set_tables_enabled(false);
+  ref.set_cache_enabled(false);
+  ref.inject_crosstalk_defect(4, 5.0);
+  expect_batch_bit_identical(clone, ref, pairs);
+
+  // And the clone stays correct across its own later mutations.
+  clone.add_series_resistance(2, 400.0);
+  ref.add_series_resistance(2, 400.0);
+  expect_batch_bit_identical(clone, ref, pairs);
 }
 
 }  // namespace

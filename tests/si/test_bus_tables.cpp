@@ -1,0 +1,251 @@
+// Tests for the precompiled MA transition tables: build/precompile
+// semantics, hit metering separate from the memo cache, defect-generation
+// invalidation, clone warm-carry, and the memo fallback for non-MA
+// vectors and unsupported widths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mafm/fault.hpp"
+#include "obs/events.hpp"
+#include "si/bus.hpp"
+#include "si/tables.hpp"
+
+namespace jsi::si {
+namespace {
+
+BusParams params_n(std::size_t n) {
+  BusParams p;
+  p.n_wires = n;
+  p.samples = 256;
+  return p;
+}
+
+std::vector<mafm::VectorPair> ma_pairs(std::size_t n) {
+  std::vector<mafm::VectorPair> pairs;
+  for (const mafm::MaFault f : mafm::kAllFaults) {
+    for (std::size_t victim = 0; victim < n; ++victim) {
+      pairs.push_back(mafm::vectors_for(f, n, victim));
+    }
+  }
+  return pairs;
+}
+
+/// A transition that is not in the MA pattern set for n >= 4: two
+/// adjacent wires rise, the rest stay quiet.
+mafm::VectorPair non_ma_pair(std::size_t n) {
+  util::BitVec next(n);
+  next.set(0, true);
+  next.set(1, true);
+  return {util::BitVec(n), next};
+}
+
+TEST(BusTables, DefaultOnAndEmpty) {
+  CoupledBus bus(params_n(8));
+  EXPECT_TRUE(bus.tables_enabled());
+  EXPECT_EQ(bus.table_entries(), 0u);
+  EXPECT_EQ(bus.table_hits(), 0u);
+  EXPECT_EQ(bus.table_misses(), 0u);
+  EXPECT_DOUBLE_EQ(bus.table_hit_rate(), 0.0);
+}
+
+TEST(BusTables, PrecompileIsIdempotentPerGeneration) {
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  const std::size_t entries = bus.table_entries();
+  EXPECT_GT(entries, 0u);
+  // Distinct (prev, next) pairs only: the 6*n enumeration contains
+  // duplicates (e.g. Rs on wire 0 and Fs on wire 1 coincide at n=2), so
+  // the table can hold fewer than 6*n entries, never more.
+  EXPECT_LE(entries, 6u * 8u);
+  bus.precompile_tables();  // same generation: no rebuild, no growth
+  EXPECT_EQ(bus.table_entries(), entries);
+  // Building is not looking up: counters stay untouched.
+  EXPECT_EQ(bus.table_hits(), 0u);
+  EXPECT_EQ(bus.table_misses(), 0u);
+}
+
+TEST(BusTables, MaPairsAlwaysHitAndNeverTouchMemo) {
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  const auto pairs = ma_pairs(8);
+  for (const mafm::VectorPair& vp : pairs) {
+    bus.transition_batch(vp.v1, vp.v2);
+  }
+  EXPECT_EQ(bus.table_hits(), pairs.size());
+  EXPECT_EQ(bus.table_misses(), 0u);
+  EXPECT_DOUBLE_EQ(bus.table_hit_rate(), 1.0);
+  // Table traffic is metered separately: the per-wire memo cache saw
+  // nothing.
+  EXPECT_EQ(bus.cache_hits(), 0u);
+  EXPECT_EQ(bus.cache_misses(), 0u);
+  EXPECT_EQ(bus.cache_entries(), 0u);
+}
+
+TEST(BusTables, LazyBuildOnFirstBatch) {
+  // Without precompile_tables() the first batched evaluation builds the
+  // table and then probes it — an MA pair therefore hits even cold.
+  CoupledBus bus(params_n(6));
+  EXPECT_EQ(bus.table_entries(), 0u);
+  const mafm::VectorPair vp = mafm::vectors_for(mafm::MaFault::Pg, 6, 2);
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_GT(bus.table_entries(), 0u);
+  EXPECT_EQ(bus.table_hits(), 1u);
+  EXPECT_EQ(bus.table_misses(), 0u);
+}
+
+TEST(BusTables, NonMaVectorsFallBackToMemo) {
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  const mafm::VectorPair vp = non_ma_pair(8);
+
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_misses(), 1u);
+  EXPECT_EQ(bus.cache_misses(), 8u) << "memo fill: one miss per wire";
+  EXPECT_EQ(bus.cache_hits(), 0u);
+
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_misses(), 2u) << "non-MA pairs never enter the table";
+  EXPECT_EQ(bus.cache_hits(), 8u) << "but the memo serves the repeat";
+}
+
+TEST(BusTables, DefectInvalidatesAndRebuilds) {
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  const mafm::VectorPair vp = mafm::vectors_for(mafm::MaFault::Pg, 8, 3);
+  const TransitionBatch clean = bus.transition_batch(vp.v1, vp.v2);
+  const Waveform clean_victim(clean.wire(3));
+  EXPECT_EQ(bus.table_hits(), 1u);
+
+  bus.inject_crosstalk_defect(3, 6.0);
+  // The stale table is rebuilt for the new generation on the next batch;
+  // the probe still hits (the table always holds the current MA set).
+  const TransitionBatch defective = bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_hits(), 2u);
+  EXPECT_EQ(bus.table_misses(), 0u);
+
+  // Served waveforms belong to the new electrical state: identical to a
+  // fresh defective bus's scalar solve, different from the clean run.
+  CoupledBus ref(params_n(8));
+  ref.set_tables_enabled(false);
+  ref.set_cache_enabled(false);
+  ref.inject_crosstalk_defect(3, 6.0);
+  const Waveform want = ref.wire_response(3, vp.v1, vp.v2);
+  ASSERT_EQ(defective.wire(3).samples(), want.samples());
+  EXPECT_EQ(std::memcmp(defective.wire(3).data(), want.data(),
+                        want.samples() * sizeof(double)),
+            0);
+  bool changed = false;
+  for (std::size_t s = 0; s < want.samples(); ++s) {
+    if (clean_victim[s] != want[s]) changed = true;
+  }
+  EXPECT_TRUE(changed) << "a severity-6 defect must alter the waveform";
+}
+
+TEST(BusTables, DisableDropsTableButKeepsCounters) {
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  const mafm::VectorPair vp = mafm::vectors_for(mafm::MaFault::Ng, 8, 4);
+  bus.transition_batch(vp.v1, vp.v2);
+  const std::uint64_t hits = bus.table_hits();
+  EXPECT_GT(hits, 0u);
+
+  bus.set_tables_enabled(false);
+  EXPECT_FALSE(bus.tables_enabled());
+  EXPECT_EQ(bus.table_entries(), 0u);
+  EXPECT_EQ(bus.table_hits(), hits) << "counters meter the workload, not "
+                                       "the table contents";
+
+  // Disabled tables route every batch through the memo, without metering
+  // table traffic.
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_hits(), hits);
+  EXPECT_EQ(bus.table_misses(), 0u);
+  EXPECT_EQ(bus.cache_misses(), 8u);
+
+  // Re-enabling rebuilds lazily and serves MA pairs from the table again.
+  bus.set_tables_enabled(true);
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_hits(), hits + 1);
+  EXPECT_GT(bus.table_entries(), 0u);
+}
+
+TEST(BusTables, CloneCarriesTableAndCounters) {
+  CoupledBus bus(params_n(8));
+  bus.inject_crosstalk_defect(2, 5.0);
+  bus.precompile_tables();
+  const mafm::VectorPair vp = mafm::vectors_for(mafm::MaFault::Rs, 8, 2);
+  const TransitionBatch src = bus.transition_batch(vp.v1, vp.v2);
+  const Waveform want(src.wire(2));
+
+  CoupledBus copy = bus.clone();
+  EXPECT_EQ(copy.table_entries(), bus.table_entries());
+  EXPECT_EQ(copy.table_hits(), bus.table_hits());
+  EXPECT_EQ(copy.table_misses(), bus.table_misses());
+
+  // The clone's table is live and independent: its lookup hits, serves
+  // the same bits, and moves only its own counters.
+  const std::uint64_t src_hits = bus.table_hits();
+  const TransitionBatch got = copy.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(copy.table_hits(), src_hits + 1);
+  EXPECT_EQ(bus.table_hits(), src_hits);
+  ASSERT_EQ(got.wire(2).samples(), want.samples());
+  EXPECT_EQ(std::memcmp(got.wire(2).data(), want.data(),
+                        want.samples() * sizeof(double)),
+            0);
+}
+
+TEST(BusTables, WideBusUnsupportedFallsBackToMemo) {
+  // The table pair-key packs vectors into u64, so buses wider than
+  // kMaxTableWires skip the tables entirely — no entries, no metering —
+  // and batches flow through the memo path.
+  BusParams p = params_n(TransitionTable::kMaxTableWires + 1);
+  p.samples = 32;
+  CoupledBus bus(p);
+  EXPECT_FALSE(TransitionTable::supported(p.n_wires));
+  bus.precompile_tables();
+  EXPECT_EQ(bus.table_entries(), 0u);
+
+  const mafm::VectorPair vp = mafm::vectors_for(mafm::MaFault::Pg, p.n_wires, 1);
+  bus.transition_batch(vp.v1, vp.v2);
+  EXPECT_EQ(bus.table_hits(), 0u);
+  EXPECT_EQ(bus.table_misses(), 0u);
+  EXPECT_EQ(bus.cache_misses(), p.n_wires);
+}
+
+TEST(BusTables, EmitsOneTableEventPerBatch) {
+  struct RecordingSink final : obs::Sink {
+    std::vector<std::pair<std::string, std::int64_t>> lookups;
+    void on_event(const obs::Event& e) override {
+      if (e.kind == obs::EventKind::CacheLookup) {
+        lookups.emplace_back(e.name, e.a);
+      }
+    }
+  };
+  CoupledBus bus(params_n(8));
+  bus.precompile_tables();
+  RecordingSink sink;
+  bus.set_sink(&sink);
+
+  const mafm::VectorPair ma = mafm::vectors_for(mafm::MaFault::Fs, 8, 5);
+  bus.transition_batch(ma.v1, ma.v2);
+  ASSERT_EQ(sink.lookups.size(), 1u) << "one si.table record per batch";
+  EXPECT_EQ(sink.lookups[0].first, "si.table");
+  EXPECT_EQ(sink.lookups[0].second, 1);
+
+  sink.lookups.clear();
+  const mafm::VectorPair other = non_ma_pair(8);
+  bus.transition_batch(other.v1, other.v2);
+  // A table miss plus the per-wire memo records of the fallback path.
+  ASSERT_EQ(sink.lookups.size(), 9u);
+  EXPECT_EQ(sink.lookups[0].first, "si.table");
+  EXPECT_EQ(sink.lookups[0].second, 0);
+  for (std::size_t i = 1; i < sink.lookups.size(); ++i) {
+    EXPECT_EQ(sink.lookups[i].first, "si.cache");
+  }
+}
+
+}  // namespace
+}  // namespace jsi::si
