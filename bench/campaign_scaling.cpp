@@ -71,9 +71,11 @@ struct Timed {
 };
 
 Timed run_once(const jsi::scenario::ScenarioSpec& spec, std::size_t shards) {
+  jsi::scenario::RunOptions opt;
+  opt.shards = shards;
   const auto t0 = clock_type::now();
   const jsi::scenario::ScenarioOutcome r =
-      jsi::scenario::run_scenario(spec, {.shards = shards});
+      jsi::scenario::run_scenario(spec, opt);
   const auto t1 = clock_type::now();
   Timed out;
   out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -202,6 +203,15 @@ CampaignResult CampaignRunner::run() {
 
   std::atomic<std::size_t> next{0};
 
+  // Live telemetry rides strictly beside the deterministic machinery:
+  // workers publish progress into lock-free per-worker slots, a sampler
+  // thread folds the slots into JSONL heartbeats. Nothing below reads
+  // telemetry state back into outcomes/registries, which is the whole
+  // byte-identity-with-telemetry argument.
+  obs::Telemetry telemetry(cfg_.telemetry, shards == 1 || n <= 1 ? 1 : shards,
+                           n);
+  telemetry.start();
+
   auto worker = [&](std::size_t worker_id) {
     // The hub is built inside the worker: one observer per thread, never
     // shared. Only the optional live sink crosses threads.
@@ -209,10 +219,23 @@ CampaignResult CampaignRunner::run() {
     hub.set_strict(cfg_.strict_metrics);
     if (live_sink_ != nullptr) hub.add_sink(live_sink_);
 
+    using tele_clock = std::chrono::steady_clock;
+    obs::WorkerProgress* tp = telemetry.worker_slot(worker_id);
+    tele_clock::time_point last = tp ? tele_clock::now()
+                                     : tele_clock::time_point{};
+
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       hub.reset();
+      tele_clock::time_point t0{};
+      if (tp != nullptr) {
+        t0 = tele_clock::now();
+        tp->add_idle(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - last)
+                .count()));
+        tp->begin_unit(units_[i].name.c_str());
+      }
       CampaignContext ctx(hub, worker_id, i, prototype_);
       UnitOutcome out;
       try {
@@ -226,6 +249,22 @@ CampaignResult CampaignRunner::run() {
       outcomes[i] = std::move(out);
       registries[i] = hub.registry();
       if (cfg_.keep_events) events[i] = hub.tracer().events();
+      if (tp != nullptr) {
+        const tele_clock::time_point t1 = tele_clock::now();
+        const obs::Registry& reg = registries[i];
+        obs::UnitDelta d;
+        d.busy_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        d.transitions = reg.counter_value("bus.transitions");
+        d.tcks = reg.counter_value("tck.total");
+        d.table_hits = reg.counter_value("bus.table_hits");
+        d.table_misses = reg.counter_value("bus.table_misses");
+        d.memo_hits = reg.counter_value("bus.cache_hits");
+        d.memo_misses = reg.counter_value("bus.cache_misses");
+        tp->end_unit(d);
+        last = t1;
+      }
     }
   };
 
@@ -238,12 +277,14 @@ CampaignResult CampaignRunner::run() {
     for (std::size_t w = 0; w < shards; ++w) pool.emplace_back(worker, w);
     for (std::thread& t : pool) t.join();
   }
+  telemetry.stop();
 
   // Deterministic join: fold per-unit snapshots in work-unit order. The
   // fold never sees worker identity or completion order, which is the
   // whole byte-identity argument.
   CampaignResult r;
   r.shards_used = shards;
+  if (telemetry.enabled()) r.telemetry = telemetry.sample();
   r.units = std::move(outcomes);
   for (std::size_t i = 0; i < n; ++i) {
     r.metrics.merge(registries[i]);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/soc.hpp"
 #include "obs/hub.hpp"
 #include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
 #include "si/bus.hpp"
 
 namespace jsi::core {
@@ -98,6 +100,12 @@ struct CampaignConfig {
   /// Keep each unit's stamped event stream in the result (memory-heavy;
   /// determinism tests turn it on, production campaigns usually don't).
   bool keep_events = false;
+  /// Live telemetry: streaming JSONL heartbeats + terminal progress.
+  /// Disabled by default; enabling it must not (and provably does not —
+  /// pinned by the telemetry determinism suite) change any deterministic
+  /// artifact, because workers only publish into lock-free side slots
+  /// the sampler thread reads.
+  obs::TelemetryConfig telemetry{};
 };
 
 /// Merged result of a campaign: per-unit outcomes in work-unit order, the
@@ -115,6 +123,12 @@ struct CampaignResult {
   std::size_t violations = 0;
   std::size_t failures = 0;
   std::size_t shards_used = 0;  ///< informational; not part of to_text()
+
+  /// Final telemetry snapshot (per-worker utilization, measured rates),
+  /// captured only when CampaignConfig::telemetry.enabled was set. Like
+  /// shards_used it is informational: wall-clock data, never part of
+  /// to_text() or any deterministic artifact.
+  std::optional<obs::Snapshot> telemetry;
 
   /// The canonical campaign report: unit lines in work-unit order plus
   /// the summed totals. Byte-identical for every shard count (it depends

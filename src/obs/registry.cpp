@@ -49,6 +49,35 @@ void Histogram::reset() {
   sum_ = 0.0;
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0 || bounds_.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank, 1-based: the smallest observation index covering q of
+  // the mass. ceil() keeps q=0.5 of an even count on the lower median's
+  // bucket boundary rather than past it.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  double lo = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] >= target) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket: no upper edge to interpolate toward; clamp to
+        // the highest known bound (an under-estimate by construction).
+        return bounds_.back();
+      }
+      const double hi = bounds_[i];
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum += counts_[i];
+    if (i < bounds_.size()) lo = bounds_[i];
+  }
+  return bounds_.back();
+}
+
 void Histogram::merge(const Histogram& other) {
   if (bounds_ != other.bounds_) {
     throw std::invalid_argument("histogram merge: bucket layouts differ");
@@ -107,6 +136,12 @@ void Registry::merge(const Registry& other) {
     const auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       histograms_.emplace(name, h);
+    } else if (it->second.bounds() != h.bounds()) {
+      // Name the offending metric: a campaign merge folds dozens of
+      // histograms, and "bucket layouts differ" alone is undebuggable.
+      throw std::invalid_argument(
+          "histogram merge: bucket layouts differ for metric \"" + name +
+          "\"");
     } else {
       it->second.merge(h);
     }
@@ -164,6 +199,14 @@ void Registry::write_json(std::ostream& os) const {
     }
     os << "],\"count\":" << h.count() << ",\"sum\":";
     write_number(os, h.sum());
+    // Derived summaries so BENCH_*.json consumers can read p50/p95
+    // latencies without reconstructing them from the bucket vectors.
+    os << ",\"mean\":";
+    write_number(os, h.mean());
+    os << ",\"p50\":";
+    write_number(os, h.quantile(0.5));
+    os << ",\"p95\":";
+    write_number(os, h.quantile(0.95));
     os << '}';
   }
   os << "}}";

@@ -53,6 +53,20 @@ class Histogram {
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+
+  /// Arithmetic mean of all observations (0 when empty).
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Approximate q-quantile (q in [0,1]) reconstructed from the bucket
+  /// layout: linear interpolation inside the bucket holding the target
+  /// rank, with the first bucket anchored at 0 and observations in the
+  /// overflow bucket clamped to the highest bound. Exact enough for the
+  /// p50/p95 summaries the profile report and BENCH_*.json print; 0 when
+  /// the histogram is empty.
+  double quantile(double q) const;
+
   void reset();
 
  private:

@@ -110,6 +110,17 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     os << '}';
   };
 
+  // Counter samples (ph:"C"): Perfetto renders these as live-rate tracks
+  // next to the span rows, so throughput is visible at a glance without
+  // leaving the trace viewer.
+  auto counter = [&os](const char* name, std::uint64_t t_ps, const char* key,
+                       std::uint64_t value) {
+    os << ",{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":";
+    write_ts(os, t_ps);
+    os << ",\"args\":{\"" << key << "\":" << value << "}}";
+  };
+
+  std::uint64_t detector_firings = 0;
   for (const Event& e : events()) {
     switch (e.kind) {
       case EventKind::SessionBegin:
@@ -129,6 +140,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         break;
       case EventKind::TapOpEnd:
         slice(e.name, 'E', 1, e.time_ps);
+        counter("tck", e.time_ps, "tck", e.tck);
         break;
       case EventKind::DetectorFired:
         os << ",{\"name\":";
@@ -137,6 +149,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         write_ts(os, e.time_ps);
         os << ",\"args\":{\"wire\":" << e.a << ",\"bus\":" << e.b
            << ",\"tck\":" << e.tck << ",\"vcd_ps\":" << e.time_ps << "}}";
+        counter("detector-firings", e.time_ps, "fired", ++detector_firings);
         break;
       case EventKind::BusTransition:
         os << ",{\"name\":\"bus-transition\",\"ph\":\"i\",\"s\":\"t\","
@@ -144,6 +157,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         write_ts(os, e.time_ps);
         os << ",\"args\":{\"bus\":" << e.a << ",\"count\":" << e.value
            << ",\"tck\":" << e.tck << ",\"vcd_ps\":" << e.time_ps << "}}";
+        counter("bus-transitions", e.time_ps, "count", e.value);
         break;
       case EventKind::ProtocolViolation:
         os << ",{\"name\":\"protocol-violation\",\"ph\":\"i\",\"s\":\"g\","

@@ -57,7 +57,9 @@ class Tracer final : public Sink {
   /// Chrome trace_event format ({"traceEvents":[...]}); `ts` is in
   /// microseconds of TCK time (tck * period). StateEdge records are
   /// summarized away (they would swamp the viewer); everything else maps
-  /// to B/E duration slices or instant events.
+  /// to B/E duration slices or instant events, plus ph:"C" counter
+  /// samples (cumulative tck, bus-transition count, detector firings) so
+  /// Perfetto renders live-rate tracks next to the spans.
   void write_chrome_trace(std::ostream& os) const;
 
  private:

@@ -175,6 +175,14 @@ ScenarioCampaign build_campaign(const ScenarioSpec& spec,
   cc.trace.cache_lookups = spec.obs.cache_lookups;
   cc.trace.tck_period_ps = spec.obs.tck_period_ps;
 
+  // Live telemetry: CLI flags override the spec's section wholesale, and
+  // --progress forces the sampler on even with no JSONL sink configured.
+  const TelemetrySpec& tele = opt.telemetry ? *opt.telemetry : spec.telemetry;
+  cc.telemetry.enabled = tele.enabled || opt.progress;
+  cc.telemetry.interval_ms = tele.interval_ms;
+  cc.telemetry.sink_path = tele.path;
+  cc.telemetry.progress = opt.progress;
+
   ScenarioCampaign sc;
   sc.runner_ = core::CampaignRunner(cc);
 

@@ -55,6 +55,12 @@ void apply_board_fault(ict::BoardNets& board, const DefectSpec& d);
 struct BuildOptions {
   /// Override campaign.shards (the CLI's --shards flag).
   std::optional<std::size_t> shards;
+  /// Override the spec's telemetry section (the CLI's --telemetry /
+  /// --telemetry-interval flags).
+  std::optional<TelemetrySpec> telemetry;
+  /// Render a live single-line terminal progress bar (the CLI's
+  /// --progress flag); implies a running sampler even with no JSONL sink.
+  bool progress = false;
 };
 
 /// A lowered scenario: the campaign runner plus the prototype bus it

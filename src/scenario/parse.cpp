@@ -440,6 +440,23 @@ CampaignSpec parse_campaign(const json::Value& v) {
   return c;
 }
 
+TelemetrySpec parse_telemetry(const json::Value& v) {
+  const std::string path = "telemetry";
+  if (!v.is_object()) fail(path, "expected an object");
+  check_keys(v, path, {"enabled", "interval_ms", "path"});
+  TelemetrySpec t;
+  if (const json::Value* x = v.find("enabled")) {
+    t.enabled = as_bool(*x, sub(path, "enabled"));
+  }
+  if (const json::Value* x = v.find("interval_ms")) {
+    t.interval_ms = as_int_min(*x, sub(path, "interval_ms"), 1);
+  }
+  if (const json::Value* x = v.find("path")) {
+    t.path = as_string(*x, sub(path, "path"));
+  }
+  return t;
+}
+
 ObsSpec parse_obs(const json::Value& v) {
   const std::string path = "obs";
   if (!v.is_object()) fail(path, "expected an object");
@@ -472,7 +489,7 @@ ScenarioSpec parse_scenario(std::string_view text) {
   if (!v.is_object()) fail("scenario", "expected a JSON object");
   check_keys(v, "",
              {"name", "description", "topology", "defects", "sessions",
-              "campaign", "obs"});
+              "campaign", "obs", "telemetry"});
 
   ScenarioSpec s;
   s.name = as_string(req(v, "", "name"), "name");
@@ -513,6 +530,9 @@ ScenarioSpec parse_scenario(std::string_view text) {
   }
   if (const json::Value* x = v.find("obs")) {
     s.obs = parse_obs(*x);
+  }
+  if (const json::Value* x = v.find("telemetry")) {
+    s.telemetry = parse_telemetry(*x);
   }
   return s;
 }

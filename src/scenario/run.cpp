@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
 #include "scenario/build.hpp"
 #include "util/json.hpp"
@@ -25,12 +26,16 @@ void write_file(const std::filesystem::path& path, const std::string& text) {
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
-  ScenarioCampaign campaign = build_campaign(spec, {.shards = opt.shards});
+  ScenarioCampaign campaign =
+      build_campaign(spec, {.shards = opt.shards,
+                            .telemetry = opt.telemetry,
+                            .progress = opt.progress});
   ScenarioOutcome out;
   out.result = campaign.run();
   out.report_text = out.result.to_text();
   out.metrics_json = out.result.metrics.to_json() + "\n";
   out.events_jsonl = render_events_jsonl(out.result);
+  if (opt.profile) out.profile_text = render_profile(spec, out.result);
   return out;
 }
 
@@ -49,6 +54,29 @@ std::string render_events_jsonl(const core::CampaignResult& result) {
   return os.str();
 }
 
+std::string render_profile(const ScenarioSpec& spec,
+                           const core::CampaignResult& result) {
+  // obs knows nothing about core, so bridge the outcome list into the
+  // neutral shape profile_report consumes.
+  std::vector<obs::ProfileUnit> units;
+  units.reserve(result.units.size());
+  for (const core::UnitOutcome& u : result.units) {
+    obs::ProfileUnit p;
+    p.name = u.name;
+    p.total_tcks = u.total_tcks;
+    p.generation_tcks = u.generation_tcks;
+    p.observation_tcks = u.observation_tcks;
+    p.violation = u.violation;
+    p.failed = u.failed;
+    units.push_back(std::move(p));
+  }
+  obs::ProfileOptions po;
+  po.tck_period_ps = spec.obs.tck_period_ps;
+  return obs::profile_report(
+      units, result.metrics,
+      result.telemetry ? &*result.telemetry : nullptr, po);
+}
+
 void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome) {
   const std::filesystem::path root(dir);
   std::error_code ec;
@@ -61,6 +89,9 @@ void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome) {
   write_file(root / "metrics.json", outcome.metrics_json);
   if (!outcome.events_jsonl.empty()) {
     write_file(root / "events.jsonl", outcome.events_jsonl);
+  }
+  if (!outcome.profile_text.empty()) {
+    write_file(root / "profile.txt", outcome.profile_text);
   }
 }
 

@@ -12,6 +12,13 @@ namespace jsi::scenario {
 struct RunOptions {
   /// Override campaign.shards (the CLI's --shards flag).
   std::optional<std::size_t> shards;
+  /// Override the spec's telemetry section (the CLI's --telemetry /
+  /// --telemetry-interval flags).
+  std::optional<TelemetrySpec> telemetry;
+  /// Live single-line terminal progress with ETA (the CLI's --progress).
+  bool progress = false;
+  /// Render the post-run profile report into ScenarioOutcome::profile_text.
+  bool profile = false;
 };
 
 /// Everything one scenario execution produces, already rendered into the
@@ -27,6 +34,11 @@ struct ScenarioOutcome {
   /// per unit followed by its stamped events. Empty unless the spec sets
   /// campaign.keep_events.
   std::string events_jsonl;
+  /// Post-run profile report (obs::profile_report). Empty unless
+  /// RunOptions::profile is set. Informational — unlike the three
+  /// artifacts above it may fold in measured telemetry (worker
+  /// utilization), so it is not part of the determinism contract.
+  std::string profile_text;
 };
 
 /// Lower the spec (build_campaign), run it, and render the artifacts.
@@ -36,8 +48,15 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec,
 /// The events.jsonl text for a result captured with keep_events.
 std::string render_events_jsonl(const core::CampaignResult& result);
 
-/// Write report.txt, metrics.json and (when non-empty) events.jsonl into
-/// `dir`, creating it if needed. Throws std::runtime_error on I/O errors.
+/// The post-run profile report for a finished campaign: phase breakdown,
+/// session-kind mix, top-k slowest units, and — when the result carries a
+/// telemetry snapshot — measured per-worker utilization.
+std::string render_profile(const ScenarioSpec& spec,
+                           const core::CampaignResult& result);
+
+/// Write report.txt, metrics.json and (when non-empty) events.jsonl and
+/// profile.txt into `dir`, creating it if needed. Throws
+/// std::runtime_error on I/O errors.
 void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome);
 
 }  // namespace jsi::scenario

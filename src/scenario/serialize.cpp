@@ -125,6 +125,14 @@ json::Value campaign_json(const CampaignSpec& c) {
   return v;
 }
 
+json::Value telemetry_json(const TelemetrySpec& t) {
+  json::Value v = json::Value::make_object();
+  v.add("enabled", boolean(t.enabled));
+  v.add("interval_ms", num(t.interval_ms));
+  v.add("path", str(t.path));
+  return v;
+}
+
 json::Value obs_json(const ObsSpec& o) {
   json::Value v = json::Value::make_object();
   v.add("trace_capacity", num(o.trace_capacity));
@@ -151,6 +159,12 @@ util::json::Value to_json(const ScenarioSpec& spec) {
   v.add("sessions", std::move(sessions));
   v.add("campaign", campaign_json(spec.campaign));
   v.add("obs", obs_json(spec.obs));
+  // Emitted only when set: keeps the pre-telemetry shipped files
+  // canonical (file bytes == serialize(parse(file))) while still making
+  // an explicit telemetry section round-trip.
+  if (!spec.telemetry.is_default()) {
+    v.add("telemetry", telemetry_json(spec.telemetry));
+  }
   return v;
 }
 

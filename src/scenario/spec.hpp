@@ -151,6 +151,21 @@ struct ObsSpec {
   std::uint64_t tck_period_ps = 10'000;
 };
 
+/// Live telemetry of the lowered campaign (mirrors obs::TelemetryConfig).
+/// Off by default, and strictly separate from the deterministic
+/// report/metrics/events artifacts: heartbeats go to their own JSONL
+/// channel. The serializer emits this section only when it differs from
+/// the defaults, so existing scenario files stay canonical.
+struct TelemetrySpec {
+  bool enabled = false;
+  std::uint64_t interval_ms = 250;  ///< sampler period
+  std::string path;                 ///< heartbeat JSONL file ("" = none)
+
+  bool is_default() const {
+    return !enabled && interval_ms == 250 && path.empty();
+  }
+};
+
 /// A complete declarative scenario: one topology, its fabricated
 /// defects, the sessions to run against it, and how to execute and
 /// observe them. This is the single source every consumer lowers from —
@@ -164,6 +179,7 @@ struct ScenarioSpec {
   std::vector<SessionSpec> sessions; ///< at least one
   CampaignSpec campaign;
   ObsSpec obs;
+  TelemetrySpec telemetry;
 
   /// Width of the topology's bus(es): n_wires, wires_per_bus or n_nets.
   std::size_t width() const;

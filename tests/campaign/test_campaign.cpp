@@ -237,6 +237,21 @@ TEST(Campaign, HistogramMergeRejectsMismatchedBounds) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Campaign, RegistryMergeNamesTheMismatchedHistogram) {
+  obs::Registry a, b;
+  a.histogram("op.tcks", {1.0, 2.0}).observe(1.0);
+  b.histogram("op.tcks", {1.0, 3.0}).observe(1.0);
+  try {
+    a.merge(b);
+    FAIL() << "layout mismatch must throw";
+  } catch (const std::invalid_argument& e) {
+    // A campaign merges dozens of per-unit registries; an anonymous
+    // "layouts differ" gives no way to find the offender.
+    EXPECT_NE(std::string(e.what()).find("\"op.tcks\""), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Campaign, AggregatingSinkCollectsAcrossWorkers) {
   // Real multi-threaded fan-in: 8 engine-driven units on 4 workers all
   // feed one AggregatingSink. Its tck.total must equal the deterministic

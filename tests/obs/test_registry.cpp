@@ -56,6 +56,40 @@ TEST(Histogram, RejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({5, 1}), std::invalid_argument);
 }
 
+TEST(Histogram, MeanIsSumOverCountAndZeroWhenEmpty) {
+  Histogram h({10, 100});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheTargetBucket) {
+  Histogram h({10, 20, 30});
+  // 10 observations in (10, 20]: ranks 1..10 spread linearly over the
+  // bucket, so p50 sits mid-bucket and p100 at the upper bound.
+  for (int i = 0; i < 10; ++i) h.observe(15);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 11.0);   // rank clamps to 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));  // q clamps
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileSpansBucketsAndClampsOverflow) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 8; ++i) h.observe(5);    // (0, 10]
+  for (int i = 0; i < 1; ++i) h.observe(50);   // (10, 100]
+  h.observe(1e9);                              // overflow
+  EXPECT_LE(h.quantile(0.5), 10.0);
+  EXPECT_GT(h.quantile(0.85), 10.0);
+  EXPECT_LE(h.quantile(0.85), 100.0);
+  // The overflow bucket has no upper edge; the highest finite bound is
+  // the honest answer.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(Histogram({10}).quantile(0.5), 0.0);  // empty
+}
+
 TEST(Registry, ResetZeroesValuesButKeepsNames) {
   Registry reg;
   reg.counter("c").inc(3);

@@ -55,8 +55,9 @@ void expect_cli_parity(std::size_t shards) {
 
   // Programmatic path.
   const scenario::ScenarioSpec spec = scenario::load_scenario(file);
-  const scenario::ScenarioOutcome prog =
-      scenario::run_scenario(spec, {.shards = shards});
+  scenario::RunOptions opt;
+  opt.shards = shards;
+  const scenario::ScenarioOutcome prog = scenario::run_scenario(spec, opt);
   ASSERT_EQ(prog.result.failures, 0u);
   ASSERT_FALSE(prog.events_jsonl.empty());  // campaign_8bit keeps events
 
@@ -80,8 +81,11 @@ TEST(CliParity, FourShardArtifactsAreByteIdentical) { expect_cli_parity(4); }
 TEST(CliParity, ShardCountDoesNotChangeTheBytes) {
   const scenario::ScenarioSpec spec = scenario::load_scenario(
       std::string(JSI_SCENARIO_DIR) + "/campaign_8bit.scenario.json");
-  const auto one = scenario::run_scenario(spec, {.shards = 1});
-  const auto four = scenario::run_scenario(spec, {.shards = 4});
+  scenario::RunOptions one_opt, four_opt;
+  one_opt.shards = 1;
+  four_opt.shards = 4;
+  const auto one = scenario::run_scenario(spec, one_opt);
+  const auto four = scenario::run_scenario(spec, four_opt);
   EXPECT_EQ(one.report_text, four.report_text);
   EXPECT_EQ(one.metrics_json, four.metrics_json);
   EXPECT_EQ(one.events_jsonl, four.events_jsonl);
@@ -98,6 +102,43 @@ TEST(CliParity, ValidateAndPrintSucceedOnShippedScenario) {
                          "\" > /dev/null")
                             .c_str()),
             0);
+}
+
+TEST(CliParity, TelemetryFlagsLeaveArtifactsUntouchedAndStreamHeartbeats) {
+  const std::string file =
+      std::string(JSI_SCENARIO_DIR) + "/campaign_8bit.scenario.json";
+  const scenario::ScenarioSpec spec = scenario::load_scenario(file);
+  scenario::RunOptions prog_opt;
+  prog_opt.shards = 4;
+  const scenario::ScenarioOutcome prog = scenario::run_scenario(spec, prog_opt);
+
+  TempDir dir("telemetry");
+  fs::create_directories(dir.path());  // sink parent must exist; only --out
+                                       // dirs are created for the user
+  const fs::path hb = dir.path() / "heartbeats.jsonl";
+  const std::string cmd = std::string(JSI_CLI_PATH) + " run \"" + file +
+                          "\" --shards 4 --telemetry \"" + hb.string() +
+                          "\" --telemetry-interval 2 --profile --out \"" +
+                          (dir.path() / "art").string() + "\" > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // --telemetry/--profile must not move the deterministic artifacts.
+  EXPECT_EQ(slurp(dir.path() / "art" / "report.txt"), prog.report_text);
+  EXPECT_EQ(slurp(dir.path() / "art" / "metrics.json"), prog.metrics_json);
+  EXPECT_EQ(slurp(dir.path() / "art" / "events.jsonl"), prog.events_jsonl);
+
+  // The heartbeat stream: at least start + final records.
+  const std::string jsonl = slurp(hb);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_GE(lines, 2u) << jsonl;
+  EXPECT_NE(jsonl.find("\"schema\":\"jsi.telemetry.v1\""),
+            std::string::npos);
+
+  // --profile adds profile.txt beside the canonical three.
+  const std::string profile = slurp(dir.path() / "art" / "profile.txt");
+  EXPECT_NE(profile.find("== campaign profile =="), std::string::npos);
+  EXPECT_NE(profile.find("workers (measured,"), std::string::npos);
 }
 
 TEST(CliParity, BadSpecExitsWithStatusTwo) {

@@ -286,6 +286,30 @@ TEST(ScenarioSerialize, RoundTripIsByteIdenticalFixedPoint) {
   EXPECT_EQ(back.campaign.seed, 3u);
 }
 
+TEST(ScenarioSerialize, TelemetrySectionRoundTripsAndStaysOffTheWire) {
+  // No telemetry section parses to the defaults and serializes to no
+  // section — this is what keeps the pre-telemetry shipped files
+  // byte-exact fixed points.
+  const ScenarioSpec plain = parse_scenario(soc_doc());
+  EXPECT_TRUE(plain.telemetry.is_default());
+  EXPECT_EQ(scenario::serialize(plain).find("telemetry"), std::string::npos);
+
+  const ScenarioSpec spec = parse_scenario(soc_doc(
+      R"(,"telemetry":{"enabled":true,"interval_ms":100,)"
+      R"("path":"hb.jsonl"})"));
+  EXPECT_TRUE(spec.telemetry.enabled);
+  EXPECT_EQ(spec.telemetry.interval_ms, 100u);
+  EXPECT_EQ(spec.telemetry.path, "hb.jsonl");
+  const std::string canon = scenario::serialize(spec);
+  EXPECT_NE(canon.find("\"telemetry\""), std::string::npos);
+  EXPECT_EQ(canon, scenario::serialize(parse_scenario(canon)));
+
+  expect_error(soc_doc(R"(,"telemetry":{"interval_ms":0})"),
+               "telemetry.interval_ms: must be an integer >= 1");
+  expect_error(soc_doc(R"(,"telemetry":{"cadence":5})"),
+               "telemetry.cadence: unknown key");
+}
+
 // ---- campaign lowering ----------------------------------------------------
 
 TEST(ScenarioBuild, LowersEverySessionIntoOneCampaign) {
@@ -327,8 +351,11 @@ TEST(ScenarioBuild, ShardOverrideKeepsReportBytes) {
            R"("defects":[{"kind":"crosstalk","wire":1,"severity":6}],)"
            R"("sessions":[{"kind":"enhanced","method":1},)"
            R"({"kind":"conventional","method":1},{"kind":"bist"}])"));
-  const auto one = scenario::run_scenario(spec, {.shards = 1});
-  const auto two = scenario::run_scenario(spec, {.shards = 2});
+  scenario::RunOptions one_opt, two_opt;
+  one_opt.shards = 1;
+  two_opt.shards = 2;
+  const auto one = scenario::run_scenario(spec, one_opt);
+  const auto two = scenario::run_scenario(spec, two_opt);
   EXPECT_EQ(one.report_text, two.report_text);
   EXPECT_EQ(one.metrics_json, two.metrics_json);
   EXPECT_TRUE(one.events_jsonl.empty());  // keep_events defaults off

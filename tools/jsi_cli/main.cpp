@@ -1,7 +1,8 @@
 // jsi — the scenario driver. One declarative description, every
 // session/campaign path:
 //
-//   jsi run <scenario.json> [--shards N] [--out DIR]
+//   jsi run <scenario.json> [--shards N] [--out DIR] [--progress]
+//           [--telemetry PATH] [--telemetry-interval MS] [--profile]
 //   jsi validate <scenario.json>
 //   jsi print <scenario.json>
 //
@@ -9,7 +10,11 @@
 // with --out it also writes report.txt / metrics.json / events.jsonl.
 // Those artifacts are byte-identical to the programmatic
 // scenario::run_scenario() path at any shard count (pinned by the
-// tests/scenario CLI-parity suite). Exit status: 0 clean, 1 when any unit
+// tests/scenario CLI-parity suite). --progress renders a live single-line
+// progress bar on stderr and --telemetry streams JSONL heartbeats to
+// PATH; both ride strictly beside the deterministic artifacts and never
+// change them. --profile prints a post-run profile report (and writes
+// profile.txt under --out). Exit status: 0 clean, 1 when any unit
 // failed, 2 on usage/parse/I-O errors.
 
 #include <cstdlib>
@@ -25,22 +30,52 @@
 
 namespace {
 
+struct RunFlags {
+  std::optional<std::size_t> shards;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> telemetry_path;
+  std::optional<std::uint64_t> telemetry_interval_ms;
+  bool progress = false;
+  bool profile = false;
+};
+
 int usage(std::ostream& os, int status) {
   os << "usage: jsi run <scenario.json> [--shards N] [--out DIR]\n"
+        "               [--progress] [--telemetry PATH]\n"
+        "               [--telemetry-interval MS] [--profile]\n"
         "       jsi validate <scenario.json>\n"
         "       jsi print <scenario.json>\n";
   return status;
 }
 
-int cmd_run(const std::string& file, const std::optional<std::size_t>& shards,
-            const std::optional<std::string>& out_dir) {
+int cmd_run(const std::string& file, const RunFlags& flags) {
   const jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(file);
+
+  jsi::scenario::RunOptions opt;
+  opt.shards = flags.shards;
+  opt.progress = flags.progress;
+  opt.profile = flags.profile;
+  if (flags.telemetry_path || flags.telemetry_interval_ms) {
+    // CLI telemetry flags layer on top of the spec's section; naming a
+    // sink path turns the stream on.
+    jsi::scenario::TelemetrySpec t = spec.telemetry;
+    if (flags.telemetry_path) {
+      t.path = *flags.telemetry_path;
+      t.enabled = true;
+    }
+    if (flags.telemetry_interval_ms) {
+      t.interval_ms = *flags.telemetry_interval_ms;
+    }
+    opt.telemetry = t;
+  }
+
   const jsi::scenario::ScenarioOutcome outcome =
-      jsi::scenario::run_scenario(spec, {.shards = shards});
+      jsi::scenario::run_scenario(spec, opt);
   std::cout << outcome.report_text;
-  if (out_dir) {
-    jsi::scenario::write_artifacts(*out_dir, outcome);
-    std::cout << "artifacts: " << *out_dir << "\n";
+  if (flags.profile) std::cout << outcome.profile_text;
+  if (flags.out_dir) {
+    jsi::scenario::write_artifacts(*flags.out_dir, outcome);
+    std::cout << "artifacts: " << *flags.out_dir << "\n";
   }
   return outcome.result.failures > 0 ? 1 : 0;
 }
@@ -58,6 +93,12 @@ int cmd_print(const std::string& file) {
   return 0;
 }
 
+bool parse_uint(const char* text, unsigned long long& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != nullptr && end != text && *end == '\0';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,21 +110,34 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(std::cerr, 2);
   const std::string file = argv[2];
 
-  std::optional<std::size_t> shards;
-  std::optional<std::string> out_dir;
+  RunFlags flags;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0') {
+      unsigned long long v = 0;
+      if (!parse_uint(argv[++i], v)) {
         std::cerr << "jsi: --shards wants a non-negative integer, got \""
                   << argv[i] << "\"\n";
         return 2;
       }
-      shards = static_cast<std::size_t>(v);
+      flags.shards = static_cast<std::size_t>(v);
     } else if (arg == "--out" && i + 1 < argc) {
-      out_dir = argv[++i];
+      flags.out_dir = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      flags.telemetry_path = argv[++i];
+    } else if (arg == "--telemetry-interval" && i + 1 < argc) {
+      unsigned long long v = 0;
+      if (!parse_uint(argv[++i], v) || v == 0) {
+        std::cerr << "jsi: --telemetry-interval wants a positive integer "
+                     "(milliseconds), got \""
+                  << argv[i] << "\"\n";
+        return 2;
+      }
+      flags.telemetry_interval_ms = static_cast<std::uint64_t>(v);
+    } else if (arg == "--progress") {
+      flags.progress = true;
+    } else if (arg == "--profile") {
+      flags.profile = true;
     } else {
       std::cerr << "jsi: unknown argument \"" << arg << "\"\n";
       return usage(std::cerr, 2);
@@ -91,7 +145,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (cmd == "run") return cmd_run(file, shards, out_dir);
+    if (cmd == "run") return cmd_run(file, flags);
     if (cmd == "validate") return cmd_validate(file);
     if (cmd == "print") return cmd_print(file);
     std::cerr << "jsi: unknown command \"" << cmd << "\"\n";
