@@ -29,6 +29,7 @@
 #include "obs/registry.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/run.hpp"
+#include "util/prng.hpp"
 
 namespace {
 
@@ -41,17 +42,31 @@ std::size_t env_or(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
-// The scenario ships 12 units; JSI_CAMPAIGN_UNITS rescales by truncating
-// or cycling the session list (renamed for uniqueness) so bigger boxes
-// can be driven harder without editing the file.
+// The scenario ships 12 units; JSI_CAMPAIGN_UNITS regenerates the session
+// list programmatically so bigger boxes can be driven harder without
+// editing the file. Unit i keeps the shipped template (multibus, method 2,
+// one crosstalk defect) but draws its own placement from
+// Prng(campaign.seed).split(i) — every unit is a distinct die, unlike the
+// old truncate/repeat path whose extra units were byte-copies of the
+// first twelve and therefore measured cache reuse rather than work.
 jsi::scenario::ScenarioSpec make_workload(std::size_t units) {
   jsi::scenario::ScenarioSpec spec = jsi::scenario::load_scenario(
       std::string(JSI_SCENARIO_DIR) + "/campaign_multibus.scenario.json");
-  const std::vector<jsi::scenario::SessionSpec> base = spec.sessions;
+  const jsi::scenario::SessionSpec tmpl = spec.sessions.at(0);
+  const jsi::util::Prng root(spec.campaign.seed);
   spec.sessions.clear();
+  spec.sessions.reserve(units);
   for (std::size_t i = 0; i < units; ++i) {
-    jsi::scenario::SessionSpec s = base[i % base.size()];
+    jsi::scenario::SessionSpec s = tmpl;
     s.name = "mb" + std::to_string(i);
+    jsi::util::Prng rng = root.split(i);
+    s.defects.clear();
+    jsi::scenario::DefectSpec d;
+    d.kind = jsi::scenario::DefectKind::Crosstalk;
+    d.bus = rng.next_below(spec.topology.n_buses);
+    d.wire = rng.next_below(spec.topology.wires_per_bus);
+    d.severity = 4.0 + 4.0 * rng.next_double();
+    s.defects.push_back(d);
     spec.sessions.push_back(std::move(s));
   }
   return spec;
@@ -107,6 +122,7 @@ int main() {
 
   jsi::obs::Registry& reg = jsi::obs::global_registry();
   double best_speedup4 = 0.0;
+  double best_ms = 0.0;  // fastest run at any shard count
   bool identical = true;
   Timed ref;  // last 1-shard run (deterministic, so any attempt's will do)
 
@@ -125,6 +141,7 @@ int main() {
       }
       const double speedup = base.ms / t.ms;
       if (shards == 4) t4 = t.ms;
+      if (best_ms == 0.0 || t.ms < best_ms) best_ms = t.ms;
       std::cout << "attempt " << attempt << ": shards " << shards << ": "
                 << t.ms << " ms (1-shard " << base.ms << " ms, speedup "
                 << speedup << "x)\n";
@@ -133,6 +150,7 @@ int main() {
       reg.gauge("campaign.speedup.shards_" + tag).set(speedup);
     }
     reg.gauge("campaign.ms.shards_1").set(base.ms);
+    if (best_ms == 0.0 || base.ms < best_ms) best_ms = base.ms;
     best_speedup4 = std::max(best_speedup4, base.ms / t4);
     if (!identical) break;
     // Performance is satisfied as soon as one attempt clears the bar; a
@@ -143,6 +161,14 @@ int main() {
   reg.gauge("campaign.speedup.best_4shard").set(best_speedup4);
   reg.gauge("campaign.hw_threads").set(static_cast<double>(hw));
   reg.counter("campaign.units").inc(units);
+  // Headline throughput: units over the fastest run at any shard count.
+  if (best_ms > 0.0) {
+    reg.gauge("campaign.units_per_sec")
+        .set(static_cast<double>(units) * 1000.0 / best_ms);
+    std::cout << "throughput: "
+              << static_cast<double>(units) * 1000.0 / best_ms
+              << " units/s (best run " << best_ms << " ms)\n";
+  }
   const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
     const std::uint64_t lookups = hits + misses;
     return lookups == 0 ? 0.0

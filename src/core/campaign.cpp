@@ -1,12 +1,17 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "core/bist.hpp"
+#include "core/checkpoint.hpp"
 #include "core/session.hpp"
 
 namespace jsi::core {
@@ -42,6 +47,23 @@ UnitOutcome summarize(const IntegrityReport& rep) {
 
 std::string CampaignResult::to_text() const {
   std::ostringstream os;
+  if (aggregated) {
+    // Aggregate campaigns fold outcomes as they stream; the canonical
+    // report keeps the totals plus one line per retained failure (each
+    // still addressed by its stable work-unit index). Deterministic for
+    // the same reason the per-unit form is: everything printed is a
+    // chunk-ordered fold of per-unit facts.
+    os << "campaign: " << units_run << " units (aggregated), " << violations
+       << " violations, " << failures << " failures\n";
+    os << "tcks: total=" << total_tcks << " generation=" << generation_tcks
+       << " observation=" << observation_tcks << "\n";
+    for (const UnitOutcome& u : failed) {
+      os << "[" << u.index << "] " << u.name << ": FAIL " << u.summary
+         << " tcks=" << u.total_tcks << " (gen=" << u.generation_tcks
+         << " obs=" << u.observation_tcks << ")\n";
+    }
+    return os.str();
+  }
   os << "campaign: " << units.size() << " units, " << violations
      << " violations, " << failures << " failures\n";
   os << "tcks: total=" << total_tcks << " generation=" << generation_tcks
@@ -67,6 +89,18 @@ void CampaignRunner::set_live_sink(obs::Sink* sink) { live_sink_ = sink; }
 
 void CampaignRunner::add(CampaignUnit unit) {
   units_.push_back(std::move(unit));
+}
+
+void CampaignRunner::set_source(const UnitSource* source) { source_ = source; }
+
+std::size_t CampaignRunner::effective_chunk_size() const {
+  if (cfg_.chunk_size != 0) return cfg_.chunk_size;
+  // Auto rule: per-unit chunks when outcomes are retained (the historic
+  // merge grouping, byte-exact with pre-chunking releases), 64 units per
+  // claim in aggregate mode. Depends only on the config — never on the
+  // shard count — because the chunk layout determines the FP summation
+  // grouping of the merged registry.
+  return cfg_.aggregate_outcomes ? 64 : 1;
 }
 
 void CampaignRunner::add_enhanced(std::string name, SocConfig cfg,
@@ -185,31 +219,143 @@ void CampaignRunner::add_bist(std::string name, SocConfig cfg,
 }
 
 CampaignResult CampaignRunner::run() {
-  const std::size_t n = units_.size();
+  if (source_ != nullptr && !units_.empty()) {
+    throw std::invalid_argument(
+        "campaign: set_source and add are mutually exclusive");
+  }
+  if (cfg_.keep_events && cfg_.aggregate_outcomes) {
+    throw std::invalid_argument(
+        "campaign: keep_events is incompatible with aggregate_outcomes");
+  }
+  if (cfg_.keep_events && !cfg_.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "campaign: keep_events is incompatible with checkpointing");
+  }
+  if (cfg_.resume && cfg_.checkpoint_path.empty()) {
+    throw std::invalid_argument("campaign: resume needs a checkpoint_path");
+  }
+
+  const std::size_t n = size();
+  const std::size_t chunk_size = effective_chunk_size();
+  const std::size_t n_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::size_t range_end = cfg_.range_end == 0 ? n : cfg_.range_end;
+  if (cfg_.range_begin > range_end || range_end > n) {
+    throw std::invalid_argument("campaign: work-unit range out of bounds");
+  }
+  if (cfg_.range_begin % chunk_size != 0 ||
+      (range_end % chunk_size != 0 && range_end != n)) {
+    throw std::invalid_argument(
+        "campaign: work-unit range must fall on chunk boundaries");
+  }
+  const std::size_t begin_chunk = cfg_.range_begin / chunk_size;
+  const std::size_t end_chunk = (range_end + chunk_size - 1) / chunk_size;
+
+  // One slot per chunk. A chunk is either pre-filled from a loaded
+  // checkpoint or produced by exactly one worker; the streaming fold
+  // below consumes slots strictly in chunk order.
+  std::vector<std::optional<ChunkRecord>> records(n_chunks);
+  std::vector<char> loaded(n_chunks, 0);
+
+  CheckpointWriter ckpt;
+  if (!cfg_.checkpoint_path.empty()) {
+    CheckpointHeader header;
+    header.fingerprint = cfg_.fingerprint;
+    header.units = n;
+    header.chunk_size = chunk_size;
+    header.aggregate = cfg_.aggregate_outcomes;
+
+    bool resuming = false;
+    if (cfg_.resume && std::ifstream(cfg_.checkpoint_path).good()) {
+      CheckpointData data = load_checkpoint(cfg_.checkpoint_path);
+      if (data.header.fingerprint != header.fingerprint) {
+        throw std::runtime_error(
+            "campaign: checkpoint fingerprint mismatch (the checkpoint was "
+            "written for a different campaign)");
+      }
+      if (data.header.units != header.units ||
+          data.header.chunk_size != header.chunk_size ||
+          data.header.aggregate != header.aggregate) {
+        throw std::runtime_error(
+            "campaign: checkpoint layout mismatch (units/chunk_size/aggregate "
+            "differ from this campaign's configuration)");
+      }
+      for (ChunkRecord& rec : data.records) {
+        if (rec.chunk >= n_chunks) {
+          throw std::runtime_error(
+              "campaign: checkpoint chunk id out of range");
+        }
+        loaded[rec.chunk] = 1;
+        records[rec.chunk] = std::move(rec);
+      }
+      resuming = true;
+    }
+    ckpt.open(cfg_.checkpoint_path, header, resuming);
+  }
+
+  // Work remaining this call: non-loaded chunks inside the range.
+  std::size_t runnable_chunks = 0;
+  std::size_t runnable_units = 0;
+  for (std::size_t c = begin_chunk; c < end_chunk; ++c) {
+    if (loaded[c]) continue;
+    ++runnable_chunks;
+    runnable_units += std::min(n, (c + 1) * chunk_size) - c * chunk_size;
+  }
 
   std::size_t shards = cfg_.shards;
   if (shards == 0) {
     shards = std::thread::hardware_concurrency();
     if (shards == 0) shards = 1;
   }
-  if (shards > n) shards = n;
+  if (shards > runnable_chunks) shards = runnable_chunks;
   if (shards == 0) shards = 1;
 
-  // One slot per unit: whichever worker runs unit i writes only slot i,
-  // so no lock is needed and the join below can fold in unit order.
-  std::vector<UnitOutcome> outcomes(n);
-  std::vector<obs::Registry> registries(n);
-  std::vector<std::vector<obs::Event>> events(n);
+  std::atomic<std::size_t> next_chunk{begin_chunk};
+  std::atomic<std::size_t> fresh_claimed{0};
 
-  std::atomic<std::size_t> next{0};
+  // The streaming fold. Chunk records merge into the result in strict
+  // chunk order the moment the frontier chunk completes, then free —
+  // memory stays bounded by chunks in flight, not campaign size. Chunk
+  // order == work-unit order, so the merged registry's FP summation
+  // grouping is a pure function of (n, chunk_size) and the outcome list
+  // lands in work-unit order: byte-identity across shard counts, worker
+  // processes, and resume follows.
+  CampaignResult r;
+  r.aggregated = cfg_.aggregate_outcomes;
+  std::mutex publish_mu;
+  // A range-restricted call folds only its own chunks (chunks outside
+  // the range belong to other worker processes); the result is then
+  // marked incomplete below, whatever the fold reached.
+  std::size_t frontier = begin_chunk;
+  auto drain = [&]() {  // publish_mu must be held (or workers joined)
+    while (frontier < end_chunk && records[frontier].has_value()) {
+      ChunkRecord& rec = *records[frontier];
+      r.metrics.merge(rec.registry);
+      r.units_run += rec.agg.units;
+      r.total_tcks += rec.agg.total_tcks;
+      r.generation_tcks += rec.agg.generation_tcks;
+      r.observation_tcks += rec.agg.observation_tcks;
+      r.violations += static_cast<std::size_t>(rec.agg.violations);
+      r.failures += static_cast<std::size_t>(rec.agg.failures);
+      std::vector<UnitOutcome>& dst =
+          cfg_.aggregate_outcomes ? r.failed : r.units;
+      for (UnitOutcome& o : rec.outcomes) dst.push_back(std::move(o));
+      records[frontier].reset();
+      ++frontier;
+    }
+  };
+  drain();  // resumed chunks may already form a complete prefix
+
+  // Per-unit event streams (determinism-test fodder) keep the historic
+  // one-slot-per-unit layout; only allocated when requested.
+  std::vector<std::vector<obs::Event>> events(cfg_.keep_events ? n : 0);
 
   // Live telemetry rides strictly beside the deterministic machinery:
   // workers publish progress into lock-free per-worker slots, a sampler
   // thread folds the slots into JSONL heartbeats. Nothing below reads
-  // telemetry state back into outcomes/registries, which is the whole
+  // telemetry state back into the chunk records, which is the whole
   // byte-identity-with-telemetry argument.
-  obs::Telemetry telemetry(cfg_.telemetry, shards == 1 || n <= 1 ? 1 : shards,
-                           n);
+  obs::Telemetry telemetry(cfg_.telemetry, shards, runnable_units);
   telemetry.start();
 
   auto worker = [&](std::size_t worker_id) {
@@ -225,50 +371,108 @@ CampaignResult CampaignRunner::run() {
                                      : tele_clock::time_point{};
 
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      hub.reset();
-      tele_clock::time_point t0{};
-      if (tp != nullptr) {
-        t0 = tele_clock::now();
-        tp->add_idle(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - last)
-                .count()));
-        tp->begin_unit(units_[i].name.c_str());
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= end_chunk) break;
+      if (loaded[c]) continue;  // resumed; its record is already in place
+      if (cfg_.max_chunks != 0 &&
+          fresh_claimed.fetch_add(1, std::memory_order_relaxed) >=
+              cfg_.max_chunks) {
+        // Incremental-step budget exhausted (approximate under race):
+        // stop claiming, leaving the rest for a later resumed call.
+        break;
       }
-      CampaignContext ctx(hub, worker_id, i, prototype_);
-      UnitOutcome out;
-      try {
-        out = units_[i].run(ctx);
-      } catch (const std::exception& e) {
-        out = UnitOutcome{};
-        out.failed = true;
-        out.summary = std::string("error: ") + e.what();
+
+      // One prototype clone per chunk: units inside the chunk clone from
+      // this worker-local copy instead of the shared campaign prototype.
+      // A clone of a clone is state-identical, so observable behaviour
+      // (memoization hits included) is unchanged — this only moves the
+      // clone source into the worker's cache.
+      std::optional<si::CoupledBus> chunk_proto;
+      const si::CoupledBus* proto = prototype_;
+      if (prototype_ != nullptr) {
+        chunk_proto.emplace(prototype_->clone());
+        proto = &*chunk_proto;
       }
-      out.name = units_[i].name;
-      outcomes[i] = std::move(out);
-      registries[i] = hub.registry();
-      if (cfg_.keep_events) events[i] = hub.tracer().events();
-      if (tp != nullptr) {
-        const tele_clock::time_point t1 = tele_clock::now();
-        const obs::Registry& reg = registries[i];
-        obs::UnitDelta d;
-        d.busy_ns = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count());
-        d.transitions = reg.counter_value("bus.transitions");
-        d.tcks = reg.counter_value("tck.total");
-        d.table_hits = reg.counter_value("bus.table_hits");
-        d.table_misses = reg.counter_value("bus.table_misses");
-        d.memo_hits = reg.counter_value("bus.cache_hits");
-        d.memo_misses = reg.counter_value("bus.cache_misses");
-        tp->end_unit(d);
-        last = t1;
+
+      ChunkRecord rec;
+      rec.chunk = c;
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(n, lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) {
+        // Materialize the unit here, inside the worker: for a lazy
+        // source this is the only place unit i ever exists.
+        const CampaignUnit* unit = nullptr;
+        CampaignUnit materialized;
+        if (source_ != nullptr) {
+          materialized = source_->unit(i);
+          unit = &materialized;
+        } else {
+          unit = &units_[i];
+        }
+
+        hub.reset();
+        tele_clock::time_point t0{};
+        if (tp != nullptr) {
+          t0 = tele_clock::now();
+          tp->add_idle(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - last)
+                  .count()));
+          tp->begin_unit(unit->name.c_str());
+        }
+        CampaignContext ctx(hub, worker_id, i, proto);
+        UnitOutcome out;
+        try {
+          out = unit->run(ctx);
+        } catch (const std::exception& e) {
+          out = UnitOutcome{};
+          out.failed = true;
+          out.summary = std::string("error: ") + e.what();
+        }
+        out.name = unit->name;
+        out.index = i;
+
+        // Fold the unit into the chunk record in unit order.
+        const obs::Registry& reg = hub.registry();
+        rec.registry.merge(reg);
+        ++rec.agg.units;
+        rec.agg.total_tcks += out.total_tcks;
+        rec.agg.generation_tcks += out.generation_tcks;
+        rec.agg.observation_tcks += out.observation_tcks;
+        if (out.violation) ++rec.agg.violations;
+        if (out.failed) ++rec.agg.failures;
+        if (cfg_.keep_events) events[i] = hub.tracer().events();
+        if (tp != nullptr) {
+          const tele_clock::time_point t1 = tele_clock::now();
+          obs::UnitDelta d;
+          d.busy_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+          d.transitions = reg.counter_value("bus.transitions");
+          d.tcks = reg.counter_value("tck.total");
+          d.table_hits = reg.counter_value("bus.table_hits");
+          d.table_misses = reg.counter_value("bus.table_misses");
+          d.memo_hits = reg.counter_value("bus.cache_hits");
+          d.memo_misses = reg.counter_value("bus.cache_misses");
+          tp->end_unit(d);
+          last = t1;
+        }
+        if (!cfg_.aggregate_outcomes || out.failed) {
+          rec.outcomes.push_back(std::move(out));
+        }
+      }
+
+      // Publish: checkpoint the completed chunk, slot it, advance the
+      // streaming fold over any now-consecutive frontier.
+      {
+        std::lock_guard<std::mutex> lk(publish_mu);
+        if (ckpt.is_open()) ckpt.append(rec);
+        records[c] = std::move(rec);
+        drain();
       }
     }
   };
 
-  if (shards == 1 || n <= 1) {
+  if (shards == 1 || runnable_chunks <= 1) {
     worker(0);
     shards = 1;
   } else {
@@ -279,22 +483,10 @@ CampaignResult CampaignRunner::run() {
   }
   telemetry.stop();
 
-  // Deterministic join: fold per-unit snapshots in work-unit order. The
-  // fold never sees worker identity or completion order, which is the
-  // whole byte-identity argument.
-  CampaignResult r;
+  drain();  // no lock needed: workers are done
+  r.complete = cfg_.range_begin == 0 && range_end == n && frontier == n_chunks;
   r.shards_used = shards;
   if (telemetry.enabled()) r.telemetry = telemetry.sample();
-  r.units = std::move(outcomes);
-  for (std::size_t i = 0; i < n; ++i) {
-    r.metrics.merge(registries[i]);
-    const UnitOutcome& u = r.units[i];
-    r.total_tcks += u.total_tcks;
-    r.generation_tcks += u.generation_tcks;
-    r.observation_tcks += u.observation_tcks;
-    if (u.violation) ++r.violations;
-    if (u.failed) ++r.failures;
-  }
   if (cfg_.keep_events) r.events = std::move(events);
   return r;
 }

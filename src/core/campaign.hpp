@@ -24,6 +24,7 @@ namespace jsi::core {
 struct UnitOutcome {
   std::string name;     ///< the unit's stable name (runner-assigned)
   std::string summary;  ///< one-line result, e.g. flags and TCK counts
+  std::size_t index = 0;  ///< position in the campaign's work-unit order
   std::uint64_t total_tcks = 0;
   std::uint64_t generation_tcks = 0;
   std::uint64_t observation_tcks = 0;
@@ -86,6 +87,54 @@ struct CampaignUnit {
   std::function<UnitOutcome(CampaignContext&)> run;
 };
 
+/// Lazy producer of campaign units. A sweep campaign expands one spec
+/// into 10^4..10^6 sampled units; pre-building that list would cost O(n)
+/// memory and serialize campaign startup, so the runner instead asks the
+/// source to materialize `unit(index)` on demand, from inside the worker
+/// that will run it. Requirements:
+///
+///  * `unit(i)` is a PURE function of `i` — typically (spec, i, a
+///    per-index PRNG split of the campaign seed) — so any unit is
+///    reconstructible in isolation: workers never replay units 0..i-1,
+///    resume never re-derives more than the chunks it actually runs, and
+///    a unit's identity is independent of which worker claims it.
+///  * `unit(i)` is thread-safe: workers call it concurrently.
+class UnitSource {
+ public:
+  virtual ~UnitSource() = default;
+  /// Total number of units (stable across calls).
+  virtual std::size_t count() const = 0;
+  /// Materialize unit `index` (0 <= index < count()).
+  virtual CampaignUnit unit(std::size_t index) const = 0;
+};
+
+/// Aggregate books of a chunk of consecutive units — everything the
+/// merged campaign totals need when per-unit outcomes are not retained.
+struct ChunkAggregate {
+  std::uint64_t units = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t total_tcks = 0;
+  std::uint64_t generation_tcks = 0;
+  std::uint64_t observation_tcks = 0;
+};
+
+/// Everything one completed chunk contributes to the merged campaign:
+/// the unit-ordered merge of its units' registries, its aggregate books,
+/// and (in non-aggregate mode) the per-unit outcomes. This is both the
+/// runner's in-flight merge granule and the checkpoint file's record
+/// unit — a chunk is re-runnable in isolation, so a checkpoint that
+/// names completed chunks plus these records is a full resume point.
+struct ChunkRecord {
+  std::size_t chunk = 0;  ///< chunk id (index / chunk_size)
+  ChunkAggregate agg;
+  obs::Registry registry;
+  /// Per-unit outcomes in unit order. In aggregate mode only failed
+  /// units are retained (rare; kept so a million-unit sweep still names
+  /// what broke), with `UnitOutcome::index` identifying them.
+  std::vector<UnitOutcome> outcomes;
+};
+
 /// Runner configuration.
 struct CampaignConfig {
   /// Worker threads. 0 = one per hardware thread; clamped to the unit
@@ -106,16 +155,73 @@ struct CampaignConfig {
   /// artifact, because workers only publish into lock-free side slots
   /// the sampler thread reads.
   obs::TelemetryConfig telemetry{};
+
+  /// Units per scheduling claim. Workers claim whole index ranges (one
+  /// atomic increment per chunk instead of per unit) and clone the
+  /// warmed prototype bus once per chunk, which is what amortizes
+  /// dispatch overhead at sweep scale. 0 = auto: 1 when per-unit
+  /// outcomes are retained (the historic per-unit grouping, byte-exact
+  /// with pre-chunking releases), 64 in aggregate mode. The chunk layout
+  /// is part of the deterministic artifact contract — the merged
+  /// registry folds chunk sub-merges in chunk order — so it is a pure
+  /// function of (unit count, chunk_size) and NEVER of the shard count.
+  std::size_t chunk_size = 0;
+  /// Fold outcomes into streaming per-chunk aggregates instead of
+  /// retaining the per-unit list: O(1) memory in campaign size (only
+  /// failed units are kept, by index). The canonical report then prints
+  /// campaign totals instead of one line per unit. Incompatible with
+  /// keep_events (run() throws std::invalid_argument).
+  bool aggregate_outcomes = false;
+  /// Sidecar checkpoint file ("" = none): every completed chunk's record
+  /// is appended as one JSONL line, so a killed campaign loses at most
+  /// the chunks in flight. Incompatible with keep_events.
+  std::string checkpoint_path;
+  /// Caller-supplied campaign identity (e.g. a hash of the scenario
+  /// spec), stamped into the checkpoint header and validated on resume —
+  /// resuming a checkpoint against a different spec throws.
+  std::string fingerprint;
+  /// Load checkpoint_path if it exists and skip its completed chunks;
+  /// their records enter the merge exactly as if run fresh, so the final
+  /// artifacts are byte-identical to an uninterrupted run.
+  bool resume = false;
+  /// Stop claiming new chunks after approximately this many fresh (not
+  /// resumed) chunks this call; 0 = run to completion. With a checkpoint
+  /// this turns run() into an incremental step — and it is the
+  /// kill-at-a-boundary simulation the resume tests use.
+  std::size_t max_chunks = 0;
+  /// Restrict this run to work-unit indices [range_begin, range_end);
+  /// range_end 0 = count(). Both ends must fall on chunk boundaries (or
+  /// the campaign end). The multi-process `--workers` mode gives each
+  /// forked worker a disjoint chunk-aligned range and merges their
+  /// checkpoint records; a range-restricted result is marked incomplete.
+  std::size_t range_begin = 0;
+  std::size_t range_end = 0;
 };
 
 /// Merged result of a campaign: per-unit outcomes in work-unit order, the
 /// deterministically merged metrics registry, and the summed TCK books.
 struct CampaignResult {
+  /// Per-unit outcomes in work-unit order. Empty in aggregate mode —
+  /// see `failed` for the retained failures and `units_run` for the
+  /// folded count.
   std::vector<UnitOutcome> units;
   obs::Registry metrics;  ///< unit-ordered additive merge of all units
   /// Per-unit event streams (work-unit order), captured only when
   /// CampaignConfig::keep_events was set.
   std::vector<std::vector<obs::Event>> events;
+
+  /// True when outcomes were folded into aggregates (units is empty).
+  bool aggregated = false;
+  /// Number of unit outcomes folded into this result (equals
+  /// units.size() in non-aggregate mode).
+  std::uint64_t units_run = 0;
+  /// Aggregate mode only: the failed units, in work-unit order, with
+  /// UnitOutcome::index set.
+  std::vector<UnitOutcome> failed;
+  /// False when this run did not fold every chunk — a range-restricted
+  /// or max_chunks-limited call. Incomplete results are intermediate
+  /// (checkpoint fodder), never final artifacts.
+  bool complete = true;
 
   std::uint64_t total_tcks = 0;
   std::uint64_t generation_tcks = 0;
@@ -168,6 +274,11 @@ class CampaignRunner {
   /// Append a work unit (stable order: merge position == add order).
   void add(CampaignUnit unit);
 
+  /// Run from a lazy source instead of the add()ed unit list (not owned,
+  /// must outlive run()). Mutually exclusive with add() — run() throws
+  /// std::invalid_argument when both are populated.
+  void set_source(const UnitSource* source);
+
   // -- canned unit builders for the in-repo session kinds ------------------
 
   /// Optional per-unit defect injection, applied before the session runs.
@@ -185,8 +296,16 @@ class CampaignRunner {
                     ObservationMethod method, MultiBusSetup defects = {});
   void add_bist(std::string name, SocConfig cfg, BusSetup defects = {});
 
-  std::size_t size() const { return units_.size(); }
+  std::size_t size() const {
+    return source_ != nullptr ? source_->count() : units_.size();
+  }
   const CampaignConfig& config() const { return cfg_; }
+  CampaignConfig& config() { return cfg_; }
+
+  /// The chunk width run() will schedule with (resolves chunk_size 0 to
+  /// the auto rule). Exposed so range planners (the multi-process worker
+  /// split) can align ranges to chunk boundaries.
+  std::size_t effective_chunk_size() const;
 
   /// Execute every unit and join. Safe to call repeatedly (each call is
   /// an independent campaign over the same unit list).
@@ -195,6 +314,7 @@ class CampaignRunner {
  private:
   CampaignConfig cfg_;
   std::vector<CampaignUnit> units_;
+  const UnitSource* source_ = nullptr;
   const si::CoupledBus* prototype_ = nullptr;
   obs::Sink* live_sink_ = nullptr;
 };

@@ -1,0 +1,87 @@
+#ifndef JSI_CORE_CHECKPOINT_HPP
+#define JSI_CORE_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace jsi::core {
+
+// Campaign checkpoint sidecar: a JSONL file whose first line is a header
+// identifying the campaign (schema version, spec fingerprint, unit count,
+// chunk size, aggregate flag) and every following line is one completed
+// chunk's ChunkRecord. Records are appended — and fsync-independently
+// flushed — as chunks finish, so a killed campaign loses at most its
+// in-flight chunks; on resume the loaded records enter the deterministic
+// chunk-ordered merge exactly as if they had been computed this run,
+// which is why the resumed artifacts are byte-identical to an
+// uninterrupted run's.
+//
+// Byte-exactness is the design constraint: registry gauges and histogram
+// sums are doubles, and a decimal round-trip could perturb the last ulp.
+// Doubles are therefore serialized as the hex of their IEEE-754 bit
+// pattern ("0x3fe8f5c28f5c28f6") and bit_cast back on load. Counters,
+// bucket counts and TCK books are integers and round-trip through the
+// strict in-tree JSON parser unchanged; unit names and summaries are
+// ordinary escaped strings.
+
+/// FNV-1a 64-bit over `text`, rendered as 16 hex digits — the campaign
+/// fingerprint helper. Callers hash the canonical serialized spec so a
+/// checkpoint can never silently resume against a different workload.
+std::string fingerprint_text(std::string_view text);
+
+struct CheckpointHeader {
+  std::string fingerprint;       ///< caller identity (spec hash)
+  std::uint64_t units = 0;       ///< campaign unit count
+  std::uint64_t chunk_size = 0;  ///< scheduling granule the records use
+  bool aggregate = false;        ///< outcomes folded vs retained
+};
+
+/// A loaded checkpoint: its header plus every well-formed chunk record.
+/// A truncated final line (the kill case) is ignored, not an error.
+struct CheckpointData {
+  CheckpointHeader header;
+  std::vector<ChunkRecord> records;
+};
+
+/// Parse `path`. Throws std::runtime_error when the file cannot be read
+/// or the header/records are malformed.
+CheckpointData load_checkpoint(const std::string& path);
+
+/// Render one header / record line (no trailing newline — callers
+/// append '\n'). Record lines have the same shape in both outcome
+/// modes; aggregate mode simply retains fewer outcomes per record.
+void write_checkpoint_header(std::ostream& os, const CheckpointHeader& h);
+void write_chunk_record(std::ostream& os, const ChunkRecord& rec);
+
+/// Append-mode writer used by CampaignRunner::run(). open() either
+/// starts a fresh file (truncate + header) or, in resume mode, validates
+/// the existing header and seeks to the end; append() writes one record
+/// line and flushes. All methods throw std::runtime_error on I/O errors.
+class CheckpointWriter {
+ public:
+  /// No-op writer (no checkpoint configured).
+  CheckpointWriter() = default;
+
+  /// `resume_existing`: keep the file and append (the header must match
+  /// `h` — load/validate is the caller's job, this only appends); false:
+  /// truncate and write a fresh header.
+  void open(const std::string& path, const CheckpointHeader& h,
+            bool resume_existing);
+
+  bool is_open() const { return os_.is_open(); }
+
+  void append(const ChunkRecord& rec);
+
+ private:
+  std::ofstream os_;
+};
+
+}  // namespace jsi::core
+
+#endif  // JSI_CORE_CHECKPOINT_HPP

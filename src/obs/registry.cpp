@@ -78,6 +78,17 @@ double Histogram::quantile(double q) const {
   return bounds_.back();
 }
 
+void Histogram::restore(std::vector<std::uint64_t> counts,
+                        std::uint64_t count, double sum) {
+  if (counts.size() != bounds_.size() + 1) {
+    throw std::invalid_argument(
+        "histogram restore: counts length does not match the bucket layout");
+  }
+  counts_ = std::move(counts);
+  count_ = count;
+  sum_ = sum;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (bounds_ != other.bounds_) {
     throw std::invalid_argument("histogram merge: bucket layouts differ");

@@ -49,6 +49,16 @@ class Histogram {
   /// meaningful between histograms of the same metric.
   void merge(const Histogram& other);
 
+  /// Overwrite the observation state wholesale — the campaign checkpoint
+  /// loader's hook, which must reproduce a previously serialized
+  /// histogram bit-for-bit (including the exact `sum` double, which no
+  /// sequence of observe() calls could be trusted to rebuild). `counts`
+  /// must have bounds().size() + 1 entries (throws std::invalid_argument)
+  /// and `count` should equal their total; the bounds themselves are
+  /// fixed at construction.
+  void restore(std::vector<std::uint64_t> counts, std::uint64_t count,
+               double sum);
+
   const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   std::uint64_t count() const { return count_; }

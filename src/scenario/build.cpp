@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/checkpoint.hpp"
+#include "scenario/serialize.hpp"
+#include "scenario/sweep.hpp"
 #include "util/bitvec.hpp"
 #include "util/prng.hpp"
 
@@ -65,6 +68,30 @@ core::CampaignRunner::MultiBusSetup multibus_setup(
   };
 }
 
+std::unique_ptr<si::CoupledBus> build_prototype(const ScenarioSpec& spec) {
+  if (spec.topology.kind == TopologyKind::Board ||
+      !spec.campaign.warm_prototype) {
+    return nullptr;
+  }
+  const si::BusParams bp =
+      spec.topology.kind == TopologyKind::Soc
+          ? core::effective_bus_params(soc_config(spec))
+          : core::effective_bus_params(multibus_config(spec));
+  auto proto = std::make_unique<si::CoupledBus>(bp);
+  // One canonical warming transition (all-zero -> even wires high):
+  // every unit's clone starts from this memoized state, independent of
+  // shard count or worker identity.
+  util::BitVec zeros(bp.n_wires, false);
+  util::BitVec evens(bp.n_wires, false);
+  for (std::size_t w = 0; w < bp.n_wires; w += 2) evens.set(w, true);
+  proto->transition(zeros, evens);
+  // Precompile the MA transition tables too: every per-unit clone then
+  // starts with a warm table as well as a warm memo cache, so no worker
+  // ever pays the table build (shard-count invariant by construction).
+  proto->precompile_tables();
+  return proto;
+}
+
 }  // namespace
 
 core::SocConfig soc_config(const ScenarioSpec& spec) {
@@ -122,6 +149,12 @@ ict::Algorithm extest_algorithm(const SessionSpec& s) {
 std::vector<DefectSpec> resolved_defects(const ScenarioSpec& spec) {
   util::Prng rng(spec.campaign.seed);
   return resolve(spec.defects, spec.topology, rng);
+}
+
+std::vector<DefectSpec> resolve_defects(const std::vector<DefectSpec>& in,
+                                        const TopologySpec& topo,
+                                        util::Prng& rng) {
+  return resolve(in, topo, rng);
 }
 
 void apply_defect(si::CoupledBus& bus, const DefectSpec& d) {
@@ -183,7 +216,36 @@ ScenarioCampaign build_campaign(const ScenarioSpec& spec,
   cc.telemetry.sink_path = tele.path;
   cc.telemetry.progress = opt.progress;
 
+  // Sweep-scale execution control (no-ops at their defaults).
+  cc.checkpoint_path = opt.checkpoint_path;
+  cc.resume = opt.resume;
+  cc.max_chunks = opt.max_chunks;
+  cc.range_begin = opt.range_begin;
+  cc.range_end = opt.range_end;
+  if (!cc.checkpoint_path.empty()) {
+    // Campaign identity for the checkpoint header: a checkpoint written
+    // by one spec can never silently resume another.
+    cc.fingerprint = core::fingerprint_text(serialize(spec));
+  }
+
   ScenarioCampaign sc;
+
+  if (spec.sweep) {
+    // Sweep lowering: one lazy source instead of a materialized unit
+    // list. Past the transcript threshold the campaign folds outcomes
+    // into streaming aggregates (O(1) memory in population size); the
+    // aggregate/chunking decision lives in the config, so it must be
+    // made before the runner is constructed.
+    auto source = std::make_unique<SweepUnitSource>(spec);
+    cc.aggregate_outcomes = source->count() > kSweepTranscriptThreshold;
+    sc.runner_ = core::CampaignRunner(cc);
+    sc.source_ = std::move(source);
+    sc.runner_.set_source(sc.source_.get());
+    sc.proto_ = build_prototype(spec);
+    if (sc.proto_) sc.runner_.set_prototype_bus(sc.proto_.get());
+    return sc;
+  }
+
   sc.runner_ = core::CampaignRunner(cc);
 
   util::Prng rng(spec.campaign.seed);
@@ -251,26 +313,8 @@ ScenarioCampaign build_campaign(const ScenarioSpec& spec,
     }
   }
 
-  if (spec.topology.kind != TopologyKind::Board &&
-      spec.campaign.warm_prototype) {
-    const si::BusParams bp =
-        spec.topology.kind == TopologyKind::Soc
-            ? core::effective_bus_params(soc_config(spec))
-            : core::effective_bus_params(multibus_config(spec));
-    sc.proto_ = std::make_unique<si::CoupledBus>(bp);
-    // One canonical warming transition (all-zero -> even wires high):
-    // every unit's clone starts from this memoized state, independent of
-    // shard count or worker identity.
-    util::BitVec zeros(bp.n_wires, false);
-    util::BitVec evens(bp.n_wires, false);
-    for (std::size_t w = 0; w < bp.n_wires; w += 2) evens.set(w, true);
-    sc.proto_->transition(zeros, evens);
-    // Precompile the MA transition tables too: every per-unit clone then
-    // starts with a warm table as well as a warm memo cache, so no worker
-    // ever pays the table build (shard-count invariant by construction).
-    sc.proto_->precompile_tables();
-    sc.runner_.set_prototype_bus(sc.proto_.get());
-  }
+  sc.proto_ = build_prototype(spec);
+  if (sc.proto_) sc.runner_.set_prototype_bus(sc.proto_.get());
   return sc;
 }
 

@@ -12,6 +12,7 @@
 #include "ict/extest_session.hpp"
 #include "scenario/spec.hpp"
 #include "si/bus.hpp"
+#include "util/prng.hpp"
 
 namespace jsi::scenario {
 
@@ -43,6 +44,14 @@ ict::Algorithm extest_algorithm(const SessionSpec& s);
 /// — exactly the list build_campaign() applies to every unit.
 std::vector<DefectSpec> resolved_defects(const ScenarioSpec& spec);
 
+/// Resolve one defect list with a caller-supplied PRNG (consumed in spec
+/// order). This is the primitive behind resolved_defects(); the sweep
+/// unit source also resolves per-die defect lists with each die's own
+/// PRNG split through it.
+std::vector<DefectSpec> resolve_defects(const std::vector<DefectSpec>& in,
+                                        const TopologySpec& topo,
+                                        util::Prng& rng);
+
 /// Apply one resolved electrical defect to a bus (RandomCrosstalk must
 /// be resolved first; board kinds are rejected with std::logic_error).
 void apply_defect(si::CoupledBus& bus, const DefectSpec& d);
@@ -61,6 +70,22 @@ struct BuildOptions {
   /// Render a live single-line terminal progress bar (the CLI's
   /// --progress flag); implies a running sampler even with no JSONL sink.
   bool progress = false;
+
+  // Sweep-scale execution control, forwarded into core::CampaignConfig
+  // (see the field docs there). The campaign fingerprint stamped into
+  // the checkpoint header is derived from the canonically serialized
+  // spec, so a checkpoint can never silently resume a different sweep.
+
+  /// Sidecar checkpoint file ("" = none) — the CLI's --checkpoint flag.
+  std::string checkpoint_path;
+  /// Load checkpoint_path and skip its completed chunks (--resume).
+  bool resume = false;
+  /// Stop after ~N freshly run chunks; 0 = run to completion.
+  std::size_t max_chunks = 0;
+  /// Restrict to work-unit indices [range_begin, range_end); 0/0 = all.
+  /// Must be chunk-aligned (the multi-process worker split is).
+  std::size_t range_begin = 0;
+  std::size_t range_end = 0;
 };
 
 /// A lowered scenario: the campaign runner plus the prototype bus it
@@ -81,6 +106,10 @@ class ScenarioCampaign {
   friend ScenarioCampaign build_campaign(const ScenarioSpec&,
                                          const BuildOptions&);
   std::unique_ptr<si::CoupledBus> proto_;
+  /// The lazy unit source of a sweep campaign (null otherwise). Owned
+  /// here for the same lifetime reason as proto_: the runner holds a raw
+  /// pointer that must stay valid across moves of this object.
+  std::unique_ptr<core::UnitSource> source_;
   core::CampaignRunner runner_;
 };
 

@@ -415,6 +415,68 @@ SessionSpec parse_session(const json::Value& v, const std::string& path,
 
 // ---------------------------------------------------------------------------
 
+SweepSpec parse_sweep(const json::Value& v, const TopologySpec& topo) {
+  const std::string path = "sweep";
+  if (!v.is_object()) fail(path, "expected an object");
+  check_keys(v, path,
+             {"samples", "nd_vhthr_frac", "sd_budget_ps", "variations",
+              "defects"});
+  if (topo.kind != TopologyKind::Soc) {
+    fail(path, "requires topology kind \"soc\"");
+  }
+
+  SweepSpec s;
+  if (const json::Value* x = v.find("samples")) {
+    s.samples = as_int_min(*x, sub(path, "samples"), 1);
+  }
+  if (const json::Value* x = v.find("nd_vhthr_frac")) {
+    const std::string axis = sub(path, "nd_vhthr_frac");
+    if (!x->is_array()) fail(axis, "expected an array");
+    for (std::size_t i = 0; i < x->array.size(); ++i) {
+      const double f = as_double(x->array[i], at(axis, i));
+      // v_hmin_frac tracks 0.10 below v_hthr_frac and both must stay
+      // inside (0, 1) as supply fractions.
+      if (f <= 0.1 || f >= 1.0) {
+        fail(at(axis, i), "must be a number in (0.1, 1)");
+      }
+      s.nd_vhthr_frac.push_back(f);
+    }
+  }
+  if (const json::Value* x = v.find("sd_budget_ps")) {
+    const std::string axis = sub(path, "sd_budget_ps");
+    if (!x->is_array()) fail(axis, "expected an array");
+    for (std::size_t i = 0; i < x->array.size(); ++i) {
+      s.sd_budget_ps.push_back(
+          static_cast<std::uint64_t>(as_int_min(x->array[i], at(axis, i), 1)));
+    }
+  }
+  if (const json::Value* x = v.find("variations")) {
+    const std::string vars = sub(path, "variations");
+    if (!x->is_array()) fail(vars, "expected an array");
+    for (std::size_t i = 0; i < x->array.size(); ++i) {
+      const json::Value& e = x->array[i];
+      const std::string vp = at(vars, i);
+      if (!e.is_object()) fail(vp, "expected an object");
+      check_keys(e, vp, {"param", "sigma"});
+      VariationSpec var;
+      var.param = as_string(req(e, vp, "param"), sub(vp, "param"));
+      if (var.param != "vdd" && var.param != "r_driver" &&
+          var.param != "r_wire" && var.param != "c_ground" &&
+          var.param != "c_couple" && var.param != "l_wire") {
+        fail(sub(vp, "param"),
+             "unknown bus parameter \"" + var.param + "\"");
+      }
+      var.sigma = as_double(req(e, vp, "sigma"), sub(vp, "sigma"));
+      if (var.sigma < 0) fail(sub(vp, "sigma"), "must be >= 0");
+      s.variations.push_back(std::move(var));
+    }
+  }
+  if (const json::Value* x = v.find("defects")) {
+    s.defects = parse_defect_list(*x, sub(path, "defects"), topo);
+  }
+  return s;
+}
+
 CampaignSpec parse_campaign(const json::Value& v) {
   const std::string path = "campaign";
   if (!v.is_object()) fail(path, "expected an object");
@@ -489,7 +551,7 @@ ScenarioSpec parse_scenario(std::string_view text) {
   if (!v.is_object()) fail("scenario", "expected a JSON object");
   check_keys(v, "",
              {"name", "description", "topology", "defects", "sessions",
-              "campaign", "obs", "telemetry"});
+              "sweep", "campaign", "obs", "telemetry"});
 
   ScenarioSpec s;
   s.name = as_string(req(v, "", "name"), "name");
@@ -522,6 +584,15 @@ ScenarioSpec parse_scenario(std::string_view text) {
         fail(sub(at("sessions", j), "name"),
              "duplicate session name \"" + s.sessions[i].name + "\"");
       }
+    }
+  }
+
+  if (const json::Value* x = v.find("sweep")) {
+    s.sweep = parse_sweep(*x, s.topology);
+    // The sweep expands ONE session template into its sampled units; a
+    // list would make the expansion order ambiguous.
+    if (s.sessions.size() != 1) {
+      fail("sweep", "requires exactly one session template");
     }
   }
 

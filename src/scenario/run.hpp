@@ -19,6 +19,24 @@ struct RunOptions {
   bool progress = false;
   /// Render the post-run profile report into ScenarioOutcome::profile_text.
   bool profile = false;
+
+  /// Sidecar checkpoint file (the CLI's --checkpoint): every completed
+  /// chunk is appended as one JSONL record, so a killed run loses at
+  /// most the chunks in flight.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path (--resume): completed chunks are folded
+  /// from the file instead of re-run; the final artifacts are
+  /// byte-identical to an uninterrupted run.
+  bool resume = false;
+  /// Stop after ~N freshly run chunks (--max-chunks); 0 = to completion.
+  /// An incremental step towards a checkpointed campaign.
+  std::size_t max_chunks = 0;
+  /// Fork this many worker processes over disjoint chunk-aligned index
+  /// ranges (--workers; 0/1 = in-process). Each worker writes its chunk
+  /// records to its own checkpoint part file; the parent concatenates
+  /// them and folds the merged checkpoint in chunk order, so the
+  /// artifacts are byte-identical to any other worker/shard count.
+  std::size_t workers = 0;
 };
 
 /// Everything one scenario execution produces, already rendered into the
@@ -39,6 +57,12 @@ struct ScenarioOutcome {
   /// artifacts above it may fold in measured telemetry (worker
   /// utilization), so it is not part of the determinism contract.
   std::string profile_text;
+  /// Sweep campaigns only: the yield curve — per grid point, units run /
+  /// violations / failures / yield fraction — folded from the merged
+  /// metrics. Part of the determinism contract (a pure function of the
+  /// merged registry). Empty for non-sweep scenarios and for incomplete
+  /// (range- or max_chunks-restricted) runs.
+  std::string yield_json;
 };
 
 /// Lower the spec (build_campaign), run it, and render the artifacts.
@@ -54,8 +78,15 @@ std::string render_events_jsonl(const core::CampaignResult& result);
 std::string render_profile(const ScenarioSpec& spec,
                            const core::CampaignResult& result);
 
-/// Write report.txt, metrics.json and (when non-empty) events.jsonl and
-/// profile.txt into `dir`, creating it if needed. Throws
+/// The yield.json text for a sweep result: re-derives the grid from the
+/// spec and reads the sweep.* counters out of the merged registry, so it
+/// needs no per-unit state — O(1) in population size, byte-identical for
+/// any shard/worker count. Returns "" when the spec has no sweep.
+std::string render_yield_json(const ScenarioSpec& spec,
+                              const core::CampaignResult& result);
+
+/// Write report.txt, metrics.json and (when non-empty) events.jsonl,
+/// profile.txt and yield.json into `dir`, creating it if needed. Throws
 /// std::runtime_error on I/O errors.
 void write_artifacts(const std::string& dir, const ScenarioOutcome& outcome);
 

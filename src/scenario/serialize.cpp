@@ -115,6 +115,35 @@ json::Value session_json(const SessionSpec& s, const TopologySpec& topo) {
   return v;
 }
 
+json::Value sweep_json(const SweepSpec& s, const TopologySpec& topo) {
+  json::Value v = json::Value::make_object();
+  v.add("samples", num(s.samples));
+  if (!s.nd_vhthr_frac.empty()) {
+    json::Value axis = json::Value::make_array();
+    for (const double f : s.nd_vhthr_frac) axis.push(num(f));
+    v.add("nd_vhthr_frac", std::move(axis));
+  }
+  if (!s.sd_budget_ps.empty()) {
+    json::Value axis = json::Value::make_array();
+    for (const std::uint64_t ps : s.sd_budget_ps) axis.push(num(ps));
+    v.add("sd_budget_ps", std::move(axis));
+  }
+  if (!s.variations.empty()) {
+    json::Value vars = json::Value::make_array();
+    for (const VariationSpec& var : s.variations) {
+      json::Value e = json::Value::make_object();
+      e.add("param", str(var.param));
+      e.add("sigma", num(var.sigma));
+      vars.push(std::move(e));
+    }
+    v.add("variations", std::move(vars));
+  }
+  if (!s.defects.empty()) {
+    v.add("defects", defect_list_json(s.defects, topo));
+  }
+  return v;
+}
+
 json::Value campaign_json(const CampaignSpec& c) {
   json::Value v = json::Value::make_object();
   v.add("shards", num(c.shards));
@@ -157,6 +186,9 @@ util::json::Value to_json(const ScenarioSpec& spec) {
     sessions.push(session_json(s, spec.topology));
   }
   v.add("sessions", std::move(sessions));
+  if (spec.sweep) {
+    v.add("sweep", sweep_json(*spec.sweep, spec.topology));
+  }
   v.add("campaign", campaign_json(spec.campaign));
   v.add("obs", obs_json(spec.obs));
   // Emitted only when set: keeps the pre-telemetry shipped files

@@ -2,6 +2,7 @@
 #define JSI_SCENARIO_SPEC_HPP
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -166,6 +167,45 @@ struct TelemetrySpec {
   }
 };
 
+/// One process-variation axis of a sweep: the named si::BusParams scalar
+/// is multiplied by a per-die factor of 1 + sigma * N(0,1), drawn from
+/// the unit's own PRNG split (clamped below at 0.05 so a deep-tail draw
+/// cannot produce a non-physical zero or negative value). Multiplicative
+/// variation models a die-level process corner: all wires of the die
+/// shift together.
+struct VariationSpec {
+  std::string param;   ///< "vdd","r_driver","r_wire","c_ground","c_couple","l_wire"
+  double sigma = 0.0;  ///< relative std-dev of the factor, >= 0
+};
+
+/// Population-scale Monte-Carlo sweep: expands the scenario's single
+/// session template into `samples` sampled dies at every point of the
+/// detector-threshold grid (the cross product of the non-empty axes;
+/// an empty axis contributes one point using the topology's defaults).
+/// Total units = grid points x samples. Unit `i` is a pure function of
+/// (spec, i, Prng(campaign.seed).split(i)) — see scenario/sweep.hpp —
+/// which is what makes million-unit campaigns lazily schedulable,
+/// checkpointable, and byte-identical at any shard or worker count.
+struct SweepSpec {
+  std::size_t samples = 1;  ///< dies per grid point, >= 1
+
+  /// ND detector sensitivity grid: each value sets nd.v_hthr_frac, with
+  /// nd.v_hmin_frac tracking 0.10 below it (the pairing the yield bench
+  /// established). Values in (0.10, 1.0).
+  std::vector<double> nd_vhthr_frac;
+  /// SD skew-budget grid [ps]: each value sets sd.skew_budget.
+  std::vector<std::uint64_t> sd_budget_ps;
+
+  /// Per-die process variation, applied in order to the topology's bus
+  /// parameters before the session runs.
+  std::vector<VariationSpec> variations;
+  /// Per-die defect population. RandomCrosstalk entries here resolve
+  /// with the DIE's PRNG split — every sampled die gets its own
+  /// placements — unlike scenario-level defects, which resolve once from
+  /// the campaign seed and hit every die identically.
+  std::vector<DefectSpec> defects;
+};
+
 /// A complete declarative scenario: one topology, its fabricated
 /// defects, the sessions to run against it, and how to execute and
 /// observe them. This is the single source every consumer lowers from —
@@ -177,6 +217,10 @@ struct ScenarioSpec {
   TopologySpec topology;
   std::vector<DefectSpec> defects;   ///< applied to every session's unit
   std::vector<SessionSpec> sessions; ///< at least one
+  /// Present = this is a sweep campaign: the single session acts as the
+  /// template for every sampled unit (the parser enforces exactly one
+  /// session, of a soc-topology kind).
+  std::optional<SweepSpec> sweep;
   CampaignSpec campaign;
   ObsSpec obs;
   TelemetrySpec telemetry;

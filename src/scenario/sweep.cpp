@@ -1,0 +1,266 @@
+#include "scenario/sweep.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/bist.hpp"
+#include "core/session.hpp"
+#include "scenario/build.hpp"
+#include "sim/time.hpp"
+#include "util/prng.hpp"
+
+namespace jsi::scenario {
+
+namespace {
+
+/// Exact parameter equality — the clone-or-build decision below must
+/// only take the warm path when the unit's electricals are bit-identical
+/// to the prototype's (a varied die must never inherit the base die's
+/// memoized waveforms).
+bool same_params(const si::BusParams& a, const si::BusParams& b) {
+  return a.n_wires == b.n_wires && a.vdd == b.vdd &&
+         a.r_driver == b.r_driver && a.r_wire == b.r_wire &&
+         a.c_ground == b.c_ground && a.c_couple == b.c_couple &&
+         a.l_wire == b.l_wire && a.sample_dt == b.sample_dt &&
+         a.samples == b.samples;
+}
+
+/// The sweep analogue of the campaign's per-unit bus seeding: clone the
+/// warmed prototype only when this die's parameters match it exactly
+/// (grid-only sweeps — thresholds live in the detector config, not the
+/// bus — always match); a process-varied die pays a fresh build.
+si::CoupledBus unit_bus(core::CampaignContext& ctx, const si::BusParams& p) {
+  const si::CoupledBus* proto = ctx.prototype();
+  if (si::matches_width(proto, p.n_wires) && same_params(proto->params(), p)) {
+    return proto->clone();
+  }
+  return si::CoupledBus(p);
+}
+
+core::UnitOutcome summarize(const core::IntegrityReport& rep) {
+  core::UnitOutcome o;
+  o.total_tcks = rep.total_tcks;
+  o.generation_tcks = rep.generation_tcks;
+  o.observation_tcks = rep.observation_tcks;
+  o.violation = rep.any_violation();
+  std::ostringstream os;
+  os << "nd=" << rep.nd_final.to_string() << " sd=" << rep.sd_final.to_string();
+  o.summary = os.str();
+  return o;
+}
+
+core::ObservationMethod method_enum(int method) {
+  switch (method) {
+    case 1: return core::ObservationMethod::OnceAtEnd;
+    case 2: return core::ObservationMethod::PerInitValue;
+    case 3: return core::ObservationMethod::PerPattern;
+  }
+  throw std::logic_error("unvalidated observation method");
+}
+
+void apply_variation(si::BusParams& p, const VariationSpec& var,
+                     double factor) {
+  // Deep-tail draws must not produce a zero or negative electrical.
+  if (factor < 0.05) factor = 0.05;
+  if (var.param == "vdd") {
+    p.vdd *= factor;
+  } else if (var.param == "r_driver") {
+    p.r_driver *= factor;
+  } else if (var.param == "r_wire") {
+    p.r_wire *= factor;
+  } else if (var.param == "c_ground") {
+    p.c_ground *= factor;
+  } else if (var.param == "c_couple") {
+    p.c_couple *= factor;
+  } else if (var.param == "l_wire") {
+    p.l_wire *= factor;
+  } else {
+    throw std::logic_error("unvalidated variation parameter");
+  }
+}
+
+}  // namespace
+
+SweepUnitSource::SweepUnitSource(const ScenarioSpec& spec) {
+  if (!spec.sweep) {
+    throw SpecError("sweep", "this scenario has no sweep section");
+  }
+  sweep_ = *spec.sweep;
+  topo_ = spec.topology;
+  base_ = soc_config(spec);
+  seed_ = spec.campaign.seed;
+
+  // Shared (every-die) defects resolve once from the campaign seed, in
+  // the same scenario-then-session order build_campaign uses, so a
+  // seeded sweep places its systematic defects exactly like the
+  // non-sweep lowering would.
+  const SessionSpec& session = spec.sessions.at(0);
+  util::Prng rng(seed_);
+  shared_ = resolve_defects(spec.defects, topo_, rng);
+  {
+    std::vector<DefectSpec> own = resolve_defects(session.defects, topo_, rng);
+    shared_.insert(shared_.end(), own.begin(), own.end());
+  }
+
+  kind_ = session.kind;
+  method_ = session.method;
+  guard_ = session.guard;
+  name_prefix_ = session.name.empty()
+                     ? std::string(session_kind_name(session.kind))
+                     : session.name;
+
+  // Row-major grid: the ND axis is the outer loop. An empty axis
+  // contributes one point that leaves the topology default in force.
+  const std::size_t nd_n = sweep_.nd_vhthr_frac.empty()
+                               ? 1
+                               : sweep_.nd_vhthr_frac.size();
+  const std::size_t sd_n =
+      sweep_.sd_budget_ps.empty() ? 1 : sweep_.sd_budget_ps.size();
+  grid_.reserve(nd_n * sd_n);
+  for (std::size_t a = 0; a < nd_n; ++a) {
+    for (std::size_t b = 0; b < sd_n; ++b) {
+      GridPoint g;
+      g.id = grid_.size();
+      if (!sweep_.nd_vhthr_frac.empty()) {
+        g.nd_vhthr_frac = sweep_.nd_vhthr_frac[a];
+      }
+      if (!sweep_.sd_budget_ps.empty()) {
+        g.sd_budget_ps = sweep_.sd_budget_ps[b];
+      }
+      grid_.push_back(g);
+    }
+  }
+}
+
+std::size_t SweepUnitSource::count() const {
+  return grid_.size() * sweep_.samples;
+}
+
+std::string SweepUnitSource::grid_prefix(std::size_t gid) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "sweep.grid.g%04zu", gid);
+  return std::string(buf);
+}
+
+core::SocConfig SweepUnitSource::unit_config(std::size_t index) const {
+  const GridPoint& g = grid_[index / sweep_.samples];
+  core::SocConfig cfg = base_;
+  cfg.enhanced = kind_ != SessionKind::Conventional;
+  if (g.nd_vhthr_frac) {
+    cfg.nd.v_hthr_frac = *g.nd_vhthr_frac;
+    // The release threshold tracks 0.10 below the arming threshold —
+    // the pairing the yield bench established.
+    cfg.nd.v_hmin_frac = *g.nd_vhthr_frac - 0.10;
+  }
+  if (g.sd_budget_ps) {
+    cfg.sd.skew_budget = static_cast<sim::Time>(*g.sd_budget_ps) * sim::kPs;
+  }
+  // All sampled randomness of unit `index` comes from split(index):
+  // variation factors first, then defect placement, in spec order.
+  util::Prng rng = util::Prng(seed_).split(index);
+  for (const VariationSpec& var : sweep_.variations) {
+    apply_variation(cfg.bus, var, 1.0 + var.sigma * rng.next_normal());
+  }
+  return cfg;
+}
+
+std::vector<DefectSpec> SweepUnitSource::unit_defects(std::size_t index) const {
+  util::Prng rng = util::Prng(seed_).split(index);
+  // Replay (discard) the variation draws so defect placement consumes
+  // the same stream positions it does inside unit_config + unit().
+  for (const VariationSpec& var : sweep_.variations) {
+    (void)var;
+    (void)rng.next_normal();
+  }
+  std::vector<DefectSpec> defs = shared_;
+  std::vector<DefectSpec> own = resolve_defects(sweep_.defects, topo_, rng);
+  defs.insert(defs.end(), own.begin(), own.end());
+  return defs;
+}
+
+core::CampaignUnit SweepUnitSource::unit(std::size_t index) const {
+  const std::size_t gid = index / sweep_.samples;
+  const std::size_t sample = index % sweep_.samples;
+
+  core::SocConfig cfg = unit_config(index);
+  std::vector<DefectSpec> defs = unit_defects(index);
+
+  core::CampaignUnit u;
+  {
+    std::ostringstream os;
+    os << name_prefix_ << "_g" << gid << "_s" << sample;
+    u.name = os.str();
+  }
+  u.run = [cfg = std::move(cfg), defs = std::move(defs), kind = kind_,
+           method = method_, guard = guard_,
+           gid](core::CampaignContext& ctx) {
+    // Population books first: a die that fails mid-session still counts
+    // as a unit of its grid point (the failure books below and in the
+    // campaign aggregate).
+    obs::Registry& reg = ctx.hub().registry();
+    const std::string prefix = grid_prefix(gid);
+    reg.counter("sweep.units").inc();
+    reg.counter(prefix + ".units").inc();
+
+    core::UnitOutcome o;
+    try {
+      si::CoupledBus bus = unit_bus(ctx, core::effective_bus_params(cfg));
+      for (const DefectSpec& d : defs) apply_defect(bus, d);
+      switch (kind) {
+        case SessionKind::Enhanced: {
+          core::SiSocDevice soc(cfg, bus);
+          core::SiTestSession session(soc);
+          session.set_sink(&ctx.hub());
+          o = summarize(session.run(method_enum(method)));
+          break;
+        }
+        case SessionKind::Conventional: {
+          core::SiSocDevice soc(cfg, bus);
+          core::ConventionalSession session(soc);
+          session.set_sink(&ctx.hub());
+          o = summarize(session.run(method_enum(method)));
+          break;
+        }
+        case SessionKind::Parallel: {
+          core::SiSocDevice soc(cfg, bus);
+          core::SiTestSession session(soc);
+          session.set_sink(&ctx.hub());
+          o = summarize(session.run_parallel(method_enum(method), guard));
+          break;
+        }
+        case SessionKind::Bist: {
+          core::SiSocDevice soc(cfg, bus);
+          core::SiBistController ctl(soc);
+          ctl.set_sink(&ctx.hub());
+          const core::SiBistController::Result res = ctl.run();
+          o.total_tcks = res.tcks;
+          o.violation = !res.pass;
+          std::ostringstream os;
+          os << (res.pass ? "pass" : "fail") << " nd=" << res.nd.to_string()
+             << " sd=" << res.sd.to_string();
+          o.summary = os.str();
+          break;
+        }
+        case SessionKind::MultiBus:
+        case SessionKind::Extest:
+          // Unreachable: the parser rejects sweep on non-soc topologies.
+          throw std::logic_error("sweep: unsupported session kind");
+      }
+    } catch (...) {
+      reg.counter("sweep.failures").inc();
+      reg.counter(prefix + ".failures").inc();
+      throw;  // the runner books the failed outcome
+    }
+
+    if (o.violation) {
+      reg.counter("sweep.violations").inc();
+      reg.counter(prefix + ".violations").inc();
+    }
+    reg.histogram("sweep.unit_tcks")
+        .observe(static_cast<double>(o.total_tcks));
+    return o;
+  };
+  return u;
+}
+
+}  // namespace jsi::scenario

@@ -1,0 +1,87 @@
+#ifndef JSI_SCENARIO_SWEEP_HPP
+#define JSI_SCENARIO_SWEEP_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/soc.hpp"
+#include "scenario/spec.hpp"
+
+namespace jsi::scenario {
+
+/// Outcomes are folded into streaming aggregates (and the canonical
+/// report drops its per-unit lines) when a sweep expands past this many
+/// units; at or below it, the familiar per-unit transcript is kept.
+inline constexpr std::size_t kSweepTranscriptThreshold = 128;
+
+/// Lazy core::UnitSource over a sweep scenario: the campaign never holds
+/// more than the units currently running. Unit `i` is a pure function of
+/// (spec, i) — its grid point is `i / samples`, and all of its sampled
+/// randomness (process-variation factors, per-die defect placement)
+/// comes from `Prng(campaign.seed).split(i)`, so any unit is
+/// reconstructible in isolation: by any worker thread, in any forked
+/// worker process, or in a resumed run, without replaying units 0..i-1.
+///
+/// Each unit also books die-population yield metrics into its hub
+/// registry (campaign-merged deterministically like every other metric):
+///
+///   sweep.units / sweep.violations / sweep.failures   whole population
+///   sweep.grid.g<NNNN>.units / .violations / .failures  per grid point
+///   sweep.unit_tcks                                    histogram
+///
+/// which is what `render_yield_json` folds into the yield curve without
+/// any per-unit state surviving the campaign.
+class SweepUnitSource : public core::UnitSource {
+ public:
+  /// One detector-threshold grid point (the cross product of the spec's
+  /// non-empty axes; an unset field means "topology default").
+  struct GridPoint {
+    std::size_t id = 0;
+    std::optional<double> nd_vhthr_frac;
+    std::optional<std::uint64_t> sd_budget_ps;
+  };
+
+  /// `spec.sweep` must be present (throws SpecError otherwise). The
+  /// source copies everything it needs; the spec need not outlive it.
+  explicit SweepUnitSource(const ScenarioSpec& spec);
+
+  std::size_t count() const override;
+  core::CampaignUnit unit(std::size_t index) const override;
+
+  std::size_t samples() const { return sweep_.samples; }
+  std::size_t grid_points() const { return grid_.size(); }
+  const GridPoint& grid_point(std::size_t gid) const { return grid_[gid]; }
+
+  /// Stable metric prefix of grid point `gid`, e.g. "sweep.grid.g0007".
+  /// Zero-padded so the registry's name order equals grid order.
+  static std::string grid_prefix(std::size_t gid);
+
+  /// The SocConfig unit `index` runs against — grid point and sampled
+  /// process variation applied. Exposed so tests can pin the per-index
+  /// derivation without running the session.
+  core::SocConfig unit_config(std::size_t index) const;
+
+  /// The resolved defect list of unit `index`: the campaign-seeded
+  /// shared defects followed by the die's own placements. Same test
+  /// hook as `unit_config`.
+  std::vector<DefectSpec> unit_defects(std::size_t index) const;
+
+ private:
+  SweepSpec sweep_;
+  TopologySpec topo_;
+  core::SocConfig base_;
+  std::uint64_t seed_ = 0;
+  std::vector<DefectSpec> shared_;  ///< campaign-seeded, same for every die
+  std::vector<GridPoint> grid_;
+  SessionKind kind_ = SessionKind::Enhanced;
+  int method_ = 1;
+  std::size_t guard_ = 2;
+  std::string name_prefix_;
+};
+
+}  // namespace jsi::scenario
+
+#endif  // JSI_SCENARIO_SWEEP_HPP

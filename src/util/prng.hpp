@@ -2,6 +2,7 @@
 #define JSI_UTIL_PRNG_HPP
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 
 namespace jsi::util {
@@ -57,9 +58,69 @@ class Prng {
   /// Bernoulli draw with probability `p` of true.
   bool next_bool(double p = 0.5) { return next_double() < p; }
 
+  /// Standard normal draw (Box-Muller; consumes two stream values).
+  double next_normal() {
+    // Guard the log against u1 == 0: [2^-53, 1) keeps the transform finite.
+    const double u1 = (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793238462643383279502884 * u2);
+  }
+
+  /// A deterministically derived child generator for stream `index`.
+  /// Does NOT consume or mutate this generator's state: `split(i)` is a
+  /// pure function of (current state, i), so any child stream can be
+  /// reconstructed in isolation — the per-unit seed derivation of sweep
+  /// campaigns depends on exactly this (worker k can materialize unit i
+  /// without replaying units 0..i-1). Distinct indices give decorrelated
+  /// streams even for adjacent indices (SplitMix64 finalizer over the
+  /// four state words and the index). The child stream is pinned by
+  /// tests/util/test_prng.cpp; changing this derivation invalidates every
+  /// published sweep result.
+  Prng split(std::uint64_t index) const {
+    std::uint64_t h = mix64(s_[0] + 0x9E3779B97F4A7C15ull * (index + 1));
+    h = mix64(h ^ s_[1]);
+    h = mix64(h ^ s_[2]);
+    h = mix64(h ^ s_[3]);
+    return Prng(h);
+  }
+
+  /// Advance 2^128 steps (the canonical xoshiro256** jump polynomial):
+  /// the classic way to hand each of up to 2^128 sequential consumers a
+  /// non-overlapping subsequence. `split()` is preferred for indexed
+  /// per-unit derivation (O(1) random access); `jump()` serves consumers
+  /// that walk streams in order.
+  void jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+        0x39abdc4529b1661cull};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (std::uint64_t{1} << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        next_u64();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+  /// SplitMix64 finalizer (also the seeding mixer above).
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
   }
   std::uint64_t s_[4]{};
 };

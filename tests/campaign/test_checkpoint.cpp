@@ -1,0 +1,443 @@
+// Chunked scheduling + checkpoint/resume mechanics at the core layer:
+// the lazy UnitSource path, chunk-size invariance of the merged books,
+// the checkpoint file round-trip (bit-exact doubles included), torn-tail
+// tolerance, and kill-at-a-boundary resume equivalence at 1 and 4
+// shards. The scenario-level sweep suite rides on these guarantees in
+// tests/scenario/test_sweep.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "obs/registry.hpp"
+
+namespace jsi {
+namespace {
+
+using core::CampaignConfig;
+using core::CampaignContext;
+using core::CampaignResult;
+using core::CampaignRunner;
+using core::CampaignUnit;
+using core::UnitOutcome;
+using core::UnitSource;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "jsi_checkpoint_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Deterministic synthetic population: unit i books counters and a
+/// histogram observation derived from i alone, flags a violation every
+/// 7th unit and throws on unit 23 — enough structure to make any
+/// merge-order or double-rounding bug visible in the pinned artifacts.
+class FakeSource : public UnitSource {
+ public:
+  explicit FakeSource(std::size_t n) : n_(n) {}
+
+  std::size_t count() const override { return n_; }
+
+  CampaignUnit unit(std::size_t index) const override {
+    CampaignUnit u;
+    u.name = "fake_" + std::to_string(index);
+    u.run = [index, this](CampaignContext& ctx) {
+      materialized_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry& reg = ctx.hub().registry();
+      reg.counter("fake.units").inc();
+      reg.counter("fake.work").inc(index + 1);
+      // A sum of irrational-ish doubles: bit-exact only if the
+      // checkpoint round-trip and merge order are bit-exact.
+      reg.histogram("fake.cost").observe(0.1 * static_cast<double>(index) +
+                                         0.7);
+      if (index == 23) throw std::runtime_error("die 23 is cursed");
+      UnitOutcome o;
+      o.total_tcks = 100 + index;
+      o.generation_tcks = 90 + index;
+      o.observation_tcks = 10;
+      o.violation = index % 7 == 0;
+      o.summary = "synth";
+      return o;
+    };
+    return u;
+  }
+
+  std::size_t materialized() const { return materialized_.load(); }
+  void reset_materialized() { materialized_.store(0); }
+
+ private:
+  std::size_t n_;
+  mutable std::atomic<std::size_t> materialized_{0};
+};
+
+CampaignResult run_once(const FakeSource& src, CampaignConfig cfg) {
+  CampaignRunner runner(cfg);
+  runner.set_source(&src);
+  return runner.run();
+}
+
+// ---- checkpoint file round-trip --------------------------------------------
+
+TEST(Checkpoint, FingerprintIsStable) {
+  // FNV-1a 64 over the text; pinned so a checkpoint written today stays
+  // resumable by tomorrow's binary.
+  EXPECT_EQ(core::fingerprint_text(""), "cbf29ce484222325");
+  EXPECT_EQ(core::fingerprint_text("jsi"), "45555f193a50a4b9");
+  EXPECT_NE(core::fingerprint_text("a"), core::fingerprint_text("b"));
+}
+
+TEST(Checkpoint, RecordRoundTripIsBitExact) {
+  core::ChunkRecord rec;
+  rec.chunk = 5;
+  rec.agg.units = 64;
+  rec.agg.violations = 9;
+  rec.agg.failures = 1;
+  rec.agg.total_tcks = 123456789;
+  rec.agg.generation_tcks = 100000000;
+  rec.agg.observation_tcks = 23456789;
+  rec.registry.counter("c.a").inc(42);
+  rec.registry.gauge("g.pi").set(3.141592653589793);
+  rec.registry.gauge("g.tiny").set(4.9406564584124654e-324);  // denormal
+  rec.registry.histogram("h.x").observe(0.30000000000000004);
+  rec.registry.histogram("h.x").observe(1e9);  // overflow bucket
+  UnitOutcome fail;
+  fail.name = "fake_23";
+  fail.index = 23;
+  fail.summary = "error: die 23 is cursed \"quoted\"";
+  fail.failed = true;
+  rec.outcomes.push_back(fail);
+
+  std::ostringstream os;
+  core::write_chunk_record(os, rec);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+
+  const std::string path = temp_path("roundtrip.jsonl");
+  core::CheckpointHeader header;
+  header.fingerprint = core::fingerprint_text("spec");
+  header.units = 640;
+  header.chunk_size = 64;
+  header.aggregate = true;
+  {
+    core::CheckpointWriter writer;
+    writer.open(path, header, /*resume_existing=*/false);
+    writer.append(rec);
+  }
+  const core::CheckpointData data = core::load_checkpoint(path);
+  EXPECT_EQ(data.header.fingerprint, header.fingerprint);
+  EXPECT_EQ(data.header.units, 640u);
+  EXPECT_EQ(data.header.chunk_size, 64u);
+  EXPECT_TRUE(data.header.aggregate);
+  ASSERT_EQ(data.records.size(), 1u);
+  const core::ChunkRecord& got = data.records[0];
+  EXPECT_EQ(got.chunk, 5u);
+  EXPECT_EQ(got.agg.units, 64u);
+  EXPECT_EQ(got.agg.total_tcks, 123456789u);
+  EXPECT_EQ(got.registry.counter_value("c.a"), 42u);
+  // Bit-exact doubles, denormals included — the hex-bits encoding.
+  EXPECT_EQ(got.registry.gauge_value("g.pi"), 3.141592653589793);
+  EXPECT_EQ(got.registry.gauge_value("g.tiny"), 4.9406564584124654e-324);
+  const obs::Histogram& h = got.registry.histograms().at("h.x");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 0.30000000000000004 + 1e9);
+  ASSERT_EQ(data.records.size(), 1u);
+  ASSERT_FALSE(got.outcomes.empty());
+  EXPECT_EQ(got.outcomes[0].index, 23u);
+  EXPECT_EQ(got.outcomes[0].summary, "error: die 23 is cursed \"quoted\"");
+  EXPECT_TRUE(got.outcomes[0].failed);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornTailLineIsDropped) {
+  const std::string path = temp_path("torn.jsonl");
+  core::CheckpointHeader header;
+  header.fingerprint = "f";
+  header.units = 10;
+  header.chunk_size = 1;
+  header.aggregate = false;
+  core::ChunkRecord rec;
+  rec.chunk = 0;
+  rec.agg.units = 1;
+  {
+    core::CheckpointWriter writer;
+    writer.open(path, header, false);
+    writer.append(rec);
+  }
+  // Simulate a writer killed mid-append: a syntactically torn last line.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << "{\"chunk\":1,\"agg\":{\"uni";
+  }
+  const core::CheckpointData data = core::load_checkpoint(path);
+  ASSERT_EQ(data.records.size(), 1u) << "the torn record must be dropped";
+  EXPECT_EQ(data.records[0].chunk, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongSchemaAndMissingFile) {
+  EXPECT_THROW(core::load_checkpoint(temp_path("nonexistent.jsonl")),
+               std::runtime_error);
+  const std::string path = temp_path("badschema.jsonl");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "{\"schema\":\"something.else\"}\n";
+  }
+  EXPECT_THROW(core::load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---- lazy source + chunked scheduling --------------------------------------
+
+TEST(CheckpointRunner, SourceMatchesAddedUnits) {
+  // The lazy path must be observationally identical to add()ing the same
+  // units: same report text, same merged metrics.
+  FakeSource src(27);
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  const CampaignResult from_source = run_once(src, cfg);
+
+  CampaignRunner added(cfg);
+  for (std::size_t i = 0; i < 27; ++i) added.add(src.unit(i));
+  const CampaignResult from_add = added.run();
+
+  EXPECT_EQ(from_source.to_text(), from_add.to_text());
+  EXPECT_EQ(from_source.metrics.to_json(), from_add.metrics.to_json());
+  EXPECT_EQ(from_source.failures, 1u);
+}
+
+TEST(CheckpointRunner, SourceAndAddAreMutuallyExclusive) {
+  FakeSource src(3);
+  CampaignRunner runner;
+  runner.add(src.unit(0));
+  runner.set_source(&src);
+  EXPECT_THROW(runner.run(), std::invalid_argument);
+}
+
+TEST(CheckpointRunner, AggregateModeFoldsOutcomes) {
+  FakeSource src(40);
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.aggregate_outcomes = true;
+  const CampaignResult r = run_once(src, cfg);
+  EXPECT_TRUE(r.aggregated);
+  EXPECT_TRUE(r.units.empty());
+  EXPECT_EQ(r.units_run, 40u);
+  // ceil(40/7): violations at 0,7,14,21,28,35.
+  EXPECT_EQ(r.violations, 6u);
+  ASSERT_EQ(r.failed.size(), 1u);
+  EXPECT_EQ(r.failed[0].index, 23u);
+  EXPECT_NE(r.failed[0].summary.find("cursed"), std::string::npos);
+  EXPECT_NE(r.to_text().find("40 units (aggregated)"), std::string::npos);
+  EXPECT_NE(r.to_text().find("[23] fake_23: FAIL"), std::string::npos);
+}
+
+TEST(CheckpointRunner, ChunkSizeInvariantBooksInAggregateMode) {
+  // The merged counters and histograms must not depend on the chunk
+  // width (integer sums and bucket sums are associative); the canonical
+  // report must not either.
+  FakeSource src(41);
+  std::string baseline_text, baseline_json;
+  for (const std::size_t chunk : {1u, 4u, 7u, 64u}) {
+    CampaignConfig cfg;
+    cfg.shards = 3;
+    cfg.aggregate_outcomes = true;
+    cfg.chunk_size = chunk;
+    const CampaignResult r = run_once(src, cfg);
+    if (baseline_text.empty()) {
+      baseline_text = r.to_text();
+      baseline_json = r.metrics.to_json();
+      continue;
+    }
+    EXPECT_EQ(r.to_text(), baseline_text) << "chunk_size " << chunk;
+    EXPECT_EQ(r.metrics.to_json(), baseline_json) << "chunk_size " << chunk;
+  }
+}
+
+TEST(CheckpointRunner, KeepEventsIsIncompatibleWithAggregateAndCheckpoint) {
+  FakeSource src(4);
+  {
+    CampaignConfig cfg;
+    cfg.keep_events = true;
+    cfg.aggregate_outcomes = true;
+    EXPECT_THROW(run_once(src, cfg), std::invalid_argument);
+  }
+  {
+    CampaignConfig cfg;
+    cfg.keep_events = true;
+    cfg.checkpoint_path = temp_path("never_written.jsonl");
+    EXPECT_THROW(run_once(src, cfg), std::invalid_argument);
+  }
+  {
+    CampaignConfig cfg;
+    cfg.resume = true;  // resume without a checkpoint path
+    EXPECT_THROW(run_once(src, cfg), std::invalid_argument);
+  }
+}
+
+TEST(CheckpointRunner, RangeMustBeChunkAligned) {
+  FakeSource src(40);
+  CampaignConfig cfg;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.range_begin = 4;  // mid-chunk
+  cfg.range_end = 16;
+  EXPECT_THROW(run_once(src, cfg), std::invalid_argument);
+}
+
+TEST(CheckpointRunner, RangeRestrictedRunIsIncomplete) {
+  FakeSource src(40);
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.range_begin = 8;
+  cfg.range_end = 24;
+  const CampaignResult r = run_once(src, cfg);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.units_run, 16u);
+}
+
+// ---- checkpoint + resume ----------------------------------------------------
+
+/// Run to completion with max_chunks-sized steps, then compare against
+/// the uninterrupted run — the kill-at-a-boundary simulation.
+void expect_resume_identical(std::size_t units, std::size_t chunk,
+                             std::size_t step, std::size_t shards,
+                             bool aggregate, const std::string& tag) {
+  FakeSource src(units);
+  CampaignConfig base;
+  base.shards = shards;
+  base.aggregate_outcomes = aggregate;
+  base.chunk_size = chunk;
+
+  const CampaignResult whole = run_once(src, base);
+
+  const std::string path = temp_path("resume_" + tag + ".jsonl");
+  std::remove(path.c_str());
+  CampaignConfig stepped = base;
+  stepped.checkpoint_path = path;
+  stepped.fingerprint = "test-spec";
+  stepped.max_chunks = step;
+  CampaignResult r;
+  // Each iteration is one "process lifetime": at most `step` fresh
+  // chunks, then die; the next lifetime resumes from the file.
+  for (int lifetime = 0; lifetime < 64; ++lifetime) {
+    r = run_once(src, stepped);
+    if (r.complete) break;
+    stepped.resume = true;
+  }
+  ASSERT_TRUE(r.complete) << tag;
+  EXPECT_EQ(r.to_text(), whole.to_text()) << tag;
+  EXPECT_EQ(r.metrics.to_json(), whole.metrics.to_json()) << tag;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRunner, ResumeByteIdenticalAcrossBoundaries) {
+  // Several kill boundaries x both outcome modes, 1 and 4 shards.
+  expect_resume_identical(40, 8, 1, 1, true, "agg_s1_k1");
+  expect_resume_identical(40, 8, 2, 1, true, "agg_s1_k2");
+  expect_resume_identical(40, 8, 3, 4, true, "agg_s4_k3");
+  expect_resume_identical(40, 8, 1, 4, true, "agg_s4_k1");
+  expect_resume_identical(17, 1, 5, 1, false, "unit_s1_k5");
+  expect_resume_identical(17, 1, 4, 4, false, "unit_s4_k4");
+}
+
+TEST(CheckpointRunner, ResumeSkipsCompletedChunks) {
+  FakeSource src(40);
+  const std::string path = temp_path("skip.jsonl");
+  std::remove(path.c_str());
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.checkpoint_path = path;
+  cfg.max_chunks = 3;
+  const CampaignResult first = run_once(src, cfg);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(src.materialized(), 24u);
+
+  src.reset_materialized();
+  cfg.resume = true;
+  cfg.max_chunks = 0;
+  const CampaignResult second = run_once(src, cfg);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(src.materialized(), 16u)
+      << "resume must only materialize the unfinished chunks";
+  EXPECT_EQ(second.units_run, 40u);
+
+  // A third run resumes a complete checkpoint: a pure merge pass.
+  src.reset_materialized();
+  const CampaignResult third = run_once(src, cfg);
+  EXPECT_TRUE(third.complete);
+  EXPECT_EQ(src.materialized(), 0u);
+  EXPECT_EQ(third.to_text(), second.to_text());
+  EXPECT_EQ(third.metrics.to_json(), second.metrics.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRunner, ResumeRejectsMismatchedCampaign) {
+  FakeSource src(40);
+  const std::string path = temp_path("mismatch.jsonl");
+  std::remove(path.c_str());
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.checkpoint_path = path;
+  cfg.fingerprint = "spec-A";
+  cfg.max_chunks = 1;
+  (void)run_once(src, cfg);
+
+  cfg.resume = true;
+  cfg.fingerprint = "spec-B";
+  EXPECT_THROW(run_once(src, cfg), std::runtime_error);
+
+  cfg.fingerprint = "spec-A";
+  cfg.chunk_size = 4;  // different chunk layout
+  EXPECT_THROW(run_once(src, cfg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRunner, CheckpointGrowsByOneLinePerChunk) {
+  FakeSource src(32);
+  const std::string path = temp_path("growth.jsonl");
+  std::remove(path.c_str());
+  CampaignConfig cfg;
+  cfg.shards = 1;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.checkpoint_path = path;
+  cfg.max_chunks = 2;
+  (void)run_once(src, cfg);
+  {
+    const std::string text = slurp(path);
+    std::size_t lines = 0;
+    for (const char c : text) lines += c == '\n';
+    EXPECT_EQ(lines, 3u) << "header + 2 chunk records";
+  }
+  cfg.resume = true;
+  cfg.max_chunks = 0;
+  (void)run_once(src, cfg);
+  {
+    const std::string text = slurp(path);
+    std::size_t lines = 0;
+    for (const char c : text) lines += c == '\n';
+    EXPECT_EQ(lines, 5u) << "header + 4 chunk records after completion";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jsi

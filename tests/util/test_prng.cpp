@@ -53,6 +53,104 @@ TEST(Prng, PinnedStreamSeed12345) {
   for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
 }
 
+// split(i) is the sweep engine's per-unit seed derivation: unit i of a
+// seeded sweep draws all of its randomness from Prng(seed).split(i).
+// These bytes are therefore part of the published-results contract in
+// exactly the way the seeded streams above are — changing the
+// derivation silently re-samples every sweep population.
+TEST(Prng, PinnedSplitStreams) {
+  const Prng root(2003);
+  const struct {
+    std::uint64_t index;
+    std::uint64_t expected[4];
+  } cases[] = {
+      {0,
+       {0xb2136c012160711full, 0xac9e828bbbabfc01ull, 0x73a8aa63bd782a2eull,
+        0x3453003250f040e2ull}},
+      {1,
+       {0xea8c931bd375be27ull, 0x1b1467758ac848cfull, 0x610eafcccc319568ull,
+        0x461fa3bd78c478f3ull}},
+      {2,
+       {0xed64ad0601c3d388ull, 0xbe11510e22f44351ull, 0x857f1bace5dc81ccull,
+        0x3c973a91227e325bull}},
+      {1000000,
+       {0xcbccbcfb3a8dc25bull, 0x49894323f3a46f46ull, 0x6bf67cee62812154ull,
+        0x7725128be5be2361ull}},
+  };
+  for (const auto& c : cases) {
+    Prng child = root.split(c.index);
+    for (std::uint64_t e : c.expected) EXPECT_EQ(child.next_u64(), e);
+  }
+}
+
+TEST(Prng, SplitIsPureAndOrderIndependent) {
+  Prng root(99);
+  // Deriving children neither consumes nor mutates the parent stream...
+  Prng untouched(99);
+  (void)root.split(7);
+  (void)root.split(123456789);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(root.next_u64(), untouched.next_u64());
+  }
+  // ...and child i is the same stream no matter when or how often it is
+  // derived (random access — workers materialize units out of order).
+  Prng a = Prng(99).split(7);
+  Prng b = Prng(99).split(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, SplitAdjacentIndicesDecorrelate) {
+  const Prng root(5);
+  Prng a = root.split(0), b = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// The canonical xoshiro256** 2^128 jump, pinned one and two applications
+// deep so the polynomial constants can never silently drift.
+TEST(Prng, PinnedJumpStream) {
+  Prng rng(42);
+  rng.jump();
+  const std::uint64_t expected1[4] = {
+      0x50086ef83cbf4f4aull, 0xba285ec21347d703ull, 0x5ea1247b4dc6452aull,
+      0x03a5c66424702131ull};
+  for (std::uint64_t e : expected1) EXPECT_EQ(rng.next_u64(), e);
+
+  Prng rng2(42);
+  rng2.jump();
+  rng2.jump();
+  const std::uint64_t expected2[4] = {
+      0x8677623ee7544e81ull, 0x1f591f213a3cb979ull, 0xbee76be78f4bfe6dull,
+      0xf0116185df3b8812ull};
+  for (std::uint64_t e : expected2) EXPECT_EQ(rng2.next_u64(), e);
+}
+
+TEST(Prng, NormalDrawsPinnedAndFinite) {
+  // next_normal feeds the sweep's process-variation factors; pin the
+  // first draws bit-exactly (IEEE doubles, printf %.17g round-trip).
+  Prng rng(7);
+  EXPECT_DOUBLE_EQ(rng.next_normal(), -0.15157274547711355);
+  EXPECT_DOUBLE_EQ(rng.next_normal(), 0.58709958071258017);
+  EXPECT_DOUBLE_EQ(rng.next_normal(), 0.094471861064937435);
+  EXPECT_DOUBLE_EQ(rng.next_normal(), 1.8752973921594798);
+}
+
+TEST(Prng, NormalRoughlyStandard) {
+  Prng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = rng.next_normal();
+    sum += d;
+    sq += d * d;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
 #if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
 TEST(PrngDeathTest, NextBelowZeroAsserts) {
   EXPECT_DEATH(

@@ -3,6 +3,7 @@
 //
 //   jsi run <scenario.json> [--shards N] [--out DIR] [--progress]
 //           [--telemetry PATH] [--telemetry-interval MS] [--profile]
+//           [--workers N] [--checkpoint PATH] [--resume] [--max-chunks N]
 //   jsi validate <scenario.json>
 //   jsi print <scenario.json>
 //
@@ -14,8 +15,14 @@
 // progress bar on stderr and --telemetry streams JSONL heartbeats to
 // PATH; both ride strictly beside the deterministic artifacts and never
 // change them. --profile prints a post-run profile report (and writes
-// profile.txt under --out). Exit status: 0 clean, 1 when any unit
-// failed, 2 on usage/parse/I-O errors.
+// profile.txt under --out). Sweep-scale campaigns add --checkpoint (a
+// sidecar JSONL file recording every completed chunk), --resume (fold
+// the checkpoint's chunks instead of re-running them; final artifacts
+// byte-identical to an uninterrupted run), --max-chunks (stop after ~N
+// fresh chunks — an incremental step), and --workers N (fork N worker
+// processes over disjoint index ranges and merge deterministically).
+// Exit status: 0 clean, 1 when any unit failed, 2 on usage/parse/I-O
+// errors.
 
 #include <cstdlib>
 #include <exception>
@@ -37,12 +44,18 @@ struct RunFlags {
   std::optional<std::uint64_t> telemetry_interval_ms;
   bool progress = false;
   bool profile = false;
+  std::string checkpoint_path;
+  bool resume = false;
+  std::size_t max_chunks = 0;
+  std::size_t workers = 0;
 };
 
 int usage(std::ostream& os, int status) {
   os << "usage: jsi run <scenario.json> [--shards N] [--out DIR]\n"
         "               [--progress] [--telemetry PATH]\n"
         "               [--telemetry-interval MS] [--profile]\n"
+        "               [--workers N] [--checkpoint PATH] [--resume]\n"
+        "               [--max-chunks N]\n"
         "       jsi validate <scenario.json>\n"
         "       jsi print <scenario.json>\n";
   return status;
@@ -55,6 +68,10 @@ int cmd_run(const std::string& file, const RunFlags& flags) {
   opt.shards = flags.shards;
   opt.progress = flags.progress;
   opt.profile = flags.profile;
+  opt.checkpoint_path = flags.checkpoint_path;
+  opt.resume = flags.resume;
+  opt.max_chunks = flags.max_chunks;
+  opt.workers = flags.workers;
   if (flags.telemetry_path || flags.telemetry_interval_ms) {
     // CLI telemetry flags layer on top of the spec's section; naming a
     // sink path turns the stream on.
@@ -134,6 +151,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       flags.telemetry_interval_ms = static_cast<std::uint64_t>(v);
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      flags.checkpoint_path = argv[++i];
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--max-chunks" && i + 1 < argc) {
+      unsigned long long v = 0;
+      if (!parse_uint(argv[++i], v) || v == 0) {
+        std::cerr << "jsi: --max-chunks wants a positive integer, got \""
+                  << argv[i] << "\"\n";
+        return 2;
+      }
+      flags.max_chunks = static_cast<std::size_t>(v);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      unsigned long long v = 0;
+      if (!parse_uint(argv[++i], v) || v == 0) {
+        std::cerr << "jsi: --workers wants a positive integer, got \""
+                  << argv[i] << "\"\n";
+        return 2;
+      }
+      flags.workers = static_cast<std::size_t>(v);
     } else if (arg == "--progress") {
       flags.progress = true;
     } else if (arg == "--profile") {
