@@ -1,0 +1,177 @@
+// End-to-end smoke check for the `jsi serve` daemon, driven through the
+// real CLI binary the way an operator would use it:
+//
+//   1. fork/exec `jsi serve --socket <tmp>.sock` and wait for the socket
+//      to accept connections,
+//   2. `jsi submit <scenario> --socket ... --wait --out served/`,
+//   3. `jsi run <scenario> --out local/` (the same scenario, in-process),
+//   4. compare the two artifact directories byte-for-byte — the serve
+//      parity contract at the outermost (process) boundary,
+//   5. `jsi shutdown --socket ...` and require the daemon to exit 0.
+//
+// Registered as a benchsmoke CTest (RUN_SERIAL: it owns a daemon
+// process) so a daemon that drops artifacts bytes, hangs on drain, or
+// dies on SIGTERM-less shutdown fails the bench_smoke run.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int fail(const std::string& why) {
+  std::cout << "FAIL: " << why << "\n";
+  return 1;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// True once something is accepting connections on the unix socket.
+bool socket_accepts(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const bool ok = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) == 0;
+  ::close(fd);
+  return ok;
+}
+
+int run(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  return rc == -1 ? -1 : WEXITSTATUS(rc);
+}
+
+}  // namespace
+
+int main() {
+  const std::string pid = std::to_string(static_cast<unsigned>(::getpid()));
+  // Socket paths must fit sockaddr_un (~108 bytes) — keep it short.
+  const std::string sock = "/tmp/jsi_smoke_" + pid + ".sock";
+  const fs::path work = fs::temp_directory_path() / ("jsi_serve_smoke_" + pid);
+  const fs::path served = work / "served";
+  const fs::path local = work / "local";
+  const std::string scenario =
+      std::string(JSI_SCENARIO_DIR) + "/campaign_8bit.scenario.json";
+  const std::string cli = JSI_CLI_PATH;
+
+  fs::create_directories(work);
+
+  const pid_t daemon = ::fork();
+  if (daemon < 0) return fail("fork failed");
+  if (daemon == 0) {
+    // Quiet the daemon's stdout so ctest logs stay readable.
+    ::execl(cli.c_str(), "jsi", "serve", "--socket", sock.c_str(),
+            static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+
+  const auto cleanup = [&](int rc) {
+    if (rc != 0) ::kill(daemon, SIGKILL);
+    int status = 0;
+    ::waitpid(daemon, &status, 0);
+    fs::remove_all(work);
+    fs::remove(sock);
+    return rc;
+  };
+
+  // Wait (<=10s) for the daemon to come up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!socket_accepts(sock)) {
+    int status = 0;
+    if (::waitpid(daemon, &status, WNOHANG) == daemon) {
+      fs::remove_all(work);
+      return fail("daemon exited before accepting connections");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return cleanup(fail("daemon never started listening on " + sock));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  if (run("\"" + cli + "\" submit \"" + scenario + "\" --socket \"" + sock +
+          "\" --wait --out \"" + served.string() + "\" > /dev/null") != 0) {
+    return cleanup(fail("jsi submit --wait failed"));
+  }
+  if (run("\"" + cli + "\" run \"" + scenario + "\" --out \"" +
+          local.string() + "\" > /dev/null") != 0) {
+    return cleanup(fail("jsi run failed"));
+  }
+
+  // Byte-for-byte directory comparison, both directions.
+  std::set<std::string> names;
+  for (const auto& e : fs::directory_iterator(local)) {
+    names.insert(e.path().filename().string());
+  }
+  for (const auto& e : fs::directory_iterator(served)) {
+    names.insert(e.path().filename().string());
+  }
+  if (names.empty()) return cleanup(fail("no artifacts produced"));
+  for (const std::string& name : names) {
+    const fs::path a = local / name;
+    const fs::path b = served / name;
+    if (!fs::exists(a)) {
+      return cleanup(fail(name + " exists only in the served artifacts"));
+    }
+    if (!fs::exists(b)) {
+      return cleanup(fail(name + " exists only in the local artifacts"));
+    }
+    if (slurp(a) != slurp(b)) {
+      return cleanup(fail(name + " differs between served and local runs"));
+    }
+  }
+
+  if (run("\"" + cli + "\" shutdown --socket \"" + sock + "\" > /dev/null") !=
+      0) {
+    return cleanup(fail("jsi shutdown failed"));
+  }
+
+  // The drained daemon must exit 0 on its own.
+  int status = -1;
+  const auto exit_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const pid_t got = ::waitpid(daemon, &status, WNOHANG);
+    if (got == daemon) break;
+    if (std::chrono::steady_clock::now() > exit_deadline) {
+      ::kill(daemon, SIGKILL);
+      ::waitpid(daemon, &status, 0);
+      fs::remove_all(work);
+      fs::remove(sock);
+      return fail("daemon did not exit after shutdown");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  fs::remove_all(work);
+  fs::remove(sock);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return fail("daemon exited with status " + std::to_string(status));
+  }
+
+  std::cout << "OK: served artifacts byte-identical to local run ("
+            << names.size() << " files), daemon drained cleanly\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Serve-daemon throughput bench: stand up an in-process serve::Server
+// (unix transport, multi-worker pool), push a batch of campaign jobs
+// through the wire protocol with serve::Client, wait for every job to
+// finish, then dump the daemon's serve.* registry as BENCH_serve.json —
+// jobs submitted/completed, queue depth peak, frames on the wire, and
+// the serve.job_wall_ms / serve.queue_wait_ms histograms. A summary
+// (jobs/s, mean wall + queue-wait) prints to stdout.
+//
+// Also a correctness gate: every submitted job must land Done and the
+// serve.* counters must agree with the batch size, so a daemon that
+// drops or wedges jobs under concurrent submission fails bench_smoke.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+using namespace jsi;
+namespace json = jsi::util::json;
+
+namespace {
+
+constexpr std::size_t kJobs = 12;
+constexpr std::size_t kPool = 4;
+
+int fail(const std::string& why) {
+  std::cout << "FAIL: " << why << "\n";
+  return 1;
+}
+
+std::string scenario_text() {
+  std::ifstream is(
+      std::string(JSI_SCENARIO_DIR) + "/campaign_8bit.scenario.json",
+      std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::string sock =
+      "/tmp/jsi_serve_bench_" +
+      std::to_string(static_cast<unsigned>(::getpid())) + ".sock";
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = sock;
+  cfg.pool = kPool;
+  cfg.max_queue = kJobs;
+  serve::Server server(cfg);
+  server.start();
+  std::thread loop([&] { server.serve(); });
+
+  const std::string text = scenario_text();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> ids;
+  try {
+    serve::Client c = serve::Client::connect_unix(sock);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      json::Value req = json::Value::make_object();
+      req.add("verb", json::Value::make_string("submit"));
+      req.add("scenario_text", json::Value::make_string(text));
+      const json::Value resp = c.request(req);
+      const json::Value* job = serve::find_member(resp, "job");
+      if (job == nullptr || !job->is_number()) {
+        server.request_drain();
+        loop.join();
+        return fail("submit " + std::to_string(i) + " rejected: " +
+                    serve::string_or(resp, "message", "?"));
+      }
+      ids.push_back(static_cast<std::uint64_t>(job->number));
+    }
+  } catch (const std::exception& e) {
+    server.request_drain();
+    loop.join();
+    return fail(std::string("client error: ") + e.what());
+  }
+
+  // Wait (<=60s) for the whole batch to reach a terminal state.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (const std::uint64_t id : ids) {
+    for (;;) {
+      const auto info = server.job_info(id);
+      if (!info) {
+        server.request_drain();
+        loop.join();
+        return fail("job " + std::to_string(id) + " vanished");
+      }
+      if (info->state == serve::JobState::Done) break;
+      if (info->state == serve::JobState::Failed ||
+          info->state == serve::JobState::Cancelled) {
+        server.request_drain();
+        loop.join();
+        return fail("job " + std::to_string(id) + " ended " +
+                    serve::to_string(info->state) + ": " + info->error);
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        server.request_drain();
+        loop.join();
+        return fail("batch did not finish within 60s");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  server.request_drain();
+  loop.join();
+
+  const obs::Registry snap = server.metrics_snapshot();
+  if (snap.counter_value("serve.jobs_submitted") != kJobs) {
+    return fail("serve.jobs_submitted != batch size");
+  }
+  if (snap.counter_value("serve.jobs_completed") != kJobs) {
+    return fail("serve.jobs_completed != batch size");
+  }
+  if (snap.counter_value("serve.jobs_failed") != 0 ||
+      snap.counter_value("serve.jobs_cancelled") != 0) {
+    return fail("batch had failed/cancelled jobs");
+  }
+
+  // The daemon keeps its own registry; fold it into the global one so
+  // the standard BENCH_*.json emitter can dump it.
+  obs::global_registry().merge(snap);
+  obs::global_registry()
+      .gauge("serve.bench_jobs_per_s")
+      .set(static_cast<double>(kJobs) / secs);
+  const std::string path = obs::jsi_metrics_dump("serve");
+  if (path.empty()) {
+    std::cout << "WARN: could not write BENCH_serve.json "
+                 "(read-only working dir?)\n";
+  }
+
+  const auto& wall = snap.histograms().at("serve.job_wall_ms");
+  const auto& queue_wait = snap.histograms().at("serve.queue_wait_ms");
+  std::cout << "OK: " << kJobs << " jobs through a pool of " << kPool
+            << " in " << secs << " s (" << static_cast<double>(kJobs) / secs
+            << " jobs/s)\n"
+            << "    job_wall_ms mean " << wall.mean() << ", p95 "
+            << wall.quantile(0.95) << "; queue_wait_ms mean "
+            << queue_wait.mean() << "\n";
+  if (!path.empty()) std::cout << "    metrics: " << path << "\n";
+  return 0;
+}

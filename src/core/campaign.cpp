@@ -371,6 +371,13 @@ CampaignResult CampaignRunner::run() {
                                      : tele_clock::time_point{};
 
     for (;;) {
+      // Cooperative cancel: checked between chunk claims, so a cancelled
+      // campaign stops at the next chunk boundary — in-flight chunks
+      // finish (and checkpoint) normally.
+      if (cfg_.cancel != nullptr &&
+          cfg_.cancel->load(std::memory_order_relaxed)) {
+        break;
+      }
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= end_chunk) break;
       if (loaded[c]) continue;  // resumed; its record is already in place
@@ -485,6 +492,8 @@ CampaignResult CampaignRunner::run() {
 
   drain();  // no lock needed: workers are done
   r.complete = cfg_.range_begin == 0 && range_end == n && frontier == n_chunks;
+  r.cancelled =
+      cfg_.cancel != nullptr && cfg_.cancel->load(std::memory_order_relaxed);
   r.shards_used = shards;
   if (telemetry.enabled()) r.telemetry = telemetry.sample();
   if (cfg_.keep_events) r.events = std::move(events);

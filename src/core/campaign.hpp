@@ -1,6 +1,7 @@
 #ifndef JSI_CORE_CAMPAIGN_HPP
 #define JSI_CORE_CAMPAIGN_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -196,6 +197,13 @@ struct CampaignConfig {
   /// checkpoint records; a range-restricted result is marked incomplete.
   std::size_t range_begin = 0;
   std::size_t range_end = 0;
+  /// Cooperative cancellation flag (not owned; may be nullptr). Workers
+  /// poll it between chunk claims: once it reads true no new chunk is
+  /// started, in-flight chunks finish (and still checkpoint), and run()
+  /// returns an incomplete result with CampaignResult::cancelled set.
+  /// This is the campaign service's cancel hook — a cancelled job keeps
+  /// its determinism guarantees for everything that did complete.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Merged result of a campaign: per-unit outcomes in work-unit order, the
@@ -222,6 +230,10 @@ struct CampaignResult {
   /// or max_chunks-limited call. Incomplete results are intermediate
   /// (checkpoint fodder), never final artifacts.
   bool complete = true;
+  /// True when CampaignConfig::cancel was observed set during the run.
+  /// A cancelled run is also incomplete unless the flag raced the last
+  /// chunk claim.
+  bool cancelled = false;
 
   std::uint64_t total_tcks = 0;
   std::uint64_t generation_tcks = 0;

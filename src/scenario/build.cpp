@@ -211,10 +211,13 @@ ScenarioCampaign build_campaign(const ScenarioSpec& spec,
   // Live telemetry: CLI flags override the spec's section wholesale, and
   // --progress forces the sampler on even with no JSONL sink configured.
   const TelemetrySpec& tele = opt.telemetry ? *opt.telemetry : spec.telemetry;
-  cc.telemetry.enabled = tele.enabled || opt.progress;
+  cc.telemetry.enabled =
+      tele.enabled || opt.progress || opt.telemetry_sink != nullptr;
   cc.telemetry.interval_ms = tele.interval_ms;
   cc.telemetry.sink_path = tele.path;
+  cc.telemetry.sink = opt.telemetry_sink;
   cc.telemetry.progress = opt.progress;
+  cc.cancel = opt.cancel;
 
   // Sweep-scale execution control (no-ops at their defaults).
   cc.checkpoint_path = opt.checkpoint_path;

@@ -1,6 +1,8 @@
 #ifndef JSI_SCENARIO_BUILD_HPP
 #define JSI_SCENARIO_BUILD_HPP
 
+#include <atomic>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -86,6 +88,16 @@ struct BuildOptions {
   /// Must be chunk-aligned (the multi-process worker split is).
   std::size_t range_begin = 0;
   std::size_t range_end = 0;
+
+  /// Cooperative cancellation flag (not owned; may be nullptr),
+  /// forwarded to core::CampaignConfig::cancel. The campaign service
+  /// points every job's runner at the job's cancel flag.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Extra in-memory telemetry heartbeat sink (not owned; may be
+  /// nullptr), forwarded to obs::TelemetryConfig::sink in addition to
+  /// any JSONL file path — the campaign service streams a job's
+  /// heartbeats to subscribed clients through this.
+  std::ostream* telemetry_sink = nullptr;
 };
 
 /// A lowered scenario: the campaign runner plus the prototype bus it

@@ -146,30 +146,21 @@ ScenarioOutcome run_multiprocess(const ScenarioSpec& spec,
         "files were kept for inspection");
   }
 
-  // Assemble the merged checkpoint: one header plus every part's records,
-  // in worker (== chunk) order.
+  // Assemble the merged checkpoint: one header plus every part's durable
+  // records, in worker (== chunk) order. merge_checkpoint_parts copies
+  // only newline-terminated lines — a part's torn tail (a worker killed
+  // mid-append) is dropped, never re-terminated into a line that would
+  // make the fold's loader stop early and discard every later part's
+  // records; the dropped chunk simply re-runs in the fold below.
   {
-    std::ofstream os(ckpt, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("multi-process run: cannot write " + ckpt);
-    }
     core::CheckpointHeader header;
     header.fingerprint = core::fingerprint_text(serialize(spec));
     header.units = n;
     header.chunk_size = chunk;
     header.aggregate = aggregate;
-    core::write_checkpoint_header(os, header);
-    os << '\n';
-    for (std::size_t w = 0; w < workers; ++w) {
-      std::ifstream is(part_path(ckpt, w), std::ios::binary);
-      if (!is) {
-        throw std::runtime_error("multi-process run: missing part file " +
-                                 part_path(ckpt, w));
-      }
-      std::string line;
-      std::getline(is, line);  // skip the part's own header
-      while (std::getline(is, line)) os << line << '\n';
-    }
+    std::vector<std::string> parts;
+    for (std::size_t w = 0; w < workers; ++w) parts.push_back(part_path(ckpt, w));
+    core::merge_checkpoint_parts(ckpt, header, parts);
   }
 
   // Fold the merged checkpoint in-process. Every chunk is already in the
@@ -192,7 +183,13 @@ ScenarioOutcome run_multiprocess(const ScenarioSpec& spec,
 }  // namespace
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
-  if (opt.workers > 1) return run_multiprocess(spec, opt);
+  if (opt.workers > 1) {
+    if (opt.cancel != nullptr) {
+      throw std::invalid_argument(
+          "multi-process run: cancel is incompatible with --workers");
+    }
+    return run_multiprocess(spec, opt);
+  }
   BuildOptions bo;
   bo.shards = opt.shards;
   bo.telemetry = opt.telemetry;
@@ -200,6 +197,8 @@ ScenarioOutcome run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   bo.checkpoint_path = opt.checkpoint_path;
   bo.resume = opt.resume;
   bo.max_chunks = opt.max_chunks;
+  bo.cancel = opt.cancel;
+  bo.telemetry_sink = opt.telemetry_sink;
   ScenarioCampaign campaign = build_campaign(spec, bo);
   return render_outcome(spec, campaign.run(), opt);
 }

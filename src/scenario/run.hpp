@@ -1,6 +1,8 @@
 #ifndef JSI_SCENARIO_RUN_HPP
 #define JSI_SCENARIO_RUN_HPP
 
+#include <atomic>
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -37,6 +39,16 @@ struct RunOptions {
   /// them and folds the merged checkpoint in chunk order, so the
   /// artifacts are byte-identical to any other worker/shard count.
   std::size_t workers = 0;
+
+  /// Cooperative cancellation flag (not owned; may be nullptr): once it
+  /// reads true, workers stop claiming chunks and run_scenario returns
+  /// an incomplete result with result.cancelled set. The campaign
+  /// service's cancel verb flips this. Incompatible with workers > 1.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Extra in-memory telemetry heartbeat sink (not owned; may be
+  /// nullptr); naming one turns telemetry on. The campaign service
+  /// streams per-job heartbeats to subscribers through this.
+  std::ostream* telemetry_sink = nullptr;
 };
 
 /// Everything one scenario execution produces, already rendered into the

@@ -1,0 +1,132 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace jsi::serve {
+
+namespace json = jsi::util::json;
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("serve client: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: unix socket path too long: " +
+                             path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    sys_fail("connect(" + path + ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    sys_fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+void Client::send(const json::Value& req) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  const std::string frame = encode_frame(req);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::read_frame() {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  for (;;) {
+    if (auto payload = reader_.next()) return payload;
+    if (reader_.bad()) {
+      throw std::runtime_error("serve client: " + reader_.error());
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) return std::nullopt;  // EOF
+    reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+json::Value Client::request(const json::Value& req) {
+  send(req);
+  std::optional<std::string> payload = read_frame();
+  if (!payload) {
+    throw std::runtime_error(
+        "serve client: connection closed before a response arrived");
+  }
+  std::string err;
+  std::optional<json::Value> resp = parse_message(*payload, &err);
+  if (!resp) {
+    throw std::runtime_error("serve client: bad response: " + err);
+  }
+  return std::move(*resp);
+}
+
+}  // namespace jsi::serve

@@ -1,0 +1,57 @@
+#ifndef JSI_SERVE_CLIENT_HPP
+#define JSI_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace jsi::serve {
+
+/// Blocking client connection to a `jsi serve` daemon — the transport
+/// behind the `jsi submit`/`status`/`result`/`cancel`/`shutdown` CLI
+/// verbs and the serve test-suite. One Client is one socket; it is not
+/// thread-safe (the protocol is strictly request/response per
+/// connection, except after subscribe, when the connection becomes a
+/// stream read with read_frame()).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a unix-domain socket. Throws std::runtime_error.
+  static Client connect_unix(const std::string& path);
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error.
+  static Client connect_tcp(std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request object and block for the matching response.
+  /// Throws std::runtime_error on I/O errors, EOF mid-response, or a
+  /// framing violation from the server.
+  util::json::Value request(const util::json::Value& req);
+
+  /// Send one request without waiting for a response (drain tests).
+  void send(const util::json::Value& req);
+
+  /// Block for the next frame payload; nullopt on clean EOF. Throws on
+  /// I/O errors or framing violations.
+  std::optional<std::string> read_frame();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace jsi::serve
+
+#endif  // JSI_SERVE_CLIENT_HPP

@@ -1,0 +1,134 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsi::serve {
+
+namespace json = jsi::util::json;
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.empty()) {
+    throw std::invalid_argument("frame: empty payload");
+  }
+  if (payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("frame: payload over the size ceiling");
+  }
+  std::string out = std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+std::string encode_frame(const util::json::Value& v) {
+  return encode_frame(json::to_text(v, 0));
+}
+
+void FrameReader::feed(std::string_view data) {
+  if (bad()) return;
+  buf_.append(data.data(), data.size());
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (bad()) return std::nullopt;
+
+  // Locate the length field. We scan at most kMaxLengthDigits + 1 bytes:
+  // a longer digit run cannot be a legal length, and a non-digit before
+  // the '\n' means the framing is lost for good.
+  std::size_t nl = std::string::npos;
+  const std::size_t scan = std::min(buf_.size(), kMaxLengthDigits + 1);
+  for (std::size_t i = 0; i < scan; ++i) {
+    const char c = buf_[i];
+    if (c == '\n') {
+      nl = i;
+      break;
+    }
+    if (c < '0' || c > '9') {
+      err_ = "malformed frame length (non-digit byte)";
+      return std::nullopt;
+    }
+  }
+  if (nl == std::string::npos) {
+    if (buf_.size() > kMaxLengthDigits) {
+      err_ = "malformed frame length (no terminator)";
+    }
+    return std::nullopt;  // need more bytes
+  }
+  if (nl == 0) {
+    err_ = "malformed frame length (empty)";
+    return std::nullopt;
+  }
+
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < nl; ++i) {
+    len = len * 10 + static_cast<std::size_t>(buf_[i] - '0');
+    if (len > kMaxFramePayload) {
+      err_ = "frame payload over the size ceiling";
+      return std::nullopt;
+    }
+  }
+  if (len == 0) {
+    err_ = "malformed frame (zero-length payload)";
+    return std::nullopt;
+  }
+  if (buf_.size() < nl + 1 + len) return std::nullopt;  // need more bytes
+
+  std::string payload = buf_.substr(nl + 1, len);
+  buf_.erase(0, nl + 1 + len);
+  return payload;
+}
+
+json::Value ok_response() {
+  json::Value v = json::Value::make_object();
+  v.add("ok", json::Value::make_bool(true));
+  return v;
+}
+
+json::Value error_response(std::string code, std::string message) {
+  json::Value v = json::Value::make_object();
+  v.add("ok", json::Value::make_bool(false));
+  v.add("error", json::Value::make_string(std::move(code)));
+  v.add("message", json::Value::make_string(std::move(message)));
+  return v;
+}
+
+std::optional<json::Value> parse_message(std::string_view payload,
+                                         std::string* error) {
+  std::string err;
+  std::optional<json::Value> v = json::parse(payload, &err);
+  if (!v) {
+    if (error != nullptr) *error = "json: " + err;
+    return std::nullopt;
+  }
+  if (!v->is_object()) {
+    if (error != nullptr) *error = "message is not a JSON object";
+    return std::nullopt;
+  }
+  return v;
+}
+
+const json::Value* find_member(const json::Value& v, const std::string& key) {
+  return v.is_object() ? v.find(key) : nullptr;
+}
+
+std::string string_or(const json::Value& v, const std::string& key,
+                      const std::string& fallback) {
+  const json::Value* m = find_member(v, key);
+  return m != nullptr && m->is_string() ? m->str : fallback;
+}
+
+std::optional<std::uint64_t> u64_or_nothing(const json::Value& v,
+                                            const std::string& key) {
+  const json::Value* m = find_member(v, key);
+  if (m == nullptr || !m->is_number() || m->number < 0) return std::nullopt;
+  const auto u = static_cast<std::uint64_t>(m->number);
+  if (m->number != static_cast<double>(u)) return std::nullopt;
+  return u;
+}
+
+bool bool_or(const json::Value& v, const std::string& key, bool fallback) {
+  const json::Value* m = find_member(v, key);
+  return m != nullptr && m->is_bool() ? m->boolean : fallback;
+}
+
+}  // namespace jsi::serve

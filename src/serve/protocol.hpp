@@ -1,0 +1,98 @@
+#ifndef JSI_SERVE_PROTOCOL_HPP
+#define JSI_SERVE_PROTOCOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace jsi::serve {
+
+// Wire format of the campaign service: length-prefixed JSON frames on a
+// byte stream (unix or TCP socket). One frame is
+//
+//   <decimal payload length> '\n' <payload bytes>
+//
+// with the length in plain ASCII digits (no sign, no leading zeros
+// required) so a captured stream stays human-inspectable. The payload is
+// one complete JSON document: a request object ({"verb":"submit",...}),
+// a response object ({"ok":true,...} / {"ok":false,"error":code,...}),
+// or a pushed JSONL record on a subscribed connection. Framing errors
+// (non-digit length, oversized frame, absurdly long length field) are
+// unrecoverable — once the byte stream's framing is lost there is no
+// resynchronization point — so the reader latches into an error state
+// and the server closes the connection after sending one bad_frame
+// error.
+
+/// Hard payload ceiling. Large enough for any scenario document or
+/// rendered artifact bundle in the repo; small enough that one broken
+/// client cannot make the daemon buffer gigabytes.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Upper bound on the length field's digit count ("67108864" is 8; a
+/// longer run of digits can only be garbage or an over-limit frame).
+inline constexpr std::size_t kMaxLengthDigits = 10;
+
+/// Render one frame: length prefix + '\n' + payload. Throws
+/// std::invalid_argument when payload is empty or over the ceiling.
+std::string encode_frame(std::string_view payload);
+
+/// Encode a JSON document as a frame (compact one-line rendering).
+std::string encode_frame(const util::json::Value& v);
+
+/// Incremental frame decoder for a nonblocking byte stream: feed() the
+/// bytes as they arrive, next() pops complete payloads in order. After a
+/// framing violation bad() is true, error() names it, and next() returns
+/// nullopt forever.
+class FrameReader {
+ public:
+  void feed(std::string_view data);
+  std::optional<std::string> next();
+  bool bad() const { return !err_.empty(); }
+  const std::string& error() const { return err_; }
+
+ private:
+  std::string buf_;
+  std::string err_;
+};
+
+// -- request/response helpers ------------------------------------------------
+
+/// {"ok":true} under construction — verbs add their payload members.
+util::json::Value ok_response();
+
+/// {"ok":false,"error":code,"message":message}. `code` is the typed,
+/// machine-matchable field (queue_full, draining, unknown_job,
+/// not_finished, invalid_scenario, bad_request, bad_frame); `message` is
+/// the human diagnostic.
+util::json::Value error_response(std::string code, std::string message);
+
+/// Parse one frame payload into a JSON object. Returns nullopt (and
+/// fills `error`) when the payload is not valid JSON or not an object.
+std::optional<util::json::Value> parse_message(std::string_view payload,
+                                               std::string* error);
+
+/// Object member access that tolerates absence: nullptr when `v` is not
+/// an object or has no member `key`.
+const util::json::Value* find_member(const util::json::Value& v,
+                                     const std::string& key);
+
+/// String member or fallback.
+std::string string_or(const util::json::Value& v, const std::string& key,
+                      const std::string& fallback);
+
+/// Non-negative integer member; nullopt when absent or not an exact
+/// non-negative integer.
+std::optional<std::uint64_t> u64_or_nothing(const util::json::Value& v,
+                                            const std::string& key);
+
+/// Bool member or fallback.
+bool bool_or(const util::json::Value& v, const std::string& key,
+             bool fallback);
+
+}  // namespace jsi::serve
+
+#endif  // JSI_SERVE_PROTOCOL_HPP

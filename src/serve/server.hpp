@@ -1,0 +1,170 @@
+#ifndef JSI_SERVE_SERVER_HPP
+#define JSI_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
+#include "serve/protocol.hpp"
+
+namespace jsi::serve {
+
+/// Lifecycle of one submitted campaign job.
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+const char* to_string(JobState s);
+
+/// Daemon configuration. Exactly one of `unix_path` / `use_tcp` selects
+/// the listening transport.
+struct ServerConfig {
+  /// Bind a unix-domain stream socket here (non-empty wins over TCP).
+  /// Any stale socket file is unlinked before binding.
+  std::string unix_path;
+  /// Bind TCP on 127.0.0.1:`tcp_port` instead; 0 picks an ephemeral
+  /// port, readable from Server::port() after start().
+  bool use_tcp = false;
+  std::uint16_t tcp_port = 0;
+
+  /// Campaign worker threads draining the job queue. Each runs one job
+  /// at a time through the exact same scenario::run_scenario() path the
+  /// `jsi run` CLI uses — which is the whole parity argument.
+  std::size_t pool = 1;
+  /// Bounded pending-job queue (jobs admitted but not yet running).
+  /// Submits past this depth are rejected with the typed `queue_full`
+  /// error: back-pressure instead of unbounded memory.
+  std::size_t max_queue = 16;
+
+  /// Per-job telemetry heartbeat period for streamed jobs.
+  std::uint64_t telemetry_interval_ms = 250;
+
+  /// Test instrumentation: invoked by the pool worker right after a job
+  /// enters Running and before its campaign executes. Lets the suite
+  /// hold a job mid-flight deterministically (queue-full, cancel and
+  /// drain tests). Never set in production.
+  std::function<void(std::uint64_t job_id)> test_job_gate;
+};
+
+/// One job's externally visible summary (returned under the status verb
+/// and by Server::job_info for tests).
+struct JobInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::Queued;
+  std::string error;           ///< failed jobs: the exception text
+  std::uint64_t units = 0;     ///< done jobs: units folded
+  std::uint64_t failures = 0;  ///< done jobs: failed units
+  std::uint64_t violations = 0;
+};
+
+/// The `jsi serve` campaign daemon: a single-threaded poll loop owning
+/// the listening socket and every client connection, plus a fixed pool
+/// of campaign worker threads draining a bounded FIFO job queue. The
+/// loop speaks the length-prefixed JSON protocol (serve/protocol.hpp)
+/// with submit / status / result / cancel / shutdown / subscribe verbs;
+/// workers execute jobs through scenario::run_scenario(), so a job's
+/// report/metrics/events/yield artifacts are byte-identical to what
+/// `jsi run` produces for the same scenario text (pinned by the serve
+/// parity suite).
+///
+/// Threading: all mutable state (jobs, queue, clients' stream cursors,
+/// metrics) lives behind one mutex; workers wake the poll loop through a
+/// self-pipe whenever a job changes state or emits a telemetry
+/// heartbeat, and the loop pushes the new JSONL records to subscribed
+/// clients. Cancellation is cooperative (the campaign runner polls the
+/// job's flag at chunk boundaries); drain (SIGTERM or the shutdown verb)
+/// stops admitting jobs, finishes everything queued and running, flushes
+/// client buffers, then returns from serve().
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the worker pool. Throws std::runtime_error on
+  /// socket errors.
+  void start();
+
+  /// Run the poll loop on the calling thread until a drain completes.
+  void serve();
+
+  /// Request a graceful drain from any thread (the shutdown verb's
+  /// equivalent): stop admitting submits, finish queued + running jobs,
+  /// flush, return from serve().
+  void request_drain();
+
+  /// Async-signal-safe drain trigger for SIGTERM handlers: only writes
+  /// one byte to the self-pipe.
+  void signal_drain() noexcept;
+
+  /// Bound TCP port (after start(); 0 for unix transport).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Snapshot of the serve.* metrics registry.
+  obs::Registry metrics_snapshot() const;
+
+  /// Snapshot of one job's summary; nullopt for unknown ids.
+  std::optional<JobInfo> job_info(std::uint64_t id) const;
+
+ private:
+  struct Job;
+  struct Connection;
+
+  void worker_loop();
+  void run_job(Job& job);
+  void poll_once(int timeout_ms);
+  void accept_clients();
+  void handle_readable(int fd);
+  void handle_request(Connection& c, const std::string& payload);
+  util::json::Value dispatch(Connection& c, const util::json::Value& req);
+  util::json::Value verb_submit(const util::json::Value& req);
+  util::json::Value verb_status(const util::json::Value& req);
+  util::json::Value verb_result(const util::json::Value& req);
+  util::json::Value verb_cancel(const util::json::Value& req);
+  util::json::Value verb_shutdown(const util::json::Value& req);
+  util::json::Value verb_subscribe(Connection& c,
+                                   const util::json::Value& req);
+  void send_frame(Connection& c, const std::string& frame);
+  void flush_connection(Connection& c);
+  void flush_streams_locked();
+  void drop_connection(int fd);
+  void append_job_record_locked(Job& job, std::string record);
+  void wake() noexcept;
+  JobInfo info_locked(const Job& job) const;
+
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> queue_;
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_job_id_ = 1;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool cancel_all_ = false;
+  bool stop_workers_ = false;
+  obs::Registry metrics_;
+
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace jsi::serve
+
+#endif  // JSI_SERVE_SERVER_HPP

@@ -439,5 +439,209 @@ TEST(CheckpointRunner, CheckpointGrowsByOneLinePerChunk) {
   std::remove(path.c_str());
 }
 
+// ---- part merging (the multi-process assembly step) ------------------------
+
+/// One serialized chunk record line for synthetic part files.
+std::string record_line(std::size_t chunk) {
+  core::ChunkRecord rec;
+  rec.chunk = chunk;
+  rec.agg.units = 1;
+  std::ostringstream os;
+  core::write_chunk_record(os, rec);
+  os << '\n';
+  return os.str();
+}
+
+core::CheckpointHeader part_header() {
+  core::CheckpointHeader h;
+  h.fingerprint = "merge-test";
+  h.units = 6;
+  h.chunk_size = 1;
+  h.aggregate = true;
+  return h;
+}
+
+/// Write a part file: a header plus `lines`, verbatim.
+void write_part(const std::string& path, const std::string& lines) {
+  core::CheckpointWriter writer;
+  writer.open(path, part_header(), /*resume_existing=*/false);
+  std::ofstream os(path, std::ios::binary | std::ios::app);
+  os << lines;
+}
+
+TEST(CheckpointMerge, TornPartTailIsDroppedNotReterminated) {
+  // The regression this pins: the old concatenation re-appended '\n' to
+  // a part's unterminated final line, turning the torn fragment into a
+  // "line" the loader chokes on — and load_checkpoint stops at the first
+  // unparseable line, silently discarding every later part's records. A
+  // torn tail must contribute nothing and cost nothing downstream.
+  const std::string a = temp_path("merge_a.part");
+  const std::string b = temp_path("merge_b.part");
+  const std::string dst = temp_path("merge.jsonl");
+  // Part A: one durable record, then a worker killed mid-append.
+  write_part(a, record_line(0) + "{\"chunk\":1,\"agg\":{\"uni");
+  // Part B: fully durable.
+  write_part(b, record_line(2) + record_line(3));
+
+  core::merge_checkpoint_parts(dst, part_header(), {a, b});
+  const core::CheckpointData data = core::load_checkpoint(dst);
+  ASSERT_EQ(data.records.size(), 3u)
+      << "part B's records must survive part A's torn tail";
+  EXPECT_EQ(data.records[0].chunk, 0u);
+  EXPECT_EQ(data.records[1].chunk, 2u);
+  EXPECT_EQ(data.records[2].chunk, 3u);
+
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(dst.c_str());
+}
+
+TEST(CheckpointMerge, PartWithTornHeaderContributesNothing) {
+  const std::string a = temp_path("merge_hdr_a.part");
+  const std::string b = temp_path("merge_hdr_b.part");
+  const std::string dst = temp_path("merge_hdr.jsonl");
+  {
+    // Killed before the header's newline made it out.
+    std::ofstream os(a, std::ios::binary);
+    os << "{\"schema\":\"jsi.checkpo";
+  }
+  write_part(b, record_line(1));
+
+  core::merge_checkpoint_parts(dst, part_header(), {a, b});
+  const core::CheckpointData data = core::load_checkpoint(dst);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].chunk, 1u);
+
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(dst.c_str());
+}
+
+TEST(Checkpoint, ResumeTruncatesTornTailBeforeAppending) {
+  // The companion glue bug: appending fresh records directly after an
+  // unterminated torn fragment produces one unparseable glued line —
+  // losing both the fragment (expected) and the fresh record (not
+  // acceptable). open(resume) must cut back to the durable prefix first.
+  const std::string path = temp_path("glue.jsonl");
+  {
+    core::CheckpointWriter writer;
+    writer.open(path, part_header(), false);
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << record_line(0) << "{\"chunk\":1,\"agg\":{\"uni";
+  }
+  {
+    core::CheckpointWriter writer;
+    writer.open(path, part_header(), /*resume_existing=*/true);
+    core::ChunkRecord rec;
+    rec.chunk = 2;
+    rec.agg.units = 1;
+    writer.append(rec);
+  }
+  const core::CheckpointData data = core::load_checkpoint(path);
+  ASSERT_EQ(data.records.size(), 2u)
+      << "the record appended after resume must not glue onto the torn tail";
+  EXPECT_EQ(data.records[0].chunk, 0u);
+  EXPECT_EQ(data.records[1].chunk, 2u);
+  std::remove(path.c_str());
+}
+
+// ---- cooperative cancel ----------------------------------------------------
+
+TEST(CheckpointRunner, PreSetCancelFlagStopsBeforeAnyChunk) {
+  FakeSource src(40);
+  std::atomic<bool> cancel{true};
+  CampaignConfig cfg;
+  cfg.shards = 4;
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.cancel = &cancel;
+  const CampaignResult r = run_once(src, cfg);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.units_run, 0u);
+  EXPECT_EQ(src.materialized(), 0u);
+}
+
+TEST(CheckpointRunner, CancelMidRunStopsClaimingChunks) {
+  // A unit raises the flag itself: everything in already-claimed chunks
+  // still folds (the runner only polls between chunk claims — cancel is
+  // cooperative, not preemptive), but no worker claims another chunk.
+  FakeSource src(400);
+  std::atomic<bool> cancel{false};
+  CampaignConfig cfg;
+  cfg.shards = 1;  // deterministic: one worker, chunks claimed in order
+  cfg.aggregate_outcomes = true;
+  cfg.chunk_size = 8;
+  cfg.cancel = &cancel;
+  CampaignRunner runner(cfg);
+  // Wrap the source: unit 19 flips the flag.
+  class Wrap : public UnitSource {
+   public:
+    Wrap(const FakeSource& inner, std::atomic<bool>& flag)
+        : inner_(inner), flag_(flag) {}
+    std::size_t count() const override { return inner_.count(); }
+    CampaignUnit unit(std::size_t index) const override {
+      CampaignUnit u = inner_.unit(index);
+      if (index == 19) {
+        auto run = std::move(u.run);
+        u.run = [run = std::move(run), this](CampaignContext& ctx) {
+          flag_.store(true, std::memory_order_relaxed);
+          return run(ctx);
+        };
+      }
+      return u;
+    }
+
+   private:
+    const FakeSource& inner_;
+    std::atomic<bool>& flag_;
+  } wrapped(src, cancel);
+  runner.set_source(&wrapped);
+  const CampaignResult r = runner.run();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.complete);
+  // Unit 19 lives in chunk 2 (units 16..23): chunks 0..2 were claimed
+  // before the flag rose; chunk 3 onward must never start.
+  EXPECT_EQ(r.units_run, 24u);
+}
+
+TEST(CheckpointRunner, CancelledRunKeepsItsCheckpointResumable) {
+  // Cancel is just a premature stop: whatever was recorded must resume
+  // to a byte-identical completion, exactly like a kill.
+  FakeSource src(40);
+  const std::string path = temp_path("cancel_resume.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig base;
+  base.shards = 1;
+  base.aggregate_outcomes = true;
+  base.chunk_size = 8;
+  const CampaignResult whole = run_once(src, base);
+
+  std::atomic<bool> cancel{false};
+  CampaignConfig cfg = base;
+  cfg.checkpoint_path = path;
+  cfg.fingerprint = "cancel-test";
+  cfg.max_chunks = 2;  // stop early the checkpointed way...
+  (void)run_once(src, cfg);
+  cancel.store(true);
+  cfg.max_chunks = 0;
+  cfg.resume = true;
+  cfg.cancel = &cancel;  // ...then a resume that is cancelled immediately
+  const CampaignResult stalled = run_once(src, cfg);
+  EXPECT_TRUE(stalled.cancelled);
+  EXPECT_FALSE(stalled.complete);
+
+  cancel.store(false);
+  const CampaignResult finished = run_once(src, cfg);
+  EXPECT_TRUE(finished.complete);
+  EXPECT_FALSE(finished.cancelled);
+  EXPECT_EQ(finished.to_text(), whole.to_text());
+  EXPECT_EQ(finished.metrics.to_json(), whole.metrics.to_json());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace jsi

@@ -1,0 +1,143 @@
+// Wire-format unit tests for the campaign service protocol: frame
+// encode/decode round trips under arbitrary chunking, strict rejection
+// of malformed framing (which is unrecoverable on a byte stream), and
+// the request-helper edge cases the verbs lean on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+using namespace jsi;
+using namespace jsi::serve;
+namespace json = jsi::util::json;
+
+namespace {
+
+TEST(Frame, EncodesLengthPrefixThenPayload) {
+  EXPECT_EQ(encode_frame("hello"), "5\nhello");
+  EXPECT_EQ(encode_frame(std::string(12, 'x')),
+            "12\n" + std::string(12, 'x'));
+}
+
+TEST(Frame, RejectsEmptyAndOversizedPayloads) {
+  EXPECT_THROW(encode_frame(""), std::invalid_argument);
+  EXPECT_NO_THROW(encode_frame(std::string(1024, 'a')));
+  // One past the ceiling must throw (allocating the ceiling itself is
+  // cheap: 64 MiB).
+  EXPECT_THROW(encode_frame(std::string(kMaxFramePayload + 1, 'a')),
+               std::invalid_argument);
+}
+
+TEST(Frame, JsonOverloadEncodesCompactText) {
+  json::Value v = json::Value::make_object();
+  v.add("verb", json::Value::make_string("status"));
+  const std::string frame = encode_frame(v);
+  const std::string payload = "{\"verb\":\"status\"}";
+  EXPECT_EQ(frame, std::to_string(payload.size()) + "\n" + payload);
+}
+
+TEST(FrameReader, DecodesBackToBackFrames) {
+  FrameReader r;
+  r.feed(encode_frame("one") + encode_frame("two") + encode_frame("three"));
+  EXPECT_EQ(r.next(), "one");
+  EXPECT_EQ(r.next(), "two");
+  EXPECT_EQ(r.next(), "three");
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_FALSE(r.bad());
+}
+
+TEST(FrameReader, ReassemblesAcrossArbitraryChunking) {
+  const std::string wire = encode_frame("alpha") + encode_frame("beta");
+  // Feed byte-by-byte: the reader must never need a full frame per feed.
+  FrameReader r;
+  std::size_t got = 0;
+  for (char c : wire) {
+    r.feed(std::string_view(&c, 1));
+    while (auto p = r.next()) {
+      EXPECT_EQ(*p, got == 0 ? "alpha" : "beta");
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 2u);
+  EXPECT_FALSE(r.bad());
+}
+
+TEST(FrameReader, NonDigitLengthLatchesError) {
+  FrameReader r;
+  r.feed("5x\npayload");
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_TRUE(r.bad());
+  EXPECT_NE(r.error().find("non-digit"), std::string::npos);
+  // Latching: even a well-formed follow-up is never decoded — framing on
+  // the stream is lost for good.
+  r.feed(encode_frame("fine"));
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_TRUE(r.bad());
+}
+
+TEST(FrameReader, ZeroLengthIsMalformed) {
+  FrameReader r;
+  r.feed("0\n");
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_TRUE(r.bad());
+}
+
+TEST(FrameReader, OverLimitLengthIsMalformed) {
+  FrameReader r;
+  r.feed(std::to_string(kMaxFramePayload + 1) + "\n");
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_TRUE(r.bad());
+  EXPECT_NE(r.error().find("ceiling"), std::string::npos);
+}
+
+TEST(FrameReader, EndlessDigitsWithoutTerminatorIsMalformed) {
+  FrameReader r;
+  r.feed(std::string(kMaxLengthDigits + 1, '7'));
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_TRUE(r.bad());
+  EXPECT_NE(r.error().find("no terminator"), std::string::npos);
+}
+
+TEST(FrameReader, PartialFrameIsNotAnError) {
+  FrameReader r;
+  r.feed("10\nhalf");
+  EXPECT_EQ(r.next(), std::nullopt);
+  EXPECT_FALSE(r.bad());
+  r.feed("+same!");
+  EXPECT_EQ(r.next(), "half+same!");
+}
+
+TEST(Responses, OkAndErrorShapes) {
+  const std::string ok = json::to_text(ok_response(), 0);
+  EXPECT_EQ(ok, "{\"ok\":true}");
+  const json::Value err = error_response("queue_full", "try later");
+  EXPECT_EQ(string_or(err, "error", ""), "queue_full");
+  EXPECT_EQ(string_or(err, "message", ""), "try later");
+  const json::Value* okm = find_member(err, "ok");
+  ASSERT_NE(okm, nullptr);
+  EXPECT_FALSE(okm->boolean);
+}
+
+TEST(Helpers, ParseMessageRejectsNonObjects) {
+  std::string err;
+  EXPECT_EQ(parse_message("[1,2]", &err), std::nullopt);
+  EXPECT_NE(err.find("not a JSON object"), std::string::npos);
+  EXPECT_EQ(parse_message("{broken", &err), std::nullopt);
+  EXPECT_NE(err.find("json:"), std::string::npos);
+  EXPECT_NE(parse_message("{\"verb\":\"status\"}", &err), std::nullopt);
+}
+
+TEST(Helpers, U64RejectsNegativeAndFractionalNumbers) {
+  std::string err;
+  const json::Value v =
+      *parse_message("{\"a\":3,\"b\":-1,\"c\":2.5,\"d\":\"7\"}", &err);
+  EXPECT_EQ(u64_or_nothing(v, "a"), 3u);
+  EXPECT_EQ(u64_or_nothing(v, "b"), std::nullopt);
+  EXPECT_EQ(u64_or_nothing(v, "c"), std::nullopt);
+  EXPECT_EQ(u64_or_nothing(v, "d"), std::nullopt);  // strings don't coerce
+  EXPECT_EQ(u64_or_nothing(v, "absent"), std::nullopt);
+}
+
+}  // namespace
