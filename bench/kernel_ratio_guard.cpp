@@ -9,6 +9,10 @@
 // speedup ratio drops below the floor — or, unconditionally, when the
 // two paths disagree on a single output bit.
 //
+// The guard runs once per registered interconnect model: the table/memo
+// machinery is model-agnostic, so every model behind the seam must hold
+// the same floor. JSI_KERNEL_MODEL restricts the run to one model.
+//
 // Methodology mirrors obs_overhead_guard: best-of-K attempts so a CI
 // load spike has to persist to fail us; the parity check is
 // deterministic and never retried.
@@ -18,10 +22,13 @@
 //   JSI_KERNEL_WIRES      bus width measured (default 8)
 //   JSI_KERNEL_REPS       scalar MA sweeps per attempt (default 6)
 //   JSI_KERNEL_ATTEMPTS   retry attempts (default 5)
+//   JSI_KERNEL_MODEL      model name ("rc_full_swing", "low_swing");
+//                         default: every registered model
 
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "kernel_throughput.hpp"
 
@@ -46,31 +53,56 @@ int main() {
       static_cast<std::size_t>(env_or("JSI_KERNEL_REPS", 6.0));
   const int attempts = static_cast<int>(env_or("JSI_KERNEL_ATTEMPTS", 5.0));
 
-  // Warm-up: fault in code, allocator pools and branch predictors.
-  jsi::bench::measure_kernel_throughput(n_wires, 1);
-
-  double best_ratio = 0.0;
-  for (int attempt = 1; attempt <= attempts; ++attempt) {
-    const jsi::bench::KernelThroughput kt =
-        jsi::bench::measure_kernel_throughput(n_wires, reps);
-    if (!kt.parity_ok) {
-      std::cerr << "FAIL: batched kernel output differs from the scalar "
-                   "reference (bit-for-bit parity broken)\n";
+  std::vector<jsi::si::ModelKind> models;
+  if (const char* want = std::getenv("JSI_KERNEL_MODEL");
+      want != nullptr && *want != '\0') {
+    jsi::si::ModelKind kind;
+    if (!jsi::si::model_kind_from_name(want, kind)) {
+      std::cerr << "FAIL: JSI_KERNEL_MODEL names unknown interconnect model "
+                   "\"" << want << "\"\n";
       return 1;
     }
-    best_ratio = std::max(best_ratio, kt.ratio);
-    std::cout << "attempt " << attempt << ": batched "
-              << kt.batched_tps << " trans/s, scalar " << kt.scalar_tps
-              << " trans/s, ratio " << kt.ratio << "x (table "
-              << kt.table_entries << " entries, " << kt.table_hits
-              << " hits / " << kt.table_misses << " misses)\n";
-    if (best_ratio >= kMinRatio) {
-      std::cout << "OK: batched/scalar ratio " << best_ratio
-                << "x >= " << kMinRatio << "x floor\n";
-      return 0;
+    models.push_back(kind);
+  } else {
+    models.assign(std::begin(jsi::si::kAllModelKinds),
+                  std::end(jsi::si::kAllModelKinds));
+  }
+
+  for (const jsi::si::ModelKind model : models) {
+    const char* name = jsi::si::model_kind_name(model);
+
+    // Warm-up: fault in code, allocator pools and branch predictors.
+    jsi::bench::measure_kernel_throughput(n_wires, 1, model);
+
+    double best_ratio = 0.0;
+    bool ok = false;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      const jsi::bench::KernelThroughput kt =
+          jsi::bench::measure_kernel_throughput(n_wires, reps, model);
+      if (!kt.parity_ok) {
+        std::cerr << "FAIL: " << name
+                  << " batched kernel output differs from the scalar "
+                     "reference (bit-for-bit parity broken)\n";
+        return 1;
+      }
+      best_ratio = std::max(best_ratio, kt.ratio);
+      std::cout << name << " attempt " << attempt << ": batched "
+                << kt.batched_tps << " trans/s, scalar " << kt.scalar_tps
+                << " trans/s, ratio " << kt.ratio << "x (table "
+                << kt.table_entries << " entries, " << kt.table_hits
+                << " hits / " << kt.table_misses << " misses)\n";
+      if (best_ratio >= kMinRatio) {
+        std::cout << "OK: " << name << " batched/scalar ratio " << best_ratio
+                  << "x >= " << kMinRatio << "x floor\n";
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::cerr << "FAIL: " << name << " best batched/scalar ratio "
+                << best_ratio << "x < " << kMinRatio << "x floor\n";
+      return 1;
     }
   }
-  std::cerr << "FAIL: best batched/scalar ratio " << best_ratio
-            << "x < " << kMinRatio << "x floor\n";
-  return 1;
+  return 0;
 }

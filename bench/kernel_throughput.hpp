@@ -15,6 +15,7 @@
 
 #include "mafm/fault.hpp"
 #include "si/bus.hpp"
+#include "si/model.hpp"
 
 namespace jsi::bench {
 
@@ -47,11 +48,15 @@ inline std::vector<mafm::VectorPair> ma_workload(std::size_t n_wires) {
 /// sweeps are timed on the raw solver; the batched path gets
 /// `scalar_reps * 64` sweeps so the (much faster) loop still spans many
 /// timer ticks. Throughputs are normalized per transition either way.
-inline KernelThroughput measure_kernel_throughput(std::size_t n_wires,
-                                                  std::size_t scalar_reps) {
+/// `model` selects the interconnect kernel under test; every registered
+/// model must hold both the parity pin and the ratio floor.
+inline KernelThroughput measure_kernel_throughput(
+    std::size_t n_wires, std::size_t scalar_reps,
+    si::ModelKind model = si::ModelKind::RcFullSwing) {
   using clock_type = std::chrono::steady_clock;
   si::BusParams p;
   p.n_wires = n_wires;
+  p.model = model;
   const std::vector<mafm::VectorPair> pairs = ma_workload(n_wires);
 
   si::CoupledBus batched(p);

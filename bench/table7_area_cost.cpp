@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analysis/cost_model.hpp"
+#include "si/model.hpp"
 #include "util/table.hpp"
 
 using namespace jsi;
@@ -44,6 +45,20 @@ int main() {
                "2x the\nconventional ones; in practice they are used only "
                "on the long\ninterconnects susceptible to integrity "
                "faults.\n\n";
+
+  // Per-interconnect-model totals: a non-default model adds its own
+  // per-wire driver/receiver gates (e.g. low_swing's bias network and
+  // level converter) on top of the cell families above.
+  util::Table per_model({"bus model", "conv total", "enh total", "ratio"});
+  per_model.set_title("Per-model cost (n=32, incl. model driver/receiver)");
+  for (si::ModelKind kind : si::kAllModelKinds) {
+    per_model.add_row(
+        {si::model_kind_name(kind),
+         util::fmt_double(analysis::conventional_cost(kN, kind).total, 1),
+         util::fmt_double(analysis::enhanced_cost(kN, kind).total, 1),
+         util::fmt_double(analysis::overhead_ratio(kN, kind), 2) + "x"});
+  }
+  std::cout << per_model << '\n';
 
   std::cout << analysis::cell_cost_details() << '\n';
   return 0;

@@ -4,6 +4,7 @@
 
 #include "bsc/netlists.hpp"
 #include "rtl/area.hpp"
+#include "si/model.hpp"
 
 namespace jsi::analysis {
 
@@ -30,6 +31,33 @@ ArchCost enhanced_cost(std::size_t n) {
 
 double overhead_ratio(std::size_t n) {
   return enhanced_cost(n).total / conventional_cost(n).total;
+}
+
+namespace {
+
+/// Add the interconnect model's per-wire driver/receiver gates to a
+/// cell-level cost. Both architectures pay them: the bus electricals are
+/// independent of which boundary-cell family observes them.
+ArchCost add_model_gates(ArchCost c, std::size_t n, si::ModelKind model) {
+  const si::InterconnectModel& im = si::model_for(model);
+  c.sending += static_cast<double>(n) * im.extra_sending_gates_per_wire();
+  c.observing += static_cast<double>(n) * im.extra_observing_gates_per_wire();
+  c.total = c.sending + c.observing;
+  return c;
+}
+
+}  // namespace
+
+ArchCost conventional_cost(std::size_t n, si::ModelKind model) {
+  return add_model_gates(conventional_cost(n), n, model);
+}
+
+ArchCost enhanced_cost(std::size_t n, si::ModelKind model) {
+  return add_model_gates(enhanced_cost(n), n, model);
+}
+
+double overhead_ratio(std::size_t n, si::ModelKind model) {
+  return enhanced_cost(n, model).total / conventional_cost(n, model).total;
 }
 
 std::string cell_cost_details() {

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string>
 
+#include "si/bus_model.hpp"
+
 namespace jsi::analysis {
 
 /// NAND-equivalent area of each boundary-scan cell type, extracted from
@@ -35,6 +37,21 @@ ArchCost enhanced_cost(std::size_t n);
 
 /// Area overhead factor enhanced/conventional (the paper: "almost twice").
 double overhead_ratio(std::size_t n);
+
+// Model-aware variants: the interconnect model's extra per-wire gates
+// (reduced-swing driver bias network on the sending end, level-converting
+// receiver on the observing end for low_swing; zero for rc_full_swing, so
+// the plain overloads above are the `model = rc_full_swing` case and the
+// paper's Table 7 numbers are untouched).
+
+/// Conventional BSA over an n-wire bus of `model`.
+ArchCost conventional_cost(std::size_t n, si::ModelKind model);
+
+/// Enhanced BSA over an n-wire bus of `model`.
+ArchCost enhanced_cost(std::size_t n, si::ModelKind model);
+
+/// Area overhead factor enhanced/conventional under `model`.
+double overhead_ratio(std::size_t n, si::ModelKind model);
 
 /// Per-cell netlist breakdowns rendered as text (for the Table 7 bench).
 std::string cell_cost_details();

@@ -25,6 +25,14 @@ namespace {
 si::CoupledBus unit_bus(CampaignContext& ctx, const SocConfig& c,
                         const CampaignRunner::BusSetup& defects) {
   si::CoupledBus bus = ctx.make_bus(effective_bus_params(c));
+  // Tag which interconnect kernel serves this unit so merged BENCH /
+  // metrics JSONs distinguish model populations. Only booked for
+  // non-default models: rc_full_swing artifacts stay byte-exact.
+  if (c.bus.model != si::ModelKind::RcFullSwing) {
+    ctx.hub().registry()
+        .counter(std::string("bus.model.") + si::model_kind_name(c.bus.model))
+        .inc();
+  }
   if (defects) defects(bus);
   return bus;
 }
@@ -165,6 +173,12 @@ void CampaignRunner::add_multibus(std::string name, MultiBusConfig cfg,
            defects = std::move(defects)](CampaignContext& ctx) {
     MultiBusConfig c = cfg;
     si::CoupledBus proto = ctx.make_bus(effective_bus_params(c));
+    if (c.bus.model != si::ModelKind::RcFullSwing) {
+      ctx.hub().registry()
+          .counter(std::string("bus.model.") +
+                   si::model_kind_name(c.bus.model))
+          .inc();
+    }
     MultiBusSoc soc(c, proto);
     if (defects) {
       for (std::size_t b = 0; b < soc.n_buses(); ++b) defects(b, soc.bus(b));
@@ -269,14 +283,14 @@ CampaignResult CampaignRunner::run() {
     if (cfg_.resume && std::ifstream(cfg_.checkpoint_path).good()) {
       CheckpointData data = load_checkpoint(cfg_.checkpoint_path);
       if (data.header.fingerprint != header.fingerprint) {
-        throw std::runtime_error(
+        throw CheckpointMismatchError(
             "campaign: checkpoint fingerprint mismatch (the checkpoint was "
             "written for a different campaign)");
       }
       if (data.header.units != header.units ||
           data.header.chunk_size != header.chunk_size ||
           data.header.aggregate != header.aggregate) {
-        throw std::runtime_error(
+        throw CheckpointMismatchError(
             "campaign: checkpoint layout mismatch (units/chunk_size/aggregate "
             "differ from this campaign's configuration)");
       }

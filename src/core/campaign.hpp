@@ -15,6 +15,7 @@
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "si/bus.hpp"
+#include "si/model.hpp"
 
 namespace jsi::core {
 
@@ -60,13 +61,17 @@ class CampaignContext {
   const si::CoupledBus* prototype() const { return prototype_; }
 
   /// A bus for this unit: a clone of the campaign prototype when one is
-  /// set and its width equals `p.n_wires` (memoized waveforms and
-  /// counters carried over — a warm start), else a fresh bus built from
-  /// `p`. Cloning per unit (rather than reusing one bus across a
+  /// set and `p` matches it exactly — width, the nine shared electrical
+  /// fields, the interconnect model kind and the model's own params
+  /// (`si::same_params`) — carrying over memoized waveforms and counters
+  /// for a warm start; else a fresh bus built from `p`, so a prototype
+  /// warmed under one model can never serve a unit that asked for
+  /// another. Cloning per unit (rather than reusing one bus across a
   /// worker's units) keeps the observed cache behaviour independent of
   /// the sharding, which the byte-identity guarantee depends on.
   si::CoupledBus make_bus(const si::BusParams& p) const {
-    if (si::matches_width(prototype_, p.n_wires)) {
+    if (si::matches_width(prototype_, p.n_wires) &&
+        si::same_params(prototype_->params(), p)) {
       return prototype_->clone();
     }
     return si::CoupledBus(p);

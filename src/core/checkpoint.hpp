@@ -33,7 +33,21 @@ namespace jsi::core {
 /// FNV-1a 64-bit over `text`, rendered as 16 hex digits — the campaign
 /// fingerprint helper. Callers hash the canonical serialized spec so a
 /// checkpoint can never silently resume against a different workload.
+/// Because the canonical serializer emits `bus.model` (and the model's
+/// own params) whenever they differ from the defaults, a checkpoint
+/// written under one interconnect model is rejected — never silently
+/// folded — when resumed under another.
 std::string fingerprint_text(std::string_view text);
+
+/// Thrown when a resume is attempted against a checkpoint written for a
+/// different campaign: the spec fingerprint (which discriminates the
+/// interconnect model and every other spec field) or the scheduling
+/// layout (units/chunk_size/aggregate) does not match. Derives
+/// std::runtime_error so pre-existing generic handlers keep working.
+class CheckpointMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct CheckpointHeader {
   std::string fingerprint;       ///< caller identity (spec hash)

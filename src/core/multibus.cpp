@@ -4,6 +4,7 @@
 
 #include "core/engine.hpp"
 #include "core/soc.hpp"
+#include "si/model.hpp"
 
 namespace jsi::core {
 
@@ -30,12 +31,14 @@ MultiBusSoc::MultiBusSoc(MultiBusConfig cfg, const si::CoupledBus* prototype)
     throw std::invalid_argument("need >= 2 wires per bus");
   }
   if (prototype != nullptr) {
-    si::require_width(*prototype, cfg_.wires_per_bus,
-                      "prototype bus width != wires_per_bus");
+    si::require_width(*prototype, cfg_.wires_per_bus);
     cfg_.bus = prototype->params();
   }
-  cfg_.nd.vdd = cfg_.bus.vdd;
-  cfg_.sd.vdd = cfg_.bus.vdd;
+  // Detector supplies follow the swing the cells observe (see SiSocDevice).
+  const double observed =
+      si::model_for(cfg_.bus.model).observed_swing(cfg_.bus);
+  cfg_.nd.vdd = observed;
+  cfg_.sd.vdd = observed;
 
   for (std::size_t b = 0; b < cfg_.n_buses; ++b) {
     if (prototype != nullptr) {

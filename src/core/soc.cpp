@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "si/model.hpp"
+
 namespace jsi::core {
 
 using util::BitVec;
@@ -23,7 +25,7 @@ SiSocDevice::SiSocDevice(SocConfig cfg, si::CoupledBus* external)
     : cfg_(std::move(cfg)), pins_(cfg_.n_wires, false) {
   if (cfg_.n_wires < 2) throw std::invalid_argument("need >= 2 interconnects");
   if (external != nullptr) {
-    si::require_width(*external, cfg_.n_wires, "external bus width != n_wires");
+    si::require_width(*external, cfg_.n_wires);
     bus_ = external;
     // Keep config() truthful: the electrical parameters in force are the
     // external bus's, not whatever cfg.bus carried.
@@ -32,9 +34,13 @@ SiSocDevice::SiSocDevice(SocConfig cfg, si::CoupledBus* external)
     owned_bus_ = std::make_unique<si::CoupledBus>(effective_bus_params(cfg_));
     bus_ = owned_bus_.get();
   }
-  // Detector supplies follow the bus supply unless explicitly overridden.
-  cfg_.nd.vdd = cfg_.bus.vdd;
-  cfg_.sd.vdd = cfg_.bus.vdd;
+  // Detector supplies follow the swing the cells observe on the wire —
+  // the full bus supply for rc_full_swing, the reduced swing for
+  // low_swing — so threshold fractions track the actual waveform range.
+  const double observed =
+      si::model_for(cfg_.bus.model).observed_swing(cfg_.bus);
+  cfg_.nd.vdd = observed;
+  cfg_.sd.vdd = observed;
 
   tap_ = std::make_unique<jtag::TapDevice>("si_soc", cfg_.ir_width);
   tap_->add_idcode(cfg_.idcode, 0b0010);

@@ -5,6 +5,7 @@
 #include <initializer_list>
 #include <sstream>
 
+#include "si/model.hpp"
 #include "util/json.hpp"
 
 namespace jsi::scenario {
@@ -101,9 +102,40 @@ si::BusParams parse_bus(const json::Value& v, const std::string& path) {
     fail(sub(path, "n_wires"), "set by the topology, remove this key");
   }
   check_keys(v, path,
-             {"vdd", "r_driver", "r_wire", "c_ground", "c_couple", "l_wire",
-              "sample_dt_ps", "samples"});
+             {"model", "vdd", "r_driver", "r_wire", "c_ground", "c_couple",
+              "l_wire", "sample_dt_ps", "samples", "swing_frac",
+              "receiver_vt_frac"});
   si::BusParams p;
+  if (const json::Value* x = v.find("model")) {
+    const std::string name = as_string(*x, sub(path, "model"));
+    if (!si::model_kind_from_name(name, p.model)) {
+      fail(sub(path, "model"),
+           "unknown interconnect model \"" + name + "\"");
+    }
+  }
+  if (const json::Value* x = v.find("swing_frac")) {
+    if (p.model != si::ModelKind::LowSwing) {
+      fail(sub(path, "swing_frac"), "only valid for model \"low_swing\"");
+    }
+    p.swing_frac = as_double(*x, sub(path, "swing_frac"));
+    if (!(p.swing_frac > 0 && p.swing_frac <= 1)) {
+      fail(sub(path, "swing_frac"), "must be a number in (0, 1]");
+    }
+  }
+  if (const json::Value* x = v.find("receiver_vt_frac")) {
+    if (p.model != si::ModelKind::LowSwing) {
+      fail(sub(path, "receiver_vt_frac"),
+           "only valid for model \"low_swing\"");
+    }
+    p.receiver_vt_frac = as_double(*x, sub(path, "receiver_vt_frac"));
+    if (!(p.receiver_vt_frac > 0 && p.receiver_vt_frac < 1)) {
+      fail(sub(path, "receiver_vt_frac"), "must be a number in (0, 1)");
+    }
+  }
+  if (p.model == si::ModelKind::LowSwing &&
+      !(p.receiver_vt_frac < p.swing_frac)) {
+    fail(sub(path, "receiver_vt_frac"), "must be below swing_frac");
+  }
   if (const json::Value* x = v.find("vdd")) {
     p.vdd = as_double(*x, sub(path, "vdd"));
     if (p.vdd <= 0) fail(sub(path, "vdd"), "must be > 0");
@@ -460,9 +492,19 @@ SweepSpec parse_sweep(const json::Value& v, const TopologySpec& topo) {
       check_keys(e, vp, {"param", "sigma"});
       VariationSpec var;
       var.param = as_string(req(e, vp, "param"), sub(vp, "param"));
-      if (var.param != "vdd" && var.param != "r_driver" &&
-          var.param != "r_wire" && var.param != "c_ground" &&
-          var.param != "c_couple" && var.param != "l_wire") {
+      // The variable parameter set is the selected interconnect model's:
+      // e.g. "swing_frac" is valid under low_swing and rejected (with
+      // the same message) under rc_full_swing.
+      const std::vector<std::string>& varset =
+          si::model_for(topo.bus.model).variable_params();
+      bool known = false;
+      for (const std::string& name : varset) {
+        if (var.param == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
         fail(sub(vp, "param"),
              "unknown bus parameter \"" + var.param + "\"");
       }

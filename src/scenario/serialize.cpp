@@ -1,5 +1,7 @@
 #include "scenario/serialize.hpp"
 
+#include "si/model.hpp"
+
 namespace jsi::scenario {
 
 namespace {
@@ -15,6 +17,14 @@ json::Value boolean(bool b) { return json::Value::make_bool(b); }
 
 json::Value bus_json(const si::BusParams& p) {
   json::Value v = json::Value::make_object();
+  // "model" leads and is omitted for the default kind, so every
+  // pre-existing scenario file stays byte-exact under the canonical
+  // round-trip (and its spec fingerprint is unchanged); a non-default
+  // model — and only then, its own parameters — is always emitted, which
+  // is what lets the checkpoint fingerprint discriminate model changes.
+  if (p.model != si::ModelKind::RcFullSwing) {
+    v.add("model", str(si::model_kind_name(p.model)));
+  }
   v.add("vdd", num(p.vdd));
   v.add("r_driver", num(p.r_driver));
   v.add("r_wire", num(p.r_wire));
@@ -23,6 +33,10 @@ json::Value bus_json(const si::BusParams& p) {
   v.add("l_wire", num(p.l_wire));
   v.add("sample_dt_ps", num(static_cast<std::uint64_t>(p.sample_dt)));
   v.add("samples", num(p.samples));
+  if (p.model == si::ModelKind::LowSwing) {
+    v.add("swing_frac", num(p.swing_frac));
+    v.add("receiver_vt_frac", num(p.receiver_vt_frac));
+  }
   return v;
 }
 

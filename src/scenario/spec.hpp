@@ -174,7 +174,10 @@ struct TelemetrySpec {
 /// variation models a die-level process corner: all wires of the die
 /// shift together.
 struct VariationSpec {
-  std::string param;   ///< "vdd","r_driver","r_wire","c_ground","c_couple","l_wire"
+  /// One of the topology's interconnect model's `variable_params()`:
+  /// "vdd","r_driver","r_wire","c_ground","c_couple","l_wire" for every
+  /// model, plus "swing_frac" under model "low_swing".
+  std::string param;
   double sigma = 0.0;  ///< relative std-dev of the factor, >= 0
 };
 

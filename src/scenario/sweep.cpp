@@ -6,36 +6,13 @@
 #include "core/bist.hpp"
 #include "core/session.hpp"
 #include "scenario/build.hpp"
+#include "si/model.hpp"
 #include "sim/time.hpp"
 #include "util/prng.hpp"
 
 namespace jsi::scenario {
 
 namespace {
-
-/// Exact parameter equality — the clone-or-build decision below must
-/// only take the warm path when the unit's electricals are bit-identical
-/// to the prototype's (a varied die must never inherit the base die's
-/// memoized waveforms).
-bool same_params(const si::BusParams& a, const si::BusParams& b) {
-  return a.n_wires == b.n_wires && a.vdd == b.vdd &&
-         a.r_driver == b.r_driver && a.r_wire == b.r_wire &&
-         a.c_ground == b.c_ground && a.c_couple == b.c_couple &&
-         a.l_wire == b.l_wire && a.sample_dt == b.sample_dt &&
-         a.samples == b.samples;
-}
-
-/// The sweep analogue of the campaign's per-unit bus seeding: clone the
-/// warmed prototype only when this die's parameters match it exactly
-/// (grid-only sweeps — thresholds live in the detector config, not the
-/// bus — always match); a process-varied die pays a fresh build.
-si::CoupledBus unit_bus(core::CampaignContext& ctx, const si::BusParams& p) {
-  const si::CoupledBus* proto = ctx.prototype();
-  if (si::matches_width(proto, p.n_wires) && same_params(proto->params(), p)) {
-    return proto->clone();
-  }
-  return si::CoupledBus(p);
-}
 
 core::UnitOutcome summarize(const core::IntegrityReport& rep) {
   core::UnitOutcome o;
@@ -74,6 +51,14 @@ void apply_variation(si::BusParams& p, const VariationSpec& var,
     p.c_couple *= factor;
   } else if (var.param == "l_wire") {
     p.l_wire *= factor;
+  } else if (var.param == "swing_frac") {
+    // low_swing bias-network variation. Clamp into the model's valid
+    // range so a deep-tail draw can't make BusModel construction throw:
+    // the swing stays <= 1 and keeps 25% headroom over the converter Vt.
+    p.swing_frac *= factor;
+    if (p.swing_frac > 1.0) p.swing_frac = 1.0;
+    const double floor = p.receiver_vt_frac * 1.25;
+    if (p.swing_frac < floor) p.swing_frac = floor;
   } else {
     throw std::logic_error("unvalidated variation parameter");
   }
@@ -201,10 +186,22 @@ core::CampaignUnit SweepUnitSource::unit(std::size_t index) const {
     const std::string prefix = grid_prefix(gid);
     reg.counter("sweep.units").inc();
     reg.counter(prefix + ".units").inc();
+    // Tag which interconnect kernel served this die, so merged BENCH /
+    // metrics JSONs distinguish model populations. Only booked for
+    // non-default models: rc_full_swing artifacts stay byte-exact.
+    if (cfg.bus.model != si::ModelKind::RcFullSwing) {
+      reg.counter(std::string("bus.model.") +
+                  si::model_kind_name(cfg.bus.model))
+          .inc();
+    }
 
     core::UnitOutcome o;
     try {
-      si::CoupledBus bus = unit_bus(ctx, core::effective_bus_params(cfg));
+      // Clone-or-build via the campaign bus factory: the warm clone path
+      // requires exact `si::same_params` equality (incl. model kind), so
+      // a process-varied die pays a fresh build and never inherits the
+      // base die's memoized waveforms.
+      si::CoupledBus bus = ctx.make_bus(core::effective_bus_params(cfg));
       for (const DefectSpec& d : defs) apply_defect(bus, d);
       switch (kind) {
         case SessionKind::Enhanced: {

@@ -1,7 +1,10 @@
 #include "si/bus.hpp"
 
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+
+#include "si/model.hpp"
 
 namespace jsi::si {
 
@@ -56,7 +59,10 @@ void CoupledBus::set_tables_enabled(bool on) {
 }
 
 void CoupledBus::precompile_tables() {
-  if (!tables_on_ || !TransitionTable::supported(model_.n())) return;
+  if (!tables_on_ ||
+      !model_for(params().model).tables_supported(model_.n())) {
+    return;
+  }
   if (!table_.fresh(model_)) table_.build(model_, kernel_);
 }
 
@@ -159,7 +165,7 @@ TransitionBatch CoupledBus::transition_batch(const util::BitVec& prev,
   b.dt = model_.params().sample_dt;
   batch_ptrs_.assign(n, nullptr);
 
-  if (tables_on_ && TransitionTable::supported(n)) {
+  if (tables_on_ && model_for(params().model).tables_supported(n)) {
     if (!table_.fresh(model_)) table_.build(model_, kernel_);
     const std::size_t e = table_.find(prev, next);
     const bool hit = e != TransitionTable::npos;
@@ -189,16 +195,22 @@ TransitionBatch CoupledBus::transition_batch(const util::BitVec& prev,
 }
 
 util::Logic CoupledBus::settled_logic(WaveformView w) const {
-  return util::to_logic(w.final_value() >= model_.params().vdd / 2.0);
+  return util::to_logic(
+      w.final_value() >=
+      model_for(params().model).settled_threshold(model_.params()));
 }
 
 bool matches_width(const CoupledBus* bus, std::size_t expected) {
   return bus != nullptr && bus->n() == expected;
 }
 
-void require_width(const CoupledBus& bus, std::size_t expected,
-                   const char* message) {
-  if (bus.n() != expected) throw std::invalid_argument(message);
+void require_width(const CoupledBus& bus, std::size_t expected) {
+  if (bus.n() != expected) {
+    std::ostringstream os;
+    os << model_kind_name(bus.params().model) << " bus width " << bus.n()
+       << " != expected " << expected;
+    throw std::invalid_argument(os.str());
+  }
 }
 
 }  // namespace jsi::si

@@ -130,8 +130,9 @@ class CoupledBus {
   TransitionBatch transition_batch(const util::BitVec& prev,
                                    const util::BitVec& next) const;
 
-  /// Logic value a receiver reads once the waveform settles (vdd/2
-  /// threshold on the final sample).
+  /// Logic value a receiver reads once the waveform settles (the
+  /// interconnect model's receiver threshold on the final sample —
+  /// vdd/2 for rc_full_swing, the level-converter Vt for low_swing).
   util::Logic settled_logic(WaveformView w) const;
 
   // ---- memoized transition cache ------------------------------------------
@@ -268,11 +269,11 @@ class CoupledBus {
 /// runner's per-unit bus factory and the scenario builder.
 bool matches_width(const CoupledBus* bus, std::size_t expected);
 
-/// Throw std::invalid_argument(message) unless `bus.n() == expected`.
-/// The single checked width gate used by SiSocDevice, MultiBusSoc and
-/// the scenario builder (each passes its own established message text).
-void require_width(const CoupledBus& bus, std::size_t expected,
-                   const char* message);
+/// Throw std::invalid_argument unless `bus.n() == expected`. The single
+/// checked width gate used by SiSocDevice and MultiBusSoc; the message
+/// names the bus's interconnect model kind, e.g.
+/// `low_swing bus width 16 != expected 8`.
+void require_width(const CoupledBus& bus, std::size_t expected);
 
 }  // namespace jsi::si
 

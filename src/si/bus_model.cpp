@@ -2,20 +2,18 @@
 
 #include <stdexcept>
 
-namespace jsi::si {
+#include "si/model.hpp"
 
-namespace {
-constexpr double kLn2 = 0.6931471805599453;
-/// Seconds per sim::Time tick (1 ps).
-constexpr double kSecPerTick = 1e-12;
-}  // namespace
+namespace jsi::si {
 
 BusModel::BusModel(BusParams p) : p_(p) {
   if (p_.n_wires == 0) throw std::invalid_argument("bus needs >= 1 wire");
   if (p_.samples < 2) throw std::invalid_argument("bus needs >= 2 samples");
+  const InterconnectModel& im = model_for(p_.model);
+  im.validate(p_);
   couple_.assign(p_.n_wires > 0 ? p_.n_wires - 1 : 0, p_.c_couple);
   extra_r_.assign(p_.n_wires, 0.0);
-  rail_.assign(p_.n_wires, p_.vdd);
+  rail_.assign(p_.n_wires, im.high_rail(p_));
   rebuild_derived();
 }
 
@@ -81,7 +79,7 @@ sim::Time BusModel::nominal_delay(std::size_t wire) const {
   if (wire > 0) c += p_.c_couple;
   if (wire + 1 < p_.n_wires) c += p_.c_couple;
   const double tau = (p_.r_driver + p_.r_wire) * c;
-  return static_cast<sim::Time>(tau * kLn2 / kSecPerTick + 0.5);
+  return model_for(p_.model).nominal_delay(p_, tau);
 }
 
 }  // namespace jsi::si

@@ -9,6 +9,14 @@
 
 namespace jsi::si {
 
+/// Interconnect model kinds selectable per bus. Each kind is implemented
+/// behind the `InterconnectModel` interface (si/model.hpp) and registered
+/// in `model_for()`; the scenario IR selects one via `bus.model`.
+enum class ModelKind {
+  RcFullSwing,  ///< full-swing CMOS driver, coupled-RC(+L) wire (default)
+  LowSwing,     ///< repeaterless low-swing driver + level-converting receiver
+};
+
 /// Electrical parameters of an n-wire parallel interconnect bus.
 ///
 /// Defaults model a long 180 nm-era global interconnect: ~350 Ω total drive
@@ -24,6 +32,13 @@ struct BusParams {
   double l_wire = 0.0;         ///< wire inductance [H]; >0 enables ringing
   sim::Time sample_dt = sim::kPs;  ///< waveform sample step
   std::size_t samples = 2048;      ///< waveform window (2048 ps default)
+
+  ModelKind model = ModelKind::RcFullSwing;  ///< interconnect model kind
+
+  // Model-specific parameters (validated and read only by the selected
+  // model; ignored by rc_full_swing):
+  double swing_frac = 0.25;       ///< low_swing: bus swing as fraction of vdd
+  double receiver_vt_frac = 0.2;  ///< low_swing: converter Vt as frac of vdd
 };
 
 /// Electrical state of a coupled bus: parameters plus injected defects,
@@ -42,8 +57,9 @@ struct BusParams {
 ///  * `coupling_data()[p]`   — effective coupling cap of pair (p, p+1) [F]
 ///  * `resistance_data()[i]` — total series resistance incl. defects [Ohm]
 ///  * `total_cap_data()[i]`  — ground + both couplings [F]
-///  * `rail_data()[i]`       — per-wire high rail [V] (vdd; SoA so the
-///                             kernel's v0/vf loads are contiguous)
+///  * `rail_data()[i]`       — per-wire high rail [V] (the model's
+///                             `high_rail`; SoA so the kernel's v0/vf
+///                             loads are contiguous)
 class BusModel {
  public:
   explicit BusModel(BusParams p);
@@ -110,7 +126,7 @@ class BusModel {
   std::vector<double> extra_r_;     // per wire, defect series resistance
   std::vector<double> resistance_;  // derived: r_driver + r_wire + extra_r
   std::vector<double> total_cap_;   // derived: c_ground + adjacent couplings
-  std::vector<double> rail_;        // per wire high rail (vdd)
+  std::vector<double> rail_;        // per wire high rail (model-dependent)
   std::uint64_t defect_gen_ = 0;
 };
 

@@ -1,180 +1,18 @@
 #include "si/kernel.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-// The batched and scalar paths must agree bit-for-bit, including under
-// -march=native where the compiler may contract a*b+c into FMA
-// differently per inline context. Keeping the shared solver primitives
-// out-of-line guarantees both paths execute the same machine code.
-#if defined(__GNUC__) || defined(__clang__)
-#define JSI_NOINLINE __attribute__((noinline))
-#else
-#define JSI_NOINLINE
-#endif
+#include "si/model.hpp"
 
 namespace jsi::si {
 
-namespace {
-
-/// Seconds per sim::Time tick (1 ps).
-constexpr double kSecPerTick = 1e-12;
-
-int delta_of(const util::BitVec& prev, const util::BitVec& next,
-             std::size_t i) {
-  const int a = prev[i] ? 1 : 0;
-  const int b = next[i] ? 1 : 0;
-  return b - a;
-}
-
-/// Switching time constant of wire i: R_i times the Miller-weighted
-/// coupling capacitance (factor 0 toward a same-phase neighbor, 1 toward
-/// a quiet one, 2 toward an opposite-phase one).
-JSI_NOINLINE double switching_tau(const BusModel& m, std::size_t i,
-                                  const util::BitVec& prev,
-                                  const util::BitVec& next) {
-  const int di = delta_of(prev, next, i);
-  const double* couple = m.coupling_data();
-  double c = m.params().c_ground;
-  auto factor = [&](std::size_t j) {
-    const int dj = delta_of(prev, next, j);
-    if (dj == 0) return 1.0;   // quiet neighbor: plain load
-    if (dj == di) return 0.0;  // same-phase: coupling cap sees no swing
-    return 2.0;                // opposite-phase: Miller-doubled
-  };
-  if (i > 0) c += couple[i - 1] * factor(i - 1);
-  if (i + 1 < m.n()) c += couple[i] * factor(i + 1);
-  return m.resistance_data()[i] * c;
-}
-
-/// Switching wire: single-pole exponential toward the new rail, or an
-/// underdamped series-RLC step response when l_wire > 0 and zeta < 1.
-JSI_NOINLINE void fill_switching(const BusModel& m, std::size_t i, double v0,
-                                 double vf, double tau, double* out) {
-  const BusParams& p = m.params();
-  const std::size_t samples = p.samples;
-  const double dt = static_cast<double>(p.sample_dt) * kSecPerTick;
-  if (p.l_wire > 0.0) {
-    // Series RLC step response; underdamped when R < 2*sqrt(L/C).
-    const double r = m.resistance_data()[i];
-    const double c = m.total_cap_data()[i];
-    const double w0 = 1.0 / std::sqrt(p.l_wire * c);
-    const double zeta = r / 2.0 * std::sqrt(c / p.l_wire);
-    if (zeta < 1.0) {
-      const double wd = w0 * std::sqrt(1.0 - zeta * zeta);
-      const double k = zeta / std::sqrt(1.0 - zeta * zeta);
-      for (std::size_t s = 0; s < samples; ++s) {
-        const double t = dt * static_cast<double>(s);
-        const double e = std::exp(-zeta * w0 * t);
-        out[s] =
-            vf + (v0 - vf) * e * (std::cos(wd * t) + k * std::sin(wd * t));
-      }
-      return;
-    }
-    // Overdamped RLC degenerates to (slightly slower) RC below.
-  }
-  for (std::size_t s = 0; s < samples; ++s) {
-    const double t = dt * static_cast<double>(s);
-    out[s] = vf + (v0 - vf) * std::exp(-t / tau);
-  }
-}
-
-/// Superpose one neighbor's crosstalk glitch onto a quiet wire.
-/// First-order victim node driven through Cc by an exponential aggressor:
-///   v(t) = dir * Vdd * (Cc/Ctot) * tau_v/(tau_v - tau_a)
-///              * (exp(-t/tau_v) - exp(-t/tau_a))
-/// with the t*exp(-t/tau) limit when the time constants coincide.
-JSI_NOINLINE void add_glitch(const BusModel& m, double* w, double cc,
-                             double ctot_v, double tau_v, double tau_a,
-                             int direction) {
-  const BusParams& p = m.params();
-  const double amp = direction * p.vdd * cc / ctot_v;
-  const double dt = static_cast<double>(p.sample_dt) * kSecPerTick;
-  const bool equal = std::abs(tau_v - tau_a) < 1e-15;
-  const double scale = equal ? 0.0 : tau_v / (tau_v - tau_a);
-  for (std::size_t s = 0; s < p.samples; ++s) {
-    const double t = dt * static_cast<double>(s);
-    double g;
-    if (equal) {
-      g = (t / tau_v) * std::exp(-t / tau_v);
-    } else {
-      g = scale * (std::exp(-t / tau_v) - std::exp(-t / tau_a));
-    }
-    w[s] += amp * g;
-  }
-}
-
-}  // namespace
-
 void TransitionKernel::evaluate(const BusModel& m, const util::BitVec& prev,
                                 const util::BitVec& next, double* out) {
-  const BusParams& p = m.params();
-  const std::size_t n = p.n_wires;
-  const std::size_t samples = p.samples;
-  delta_.resize(n);
-  tau_.resize(n);
-
-  // Pass 1 (SoA): classify every wire and compute the switching time
-  // constants once. A quiet wire's glitch needs its aggressor's tau; the
-  // scalar path recomputes it per neighbor, the batched path reads it
-  // back from this array — same primitive, same bits.
-  for (std::size_t i = 0; i < n; ++i) delta_[i] = delta_of(prev, next, i);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (delta_[i] != 0) tau_[i] = switching_tau(m, i, prev, next);
-  }
-
-  // Pass 2: flat fill of the contiguous n*samples block.
-  const double* couple = m.coupling_data();
-  for (std::size_t i = 0; i < n; ++i) {
-    double* w = out + i * samples;
-    if (delta_[i] != 0) {
-      const double v0 = prev[i] ? p.vdd : 0.0;
-      const double vf = next[i] ? p.vdd : 0.0;
-      fill_switching(m, i, v0, vf, tau_[i], w);
-      continue;
-    }
-    // Quiet wire: rail baseline plus superposed neighbor glitches
-    // (left neighbor injected first, matching the scalar path).
-    const double rail = prev[i] ? p.vdd : 0.0;
-    std::fill_n(w, samples, rail);
-    const double ctot_v = m.total_cap_data()[i];
-    const double tau_v = m.resistance_data()[i] * ctot_v;
-    if (i > 0 && delta_[i - 1] != 0) {
-      add_glitch(m, w, couple[i - 1], ctot_v, tau_v, tau_[i - 1],
-                 delta_[i - 1]);
-    }
-    if (i + 1 < n && delta_[i + 1] != 0) {
-      add_glitch(m, w, couple[i], ctot_v, tau_v, tau_[i + 1], delta_[i + 1]);
-    }
-  }
+  model_for(m.params().model).evaluate(m, prev, next, scratch_, out);
 }
 
 void TransitionKernel::solve_wire(const BusModel& m, std::size_t i,
                                   const util::BitVec& prev,
                                   const util::BitVec& next, double* out) {
-  const BusParams& p = m.params();
-  const int di = delta_of(prev, next, i);
-  if (di != 0) {
-    const double tau = switching_tau(m, i, prev, next);
-    const double v0 = prev[i] ? p.vdd : 0.0;
-    const double vf = next[i] ? p.vdd : 0.0;
-    fill_switching(m, i, v0, vf, tau, out);
-    return;
-  }
-  // Quiet wire: rail baseline plus superposed neighbor glitches.
-  const double rail = prev[i] ? p.vdd : 0.0;
-  std::fill_n(out, p.samples, rail);
-  const double ctot_v = m.total_cap_data()[i];
-  const double tau_v = m.resistance_data()[i] * ctot_v;
-  auto inject = [&](std::size_t j, double cc) {
-    const int dj = delta_of(prev, next, j);
-    if (dj == 0) return;
-    const double tau_a = switching_tau(m, j, prev, next);
-    add_glitch(m, out, cc, ctot_v, tau_v, tau_a, dj);
-  };
-  const double* couple = m.coupling_data();
-  if (i > 0) inject(i - 1, couple[i - 1]);
-  if (i + 1 < p.n_wires) inject(i + 1, couple[i]);
+  model_for(m.params().model).solve_wire(m, i, prev, next, out);
 }
 
 std::uint64_t neighborhood_key(std::size_t n_wires, std::size_t i,

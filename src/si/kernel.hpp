@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "si/bus_model.hpp"
+#include "si/model.hpp"
 #include "si/waveform.hpp"
 #include "sim/time.hpp"
 #include "util/bitvec.hpp"
@@ -28,21 +29,22 @@ struct TransitionBatch {
   }
 };
 
-/// Stateless-per-call waveform solver over a `BusModel`'s SoA arrays.
+/// Stateless-per-call waveform solver over a `BusModel`'s SoA arrays —
+/// a thin dispatcher onto the bus's selected `InterconnectModel`.
 ///
 /// `evaluate()` produces all n wires of one transition into a single
-/// contiguous `n * samples` block (wire i at `out + i*samples`): pass 1
-/// classifies every wire and computes the switching time constants into
-/// flat scratch arrays; pass 2 fills the sample block wire-by-wire with
-/// tight per-sample loops. A quiet wire's aggressor time constant is read
-/// from the pass-1 array instead of being recomputed per neighbor.
+/// contiguous `n * samples` block (wire i at `out + i*samples`); the
+/// model's pass 1 classifies every wire and computes the switching time
+/// constants into the reusable `KernelScratch`, pass 2 fills the sample
+/// block wire-by-wire with tight per-sample loops.
 ///
 /// `solve_wire()` is the scalar reference path: it evaluates one wire
-/// exactly as the pre-batching `CoupledBus` solver did. Both paths share
-/// the same non-inlined solver primitives (`switching_tau`, the fill and
-/// glitch loops), so batched and scalar results are bit-for-bit identical
-/// by construction — the differential suite in
-/// tests/si/test_bus_properties.cpp pins this with EXPECT_EQ on doubles.
+/// exactly as the pre-batching `CoupledBus` solver did. Every model's
+/// two paths share the same non-inlined solver primitives
+/// (`switching_tau`, the fill and glitch loops), so batched and scalar
+/// results are bit-for-bit identical by construction — the differential
+/// suites in tests/si/test_bus_properties.cpp and tests/si/test_models.cpp
+/// pin this with EXPECT_EQ on doubles for every registered model.
 ///
 /// The only heap state is the reusable pass-1 scratch (sized n, amortized
 /// to zero allocations in steady state); sample storage is provided by
@@ -61,9 +63,9 @@ class TransitionKernel {
                          double* out);
 
  private:
-  // Pass-1 SoA scratch, reused across evaluate() calls.
-  std::vector<int> delta_;    // per wire: next - prev in {-1, 0, +1}
-  std::vector<double> tau_;   // per switching wire: R * C_miller [s]
+  // Pass-1 SoA scratch, reused across evaluate() calls and handed to the
+  // model so the indirection adds no per-call allocations.
+  KernelScratch scratch_;
 };
 
 /// Memo key of wire `i` under transition prev -> next: the wire index plus

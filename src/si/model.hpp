@@ -1,0 +1,136 @@
+#ifndef JSI_SI_MODEL_HPP
+#define JSI_SI_MODEL_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "si/bus_model.hpp"
+#include "sim/time.hpp"
+#include "util/bitvec.hpp"
+
+namespace jsi::si {
+
+/// Reusable pass-1 scratch for a model's batched `evaluate()`: per-wire
+/// transition classification and switching time constants. Owned by the
+/// caller (`TransitionKernel`) so the amortized-zero-allocation property
+/// of the batched path survives the model indirection.
+struct KernelScratch {
+  std::vector<int> delta;    // per wire: next - prev in {-1, 0, +1}
+  std::vector<double> tau;   // per switching wire: effective R*C [s]
+};
+
+/// The pluggable electrical policy of a bus: everything about a
+/// `CoupledBus` that depends on *how the wire is driven and received*
+/// lives behind this interface, while the model-agnostic machinery —
+/// SoA defect state, memo cache, MA transition tables, arena, detectors,
+/// sessions — is shared by every model.
+///
+/// Contract for implementations:
+///  * `evaluate()` and `solve_wire()` must agree bit-for-bit. The way to
+///    get that is the same discipline the RC model uses: route every
+///    floating-point step that both paths execute through the shared
+///    `JSI_NOINLINE` primitives in solver_primitives.hpp (or your own
+///    noinline helpers), so the compiler emits one copy of the math.
+///  * Implementations are immutable singletons (`model_for` returns a
+///    shared const instance); all per-bus state lives in `BusModel`.
+///  * `validate()` throws std::invalid_argument for bad model-specific
+///    params; it runs in the `BusModel` constructor, before any derived
+///    state is built.
+///
+/// To add a model: define the enumerator in `ModelKind`, implement this
+/// interface in a new src/si/model_<name>.cpp, register it in
+/// `model_for()`/`kAllModelKinds`, and give it a scenario-facing `name()`
+/// — parsing, serialization, sweep variation validation, checkpoint
+/// fingerprinting, area accounting and the per-model bench guards all
+/// key off the registry.
+class InterconnectModel {
+ public:
+  virtual ~InterconnectModel() = default;
+
+  virtual ModelKind kind() const = 0;
+
+  /// Scenario-facing name ("rc_full_swing", "low_swing"); also used in
+  /// diagnostics, obs metric tags and BENCH json keys.
+  virtual const char* name() const = 0;
+
+  /// Validate model-specific BusParams fields (throws
+  /// std::invalid_argument). Default: nothing to validate.
+  virtual void validate(const BusParams& p) const;
+
+  /// Per-wire high rail [V] — the voltage a logic-1 wire settles to.
+  virtual double high_rail(const BusParams& p) const = 0;
+
+  /// Receiver decision threshold [V] for `settled_logic`.
+  virtual double settled_threshold(const BusParams& p) const = 0;
+
+  /// Voltage swing the ND/SD detector cells observe [V]; feeds the
+  /// detector supplies so threshold fractions scale with the bus swing.
+  virtual double observed_swing(const BusParams& p) const = 0;
+
+  /// Defect-free delay of a wire given its nominal self time constant
+  /// `tau` [s] — the designer's timing expectation the SD cell budgets
+  /// its skew-immune window from. Includes any fixed receiver delay.
+  virtual sim::Time nominal_delay(const BusParams& p, double tau) const = 0;
+
+  /// Batched solver: fill `out[0 .. n*samples)` with all wire waveforms
+  /// of prev -> next (wire i at `out + i*samples`).
+  virtual void evaluate(const BusModel& m, const util::BitVec& prev,
+                        const util::BitVec& next, KernelScratch& scratch,
+                        double* out) const = 0;
+
+  /// Scalar reference: fill `out[0 .. samples)` with wire `i`'s waveform,
+  /// bit-identical to the corresponding `evaluate()` slice.
+  virtual void solve_wire(const BusModel& m, std::size_t i,
+                          const util::BitVec& prev, const util::BitVec& next,
+                          double* out) const = 0;
+
+  /// May the precompiled MA transition tables serve an n-wire bus of
+  /// this model? Default: the generic `TransitionTable` width limit.
+  virtual bool tables_supported(std::size_t n_wires) const;
+
+  /// Are the model-specific params of `a` and `b` equal? The nine shared
+  /// fields are compared by `same_params`; this hook covers the rest.
+  /// Default: no model-specific params, always true.
+  virtual bool same_extra_params(const BusParams& a, const BusParams& b) const;
+
+  /// Parameter names the sweep's process-variation stage may vary for
+  /// this model (scenario `sweep.variations[].param` values).
+  virtual const std::vector<std::string>& variable_params() const = 0;
+
+  /// Area hooks: extra NAND-equivalent gates per wire over the plain
+  /// full-swing driver/receiver (level converters, bias networks, ...),
+  /// split by which end of the wire they sit on. Zero for rc_full_swing
+  /// keeps the paper's Table 7 numbers untouched.
+  virtual double extra_sending_gates_per_wire() const { return 0.0; }
+  virtual double extra_observing_gates_per_wire() const { return 0.0; }
+};
+
+namespace detail {
+const InterconnectModel& rc_full_swing_model();
+const InterconnectModel& low_swing_model();
+}  // namespace detail
+
+/// Every registered model kind, in registry order (perf benches and the
+/// kernel ratio guard iterate this).
+inline constexpr ModelKind kAllModelKinds[] = {ModelKind::RcFullSwing,
+                                               ModelKind::LowSwing};
+
+/// The shared immutable model instance for `kind`.
+const InterconnectModel& model_for(ModelKind kind);
+
+/// Scenario-facing name of `kind` ("rc_full_swing", "low_swing").
+const char* model_kind_name(ModelKind kind);
+
+/// Parse a scenario-facing model name; returns false on unknown names.
+bool model_kind_from_name(std::string_view name, ModelKind& out);
+
+/// Full BusParams equality: the nine shared fields, the model kind, and
+/// the model's own extra params. The "may I clone this prototype for
+/// this unit?" predicate used by the campaign bus factory and the sweep.
+bool same_params(const BusParams& a, const BusParams& b);
+
+}  // namespace jsi::si
+
+#endif  // JSI_SI_MODEL_HPP

@@ -1,0 +1,196 @@
+// Repeaterless low-swing interconnect (Naveen & Sharma, arXiv:1511.06726):
+// a reduced-swing static driver charges the wire only to
+// v_swing = swing_frac * vdd, and a level-converting receiver with a fixed
+// input threshold restores full-swing logic.
+//
+// Electrical mapping onto the shared RC machinery:
+//  * Rails: a logic-1 wire settles at v_swing, not vdd; v0/vf and quiet
+//    rails scale accordingly, and crosstalk glitches couple from
+//    aggressors swinging v_swing.
+//  * Rise asymmetry: the reduced-swing pull-up is a source-follower-style
+//    stage whose drive weakens as the wire approaches v_swing, modeled as
+//    a 1/swing_frac slowdown of the rising time constant; falls keep the
+//    plain RC tau (full gate overdrive on the pull-down). The inductive
+//    (RLC) branch of fill_switching is left unchanged — it reads R and C
+//    directly, and low-swing global wires are modeled resistively here.
+//  * Receiver: settled_logic decides at the converter threshold
+//    receiver_vt_frac * vdd, and nominal_delay budgets the slower rise to
+//    that threshold plus a fixed 30 ps converter delay.
+//  * Detectors: ND/SD cells observe the reduced swing, so their supplies
+//    (and thus every threshold fraction) scale to observed_swing.
+//
+// Parity discipline: all floating-point math shared between the batched
+// and scalar paths goes through the JSI_NOINLINE primitives (shared with
+// rc_full_swing) plus the local noinline rising_tau helper, so both paths
+// execute the same machine code and stay bit-identical.
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "si/model.hpp"
+#include "si/solver_primitives.hpp"
+
+namespace jsi::si {
+
+namespace {
+
+/// Fixed level-converter (receiver) delay [ps].
+constexpr sim::Time kReceiverDelayPs = 30;
+
+/// Switching time constant of wire i under the low-swing driver: the
+/// Miller-weighted RC tau, slowed by 1/swing_frac on rising transitions
+/// (weak reduced-swing pull-up), unchanged on falls.
+JSI_NOINLINE double rising_tau(const BusModel& m, std::size_t i,
+                               const util::BitVec& prev,
+                               const util::BitVec& next) {
+  const double tau = detail::switching_tau(m, i, prev, next);
+  if (detail::delta_of(prev, next, i) > 0) return tau / m.params().swing_frac;
+  return tau;
+}
+
+class LowSwingBusModel final : public InterconnectModel {
+ public:
+  ModelKind kind() const override { return ModelKind::LowSwing; }
+  const char* name() const override { return "low_swing"; }
+
+  void validate(const BusParams& p) const override {
+    if (!(p.swing_frac > 0.0 && p.swing_frac <= 1.0)) {
+      throw std::invalid_argument("low_swing swing_frac must be in (0, 1]");
+    }
+    if (!(p.receiver_vt_frac > 0.0 && p.receiver_vt_frac < 1.0)) {
+      throw std::invalid_argument(
+          "low_swing receiver_vt_frac must be in (0, 1)");
+    }
+    if (!(p.receiver_vt_frac < p.swing_frac)) {
+      throw std::invalid_argument(
+          "low_swing receiver_vt_frac must be below swing_frac");
+    }
+  }
+
+  double high_rail(const BusParams& p) const override {
+    return p.vdd * p.swing_frac;
+  }
+
+  double settled_threshold(const BusParams& p) const override {
+    return p.vdd * p.receiver_vt_frac;
+  }
+
+  double observed_swing(const BusParams& p) const override {
+    return p.vdd * p.swing_frac;
+  }
+
+  sim::Time nominal_delay(const BusParams& p, double tau) const override {
+    const double tau_rise = tau / p.swing_frac;
+    return static_cast<sim::Time>(tau_rise * detail::kLn2 /
+                                      detail::kSecPerTick +
+                                  0.5) +
+           kReceiverDelayPs;
+  }
+
+  void evaluate(const BusModel& m, const util::BitVec& prev,
+                const util::BitVec& next, KernelScratch& scratch,
+                double* out) const override {
+    const BusParams& p = m.params();
+    const std::size_t n = p.n_wires;
+    const std::size_t samples = p.samples;
+    const double v_swing = p.vdd * p.swing_frac;
+    scratch.delta.resize(n);
+    scratch.tau.resize(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.delta[i] = detail::delta_of(prev, next, i);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scratch.delta[i] != 0) {
+        scratch.tau[i] = rising_tau(m, i, prev, next);
+      }
+    }
+
+    const double* couple = m.coupling_data();
+    for (std::size_t i = 0; i < n; ++i) {
+      double* w = out + i * samples;
+      if (scratch.delta[i] != 0) {
+        const double v0 = prev[i] ? v_swing : 0.0;
+        const double vf = next[i] ? v_swing : 0.0;
+        detail::fill_switching(m, i, v0, vf, scratch.tau[i], w);
+        continue;
+      }
+      // Quiet wire: reduced rail baseline plus superposed neighbor
+      // glitches coupling from v_swing aggressors (left first, matching
+      // the scalar path).
+      const double rail = prev[i] ? v_swing : 0.0;
+      std::fill_n(w, samples, rail);
+      const double ctot_v = m.total_cap_data()[i];
+      const double tau_v = m.resistance_data()[i] * ctot_v;
+      if (i > 0 && scratch.delta[i - 1] != 0) {
+        detail::add_glitch(m, w, v_swing, couple[i - 1], ctot_v, tau_v,
+                           scratch.tau[i - 1], scratch.delta[i - 1]);
+      }
+      if (i + 1 < n && scratch.delta[i + 1] != 0) {
+        detail::add_glitch(m, w, v_swing, couple[i], ctot_v, tau_v,
+                           scratch.tau[i + 1], scratch.delta[i + 1]);
+      }
+    }
+  }
+
+  void solve_wire(const BusModel& m, std::size_t i, const util::BitVec& prev,
+                  const util::BitVec& next, double* out) const override {
+    const BusParams& p = m.params();
+    const double v_swing = p.vdd * p.swing_frac;
+    const int di = detail::delta_of(prev, next, i);
+    if (di != 0) {
+      const double tau = rising_tau(m, i, prev, next);
+      const double v0 = prev[i] ? v_swing : 0.0;
+      const double vf = next[i] ? v_swing : 0.0;
+      detail::fill_switching(m, i, v0, vf, tau, out);
+      return;
+    }
+    const double rail = prev[i] ? v_swing : 0.0;
+    std::fill_n(out, p.samples, rail);
+    const double ctot_v = m.total_cap_data()[i];
+    const double tau_v = m.resistance_data()[i] * ctot_v;
+    auto inject = [&](std::size_t j, double cc) {
+      const int dj = detail::delta_of(prev, next, j);
+      if (dj == 0) return;
+      const double tau_a = rising_tau(m, j, prev, next);
+      detail::add_glitch(m, out, v_swing, cc, ctot_v, tau_v, tau_a, dj);
+    };
+    const double* couple = m.coupling_data();
+    if (i > 0) inject(i - 1, couple[i - 1]);
+    if (i + 1 < p.n_wires) inject(i + 1, couple[i]);
+  }
+
+  bool same_extra_params(const BusParams& a,
+                         const BusParams& b) const override {
+    return a.swing_frac == b.swing_frac &&
+           a.receiver_vt_frac == b.receiver_vt_frac;
+  }
+
+  const std::vector<std::string>& variable_params() const override {
+    // receiver_vt_frac is a converter design constant, not a wire-level
+    // process knob; swing_frac (bias-network variation) is the
+    // model-specific axis the sweep may vary.
+    static const std::vector<std::string> kNames = {
+        "vdd",     "r_driver", "r_wire",    "c_ground",
+        "c_couple", "l_wire",  "swing_frac"};
+    return kNames;
+  }
+
+  // Reduced-swing static driver: bias/keeper network on the sending end;
+  // level-converting receiver (differential pair + restoring inverter) on
+  // the observing end. NAND-equivalents per wire, feeding Table 7-style
+  // area accounting.
+  double extra_sending_gates_per_wire() const override { return 2.0; }
+  double extra_observing_gates_per_wire() const override { return 3.0; }
+};
+
+}  // namespace
+
+namespace detail {
+const InterconnectModel& low_swing_model() {
+  static const LowSwingBusModel m;
+  return m;
+}
+}  // namespace detail
+
+}  // namespace jsi::si

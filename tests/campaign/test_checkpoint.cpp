@@ -400,13 +400,17 @@ TEST(CheckpointRunner, ResumeRejectsMismatchedCampaign) {
   cfg.max_chunks = 1;
   (void)run_once(src, cfg);
 
+  // The rejection is typed: callers (the CLI, the serve daemon) can
+  // distinguish "wrong campaign for this checkpoint" from generic
+  // runtime failures. CheckpointMismatchError derives std::runtime_error,
+  // so the broad catch sites keep working too.
   cfg.resume = true;
   cfg.fingerprint = "spec-B";
-  EXPECT_THROW(run_once(src, cfg), std::runtime_error);
+  EXPECT_THROW(run_once(src, cfg), core::CheckpointMismatchError);
 
   cfg.fingerprint = "spec-A";
   cfg.chunk_size = 4;  // different chunk layout
-  EXPECT_THROW(run_once(src, cfg), std::runtime_error);
+  EXPECT_THROW(run_once(src, cfg), core::CheckpointMismatchError);
   std::remove(path.c_str());
 }
 

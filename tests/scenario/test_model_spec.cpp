@@ -1,0 +1,232 @@
+// Scenario IR coverage for the interconnect-model seam: `bus.model`
+// parse/serialize round-trips, the omit-default canonical form (shipped
+// rc scenarios stay byte-identical and fingerprints discriminate model
+// changes), the pinned malformed-model diagnostics, model-scoped sweep
+// variation validation, and the determinism contract (shard-count
+// invariance, checkpoint resume) for a low_swing sweep population.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/run.hpp"
+#include "scenario/serialize.hpp"
+#include "scenario/spec.hpp"
+#include "si/model.hpp"
+
+namespace jsi {
+namespace {
+
+using scenario::parse_scenario;
+using scenario::ScenarioSpec;
+using scenario::SpecError;
+
+std::string wrap(const std::string& body) {
+  return R"({"name":"m","description":"d",)" + body + "}";
+}
+
+std::string soc_doc(const std::string& bus) {
+  return wrap(R"("topology":{"kind":"soc","n_wires":4,"bus":)" + bus +
+              R"(},"sessions":[{"kind":"enhanced","method":1}])");
+}
+
+/// A small low-swing Monte-Carlo sweep: 2x2 detector grid, 4 dies per
+/// point, swing_frac process variation and one random crosstalk defect —
+/// 16 units on a 4-wire bus, cheap enough for the determinism matrix.
+std::string low_swing_sweep_doc() {
+  return wrap(
+      R"("topology":{"kind":"soc","n_wires":4,"bus":{"model":"low_swing",)"
+      R"("samples":512,"swing_frac":0.3,"receiver_vt_frac":0.15}},)"
+      R"("sessions":[{"kind":"enhanced","name":"die","method":1}],)"
+      R"("sweep":{"samples":4,"nd_vhthr_frac":[0.3,0.55],)"
+      R"("sd_budget_ps":[300,500],)"
+      R"("variations":[{"param":"swing_frac","sigma":0.08},)"
+      R"({"param":"r_driver","sigma":0.1}],)"
+      R"("defects":[{"kind":"random_crosstalk","count":1,"severity":1.4}]},)"
+      R"("campaign":{"seed":41})");
+}
+
+void expect_spec_error(const std::string& doc, const std::string& what) {
+  try {
+    parse_scenario(doc);
+    FAIL() << "expected SpecError \"" << what << "\"";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(std::string(e.what()), what);
+  }
+}
+
+std::string temp_file(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("jsi_model_spec_test_" + tag + "_" +
+           std::to_string(static_cast<unsigned>(::getpid()))))
+      .string();
+}
+
+// ---- parse / serialize ------------------------------------------------------
+
+TEST(ModelSpec, ParsesLowSwingBus) {
+  const ScenarioSpec s = parse_scenario(soc_doc(
+      R"({"model":"low_swing","swing_frac":0.3,"receiver_vt_frac":0.15})"));
+  EXPECT_EQ(s.topology.bus.model, si::ModelKind::LowSwing);
+  EXPECT_DOUBLE_EQ(s.topology.bus.swing_frac, 0.3);
+  EXPECT_DOUBLE_EQ(s.topology.bus.receiver_vt_frac, 0.15);
+}
+
+TEST(ModelSpec, DefaultsToRcFullSwing) {
+  const ScenarioSpec s = parse_scenario(soc_doc(R"({"samples":512})"));
+  EXPECT_EQ(s.topology.bus.model, si::ModelKind::RcFullSwing);
+  // Omit-default canonical form: the serialized rc spec carries no model
+  // key and none of the low-swing knobs, so every pre-seam scenario file
+  // and checkpoint fingerprint is byte-identical to today's.
+  const std::string out = scenario::serialize(s);
+  EXPECT_EQ(out.find("\"model\""), std::string::npos);
+  EXPECT_EQ(out.find("swing_frac"), std::string::npos);
+  EXPECT_EQ(out.find("receiver_vt_frac"), std::string::npos);
+}
+
+TEST(ModelSpec, RoundTripsAndStaysCanonical) {
+  const ScenarioSpec a = parse_scenario(low_swing_sweep_doc());
+  const std::string one = scenario::serialize(a);
+  EXPECT_NE(one.find("\"model\": \"low_swing\""), std::string::npos);
+  EXPECT_NE(one.find("\"swing_frac\""), std::string::npos);
+  const ScenarioSpec b = parse_scenario(one);
+  EXPECT_EQ(b.topology.bus.model, si::ModelKind::LowSwing);
+  EXPECT_DOUBLE_EQ(b.topology.bus.swing_frac, 0.3);
+  EXPECT_DOUBLE_EQ(b.topology.bus.receiver_vt_frac, 0.15);
+  ASSERT_TRUE(b.sweep.has_value());
+  ASSERT_EQ(b.sweep->variations.size(), 2u);
+  EXPECT_EQ(b.sweep->variations[0].param, "swing_frac");
+  // serialize(parse(serialize(x))) == serialize(x): the canonical form
+  // is a fixed point, which is what `jsi print` pins for shipped files.
+  EXPECT_EQ(scenario::serialize(b), one);
+}
+
+// ---- diagnostics ------------------------------------------------------------
+
+TEST(ModelSpec, RejectsUnknownModel) {
+  expect_spec_error(soc_doc(R"({"model":"cml"})"),
+                    "topology.bus.model: unknown interconnect model \"cml\"");
+}
+
+TEST(ModelSpec, RejectsModelKnobsUnderRc) {
+  expect_spec_error(
+      soc_doc(R"({"swing_frac":0.3})"),
+      "topology.bus.swing_frac: only valid for model \"low_swing\"");
+  expect_spec_error(
+      soc_doc(R"({"receiver_vt_frac":0.2})"),
+      "topology.bus.receiver_vt_frac: only valid for model \"low_swing\"");
+}
+
+TEST(ModelSpec, RejectsOutOfRangeKnobs) {
+  expect_spec_error(soc_doc(R"({"model":"low_swing","swing_frac":1.5})"),
+                    "topology.bus.swing_frac: must be a number in (0, 1]");
+  expect_spec_error(soc_doc(R"({"model":"low_swing","swing_frac":0})"),
+                    "topology.bus.swing_frac: must be a number in (0, 1]");
+  expect_spec_error(
+      soc_doc(R"({"model":"low_swing","receiver_vt_frac":1})"),
+      "topology.bus.receiver_vt_frac: must be a number in (0, 1)");
+  expect_spec_error(
+      soc_doc(
+          R"({"model":"low_swing","swing_frac":0.2,"receiver_vt_frac":0.25})"),
+      "topology.bus.receiver_vt_frac: must be below swing_frac");
+}
+
+TEST(ModelSpec, SweepVariationSetIsTheModels) {
+  // "swing_frac" is a variable parameter of low_swing only; under the
+  // default rc model the sweep parser rejects it with the path pinned.
+  const std::string doc = wrap(
+      R"("topology":{"kind":"soc","n_wires":4},)"
+      R"("sessions":[{"kind":"enhanced","method":1}],)"
+      R"("sweep":{"samples":2,"nd_vhthr_frac":[0.4],"sd_budget_ps":[150],)"
+      R"("variations":[{"param":"swing_frac","sigma":0.1}]})");
+  expect_spec_error(
+      doc, "sweep.variations[0].param: unknown bus parameter \"swing_frac\"");
+}
+
+// ---- determinism over a low-swing population --------------------------------
+
+void expect_same_artifacts(const scenario::ScenarioOutcome& a,
+                           const scenario::ScenarioOutcome& b,
+                           const std::string& tag) {
+  EXPECT_EQ(a.report_text, b.report_text) << tag;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << tag;
+  EXPECT_EQ(a.yield_json, b.yield_json) << tag;
+}
+
+TEST(ModelSweep, LowSwingShardCountInvariant) {
+  const ScenarioSpec spec = parse_scenario(low_swing_sweep_doc());
+  scenario::RunOptions one;
+  one.shards = 1;
+  const scenario::ScenarioOutcome base = scenario::run_scenario(spec, one);
+  EXPECT_TRUE(base.result.complete);
+  // The model tag rides the merged registry.
+  EXPECT_NE(base.metrics_json.find("bus.model.low_swing"), std::string::npos);
+
+  scenario::RunOptions four;
+  four.shards = 4;
+  expect_same_artifacts(base, scenario::run_scenario(spec, four), "shards=4");
+}
+
+TEST(ModelSweep, ResumeRejectsAModelChange) {
+  // The canonical serializer emits `bus.model` whenever it is not the
+  // default, so the campaign fingerprint discriminates the model kind:
+  // a checkpoint written under low_swing must refuse to resume under
+  // rc_full_swing — with the TYPED mismatch error, not a generic one.
+  const ScenarioSpec spec = parse_scenario(low_swing_sweep_doc());
+  const std::string ckpt = temp_file("model_change");
+  std::remove(ckpt.c_str());
+  scenario::RunOptions step;
+  step.checkpoint_path = ckpt;
+  step.max_chunks = 2;
+  (void)scenario::run_scenario(spec, step);
+
+  ScenarioSpec flipped = spec;
+  flipped.topology.bus.model = si::ModelKind::RcFullSwing;
+  flipped.sweep->variations.erase(flipped.sweep->variations.begin());
+  scenario::RunOptions rest;
+  rest.checkpoint_path = ckpt;
+  rest.resume = true;
+  EXPECT_THROW(scenario::run_scenario(flipped, rest),
+               core::CheckpointMismatchError);
+
+  // Flipping only a model knob is just as fatal: swing_frac is part of
+  // the serialized (and fingerprinted) spec.
+  ScenarioSpec retuned = spec;
+  retuned.topology.bus.swing_frac = 0.5;
+  EXPECT_THROW(scenario::run_scenario(retuned, rest),
+               core::CheckpointMismatchError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(ModelSweep, LowSwingResumeByteIdentical) {
+  const ScenarioSpec spec = parse_scenario(low_swing_sweep_doc());
+  scenario::RunOptions whole;
+  whole.shards = 1;
+  const scenario::ScenarioOutcome base = scenario::run_scenario(spec, whole);
+
+  const std::string ckpt = temp_file("resume");
+  std::remove(ckpt.c_str());
+  scenario::RunOptions step;
+  step.shards = 1;
+  step.checkpoint_path = ckpt;
+  step.max_chunks = 5;
+  const scenario::ScenarioOutcome partial = scenario::run_scenario(spec, step);
+  EXPECT_FALSE(partial.result.complete);
+
+  scenario::RunOptions rest;
+  rest.shards = 1;
+  rest.checkpoint_path = ckpt;
+  rest.resume = true;
+  const scenario::ScenarioOutcome resumed = scenario::run_scenario(spec, rest);
+  EXPECT_TRUE(resumed.result.complete);
+  expect_same_artifacts(base, resumed, "low_swing resume");
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace jsi
